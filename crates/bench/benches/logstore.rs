@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the storage engine: the real data-plane costs that
+//! the simulator's calibration constants abstract (append, read, overwrite
+//! churn with cleaning, index probes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rmc_logstore::{key_hash, HashTable, KeyHash, LogConfig, LogPosition, SegmentId, Store, TableId};
+
+const T: TableId = TableId(1);
+
+fn store(max_segments: usize) -> Store {
+    Store::new(LogConfig {
+        segment_bytes: 1 << 20,
+        max_segments,
+                ordered_index: false,
+            })
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logstore/append");
+    for value_bytes in [64usize, 1024] {
+        g.throughput(Throughput::Bytes(value_bytes as u64));
+        g.bench_function(format!("{value_bytes}B"), |b| {
+            let mut s = store(8192);
+            let value = vec![7u8; value_bytes];
+            let mut i = 0u64;
+            b.iter(|| {
+                let key = i.to_le_bytes();
+                i += 1;
+                black_box(s.write(T, &key, &value).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut s = store(1024);
+    for i in 0..100_000u64 {
+        s.write(T, &i.to_le_bytes(), &[1u8; 256]).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("logstore/read_hit", |b| {
+        b.iter(|| {
+            let key = (i % 100_000).to_le_bytes();
+            i += 1;
+            black_box(s.read(T, &key));
+        })
+    });
+    c.bench_function("logstore/read_miss", |b| {
+        let mut j = 1_000_000u64;
+        b.iter(|| {
+            j += 1;
+            black_box(s.read(T, &j.to_le_bytes()));
+        })
+    });
+}
+
+fn bench_overwrite_churn(c: &mut Criterion) {
+    // Bounded memory: every overwrite eventually drags the cleaner.
+    c.bench_function("logstore/overwrite_churn_with_cleaner", |b| {
+        let mut s = store(24);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = (i % 512).to_le_bytes();
+            i += 1;
+            black_box(s.write(T, &key, &[9u8; 1024]).unwrap());
+        });
+    });
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    c.bench_function("hashtable/insert", |b| {
+        let mut ht = HashTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ht.insert(
+                KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)),
+                LogPosition { segment: SegmentId(i >> 12), offset: (i & 0xfff) as u32 },
+            );
+        });
+    });
+    let mut ht = HashTable::new();
+    for i in 0..1_000_000u64 {
+        ht.insert(
+            KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)),
+            LogPosition { segment: SegmentId(i >> 12), offset: (i & 0xfff) as u32 },
+        );
+    }
+    c.bench_function("hashtable/lookup_1M", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(
+                ht.candidates(KeyHash((i % 1_000_000).wrapping_mul(0x9E3779B97F4A7C15)))
+                    .next(),
+            );
+        })
+    });
+    c.bench_function("hashtable/key_hash", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(key_hash(T, &i.to_le_bytes()));
+        })
+    });
+}
+
+criterion_group!(benches, bench_append, bench_read, bench_overwrite_churn, bench_hashtable);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of the simulation infrastructure itself: raw event-queue
+//! throughput and end-to-end simulated-op rate, which bound how fast the
+//! paper's experiments regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rmc_core::{Cluster, ClusterConfig};
+use rmc_sim::{SimDuration, Simulation};
+use rmc_ycsb::{StandardWorkload, WorkloadSpec};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_and_run_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            fn tick(n: &mut u64, sched: &mut rmc_sim::Scheduler<u64>) {
+                *n += 1;
+                if *n < 10_000 {
+                    sched.schedule_after(SimDuration::from_micros(10), tick);
+                }
+            }
+            sim.scheduler_mut().schedule_after(SimDuration::ZERO, tick);
+            sim.run();
+            black_box(*sim.state());
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster_sim_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/cluster");
+    g.sample_size(10);
+    for (name, w) in [("read_only", StandardWorkload::C), ("update_heavy", StandardWorkload::A)] {
+        let ops = 20_000u64;
+        g.throughput(Throughput::Elements(ops * 4));
+        g.bench_function(format!("{name}_4srv_4cli"), |b| {
+            b.iter(|| {
+                let workload = WorkloadSpec::standard(w)
+                    .with_record_count(10_000)
+                    .with_ops_per_client(ops);
+                let cfg = ClusterConfig::new(4, 4, workload).with_replication(2);
+                black_box(Cluster::new(cfg).run().completed_ops)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_cluster_sim_rate);
+criterion_main!(benches);

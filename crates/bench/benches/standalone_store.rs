@@ -1,0 +1,51 @@
+//! Real-hardware benchmark of the multi-threaded standalone store — the one
+//! benchmark in this workspace that measures actual wall-clock concurrency
+//! rather than simulated time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rmc_logstore::{LogConfig, TableId};
+use rmc_standalone::{ServerConfig, ShardedStore, StandaloneServer};
+
+const T: TableId = TableId(1);
+
+fn bench_sharded_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("standalone/sharded_direct");
+    g.throughput(Throughput::Elements(1));
+    let store = ShardedStore::new(8, LogConfig::default());
+    for i in 0..100_000u64 {
+        store.write(T, &i.to_le_bytes(), &[5u8; 256]).unwrap();
+    }
+    g.bench_function("read", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.read(T, &(i % 100_000).to_le_bytes()));
+        })
+    });
+    g.bench_function("write", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.write(T, &(i % 100_000).to_le_bytes(), &[6u8; 256]).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_server_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("standalone/server_roundtrip");
+    g.sample_size(20);
+    let server = StandaloneServer::start(ServerConfig::default());
+    let client = server.client();
+    client.write(T, b"warm", &[1u8; 256]).unwrap();
+    g.bench_function("read_via_worker_pool", |b| {
+        b.iter(|| black_box(client.read(T, b"warm").unwrap()))
+    });
+    g.bench_function("write_via_worker_pool", |b| {
+        b.iter(|| black_box(client.write(T, b"warm", &[2u8; 256]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_direct, bench_server_roundtrip);
+criterion_main!(benches);

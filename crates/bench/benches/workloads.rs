@@ -1,0 +1,31 @@
+//! Benchmarks of the YCSB workload generator: key sampling must be far
+//! cheaper than the simulated operations it drives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rmc_sim::SimRng;
+use rmc_ycsb::{Distribution, KeyChooser, RequestGenerator, StandardWorkload, WorkloadSpec};
+
+fn bench_distributions(c: &mut Criterion) {
+    for (name, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("zipfian", Distribution::zipfian_default()),
+        ("latest", Distribution::Latest),
+    ] {
+        c.bench_function(&format!("ycsb/keychooser_{name}"), |b| {
+            let mut kc = KeyChooser::new(dist, 1_000_000);
+            let mut rng = SimRng::seed_from_u64(1);
+            b.iter(|| black_box(kc.next(&mut rng)))
+        });
+    }
+}
+
+fn bench_request_stream(c: &mut Criterion) {
+    c.bench_function("ycsb/request_stream_A", |b| {
+        let spec = WorkloadSpec::standard(StandardWorkload::A).with_ops_per_client(u64::MAX / 2);
+        let mut g = RequestGenerator::new(spec, 3);
+        b.iter(|| black_box(g.next_request()))
+    });
+}
+
+criterion_group!(benches, bench_distributions, bench_request_stream);
+criterion_main!(benches);

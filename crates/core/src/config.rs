@@ -1,0 +1,321 @@
+//! Cluster/experiment configuration.
+
+use rmc_disk::DiskProfile;
+use rmc_energy::PowerProfile;
+use rmc_net::NetProfile;
+use rmc_ycsb::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::calib::Calibration;
+
+/// How a master picks the backups for a new segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// RAMCloud's scheme: independent uniform choice per segment, which
+    /// maximizes recovery parallelism but makes *any* simultaneous
+    /// R+1-node failure likely to lose some segment (the paper cites
+    /// Copysets — ref. \[28\] in the paper — on exactly this trade-off).
+    Random,
+    /// Copyset placement: backups come from a small fixed set of replica
+    /// groups, trading recovery parallelism for a much lower probability
+    /// of loss under simultaneous failures.
+    Copyset,
+}
+
+/// Consistency mode for replicated writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consistency {
+    /// RAMCloud's behaviour: the master answers the client only after all
+    /// backups acknowledged (Finding 3's overhead source).
+    Strong,
+    /// The §IX-B what-if: respond as soon as replication requests are sent,
+    /// tolerating inconsistency on failure.
+    Relaxed,
+}
+
+/// Decouples *modelled* object size from *stored* object size.
+///
+/// The paper's large experiments hold ~10 GB per node, which a single-process
+/// reproduction cannot afford to materialize. All timing, network, disk, and
+/// power models use the **nominal** value size; the real data plane stores a
+/// compact payload. Setting both equal gives full-fidelity storage for
+/// correctness tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayloadScale {
+    /// Value size used by every performance/energy model, bytes.
+    pub nominal_value_bytes: usize,
+    /// Value size actually materialized in the store, bytes.
+    pub stored_value_bytes: usize,
+}
+
+impl PayloadScale {
+    /// Full fidelity: store exactly what the model assumes.
+    pub fn full(value_bytes: usize) -> Self {
+        PayloadScale {
+            nominal_value_bytes: value_bytes,
+            stored_value_bytes: value_bytes,
+        }
+    }
+
+    /// Compact storage: model `value_bytes`, store a 16-byte digest.
+    pub fn compact(value_bytes: usize) -> Self {
+        PayloadScale {
+            nominal_value_bytes: value_bytes,
+            stored_value_bytes: 16.min(value_bytes.max(1)),
+        }
+    }
+
+    /// Ratio of stored to nominal entry size (used to shrink segment
+    /// capacity so head-roll cadence matches nominal fill).
+    pub fn entry_scale(&self, key_bytes: usize) -> f64 {
+        let header = rmc_logstore::HEADER_BYTES;
+        let stored = header + key_bytes + self.stored_value_bytes;
+        let nominal = header + key_bytes + self.nominal_value_bytes;
+        stored as f64 / nominal as f64
+    }
+}
+
+/// Restricts which part of the key space a client samples (Fig 10 pins one
+/// client to the crash victim's data and one to everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientAffinity {
+    /// Sample the whole key space (default).
+    Any,
+    /// Only keys whose *initial* owner is this server.
+    On(usize),
+    /// Only keys whose *initial* owner is not this server.
+    NotOn(usize),
+}
+
+/// Coordinator-driven elastic cluster sizing (§IX-A: "a smart approach can
+/// be considered at the coordinator level which can decide whether to add
+/// or remove nodes depending on the workload").
+///
+/// The decision signal is *served load relative to per-server capacity*,
+/// **not** raw CPU: Finding 1 shows RAMCloud's CPU usage is
+/// non-proportional (polling and spinning pin cores at any load), so a
+/// CPU-threshold policy would never drain anything.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticPolicy {
+    /// How often the coordinator evaluates cluster load, seconds.
+    pub check_interval_secs: f64,
+    /// Drain one server when per-active-server load falls below this
+    /// fraction of peak service capacity.
+    pub low_util: f64,
+    /// Wake one server when per-active-server load exceeds this fraction.
+    pub high_util: f64,
+    /// Never drain below this many active servers.
+    pub min_servers: usize,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            check_interval_secs: 2.0,
+            low_util: 0.08,
+            high_util: 0.6,
+            min_servers: 1,
+        }
+    }
+}
+
+/// Everything needed to run one simulated experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Storage servers (each runs a master and a backup service, collocated
+    /// as in the paper's deployment).
+    pub servers: usize,
+    /// Client machines, one closed-loop YCSB client each.
+    pub clients: usize,
+    /// Replication factor; 0 disables replication entirely (Sections IV/V).
+    pub replication: u32,
+    /// The workload driving the run.
+    pub workload: WorkloadSpec,
+    /// RNG seed; runs are bit-for-bit reproducible per seed.
+    pub seed: u64,
+    /// Network profile (the paper uses Infiniband only).
+    pub net: NetProfile,
+    /// Disk profile of each node.
+    pub disk: DiskProfile,
+    /// Node power model.
+    pub power: PowerProfile,
+    /// PDU meter time constant, seconds (0 = instantaneous sampling).
+    pub pdu_tau_secs: f64,
+    /// Node cost model.
+    pub calib: Calibration,
+    /// Write consistency mode.
+    pub consistency: Consistency,
+    /// Nominal vs stored payload sizes.
+    pub payload: PayloadScale,
+    /// Tablet granularity: key space is split into this many hash buckets
+    /// for placement and recovery partitioning.
+    pub hash_buckets: usize,
+    /// Per-client request rate cap (Fig 13); `None` = unthrottled.
+    pub throttle_rate: Option<f64>,
+    /// Master log segment size (nominal bytes); RAMCloud hard-codes 8 MB.
+    pub segment_bytes: usize,
+    /// Master memory budget (nominal bytes) — 10 GB in the paper's config.
+    pub memory_bytes: u64,
+    /// Backup placement scheme.
+    pub placement: Placement,
+    /// Coordinator-driven elastic sizing; `None` keeps the cluster static
+    /// (the paper's setting). Currently requires `replication == 0`.
+    pub elastic: Option<ElasticPolicy>,
+    /// Optional per-client data affinity. Used by the Fig 10 experiment
+    /// (one client requests exactly the crashed server's data, one requests
+    /// the rest). A `None` list samples uniformly for everyone.
+    pub client_affinity: Option<Vec<ClientAffinity>>,
+}
+
+impl ClusterConfig {
+    /// A config with the paper's fixed platform parameters and compact
+    /// payload storage; callers set cluster size, workload, replication.
+    pub fn new(servers: usize, clients: usize, workload: WorkloadSpec) -> Self {
+        let payload = PayloadScale::compact(workload.value_bytes);
+        ClusterConfig {
+            servers,
+            clients,
+            replication: 0,
+            workload,
+            seed: 42,
+            net: NetProfile::infiniband_20g(),
+            disk: DiskProfile::grid5000_hdd(),
+            power: PowerProfile::grid5000_nancy(),
+            pdu_tau_secs: 3.0,
+            calib: Calibration::default(),
+            consistency: Consistency::Strong,
+            payload,
+            hash_buckets: 1024,
+            throttle_rate: None,
+            segment_bytes: 8 << 20,
+            memory_bytes: 10 << 30,
+            placement: Placement::Random,
+            elastic: None,
+            client_affinity: None,
+        }
+    }
+
+    /// Sets the replication factor.
+    pub fn with_replication(mut self, r: u32) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps each client at `rate` requests per second (Fig 13).
+    pub fn with_throttle(mut self, rate: f64) -> Self {
+        self.throttle_rate = Some(rate);
+        self
+    }
+
+    /// Nominal size of one serialized log entry for this workload.
+    pub fn nominal_entry_bytes(&self) -> usize {
+        rmc_logstore::HEADER_BYTES + self.key_bytes() + self.payload.nominal_value_bytes
+    }
+
+    /// Key length produced by the workload's key formatter.
+    pub fn key_bytes(&self) -> usize {
+        self.workload.key_for(0).len()
+    }
+
+    /// The *stored* segment size: scaled so a segment seals after the same
+    /// number of entries as a nominal one.
+    pub fn stored_segment_bytes(&self) -> usize {
+        let scale = self.payload.entry_scale(self.key_bytes());
+        ((self.segment_bytes as f64) * scale).ceil() as usize
+    }
+
+    /// Stored-size memory budget in segments.
+    pub fn max_segments(&self) -> usize {
+        (self.memory_bytes / self.segment_bytes as u64).max(2) as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible configurations (zero servers/clients, replication
+    /// factor exceeding available backups, ...). Configurations come from
+    /// experiment code, not external input, so violations are bugs.
+    pub fn validate(&self) {
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.clients > 0, "need at least one client");
+        assert!(
+            (self.replication as usize) < self.servers || self.replication == 0,
+            "replication factor {} needs more than {} servers (a master cannot back itself up)",
+            self.replication,
+            self.servers
+        );
+        assert!(self.hash_buckets >= self.servers, "need ≥1 bucket per server");
+        assert!(self.segment_bytes > 0 && self.memory_bytes > 0);
+        assert!(
+            self.elastic.is_none() || self.replication == 0,
+            "elastic sizing currently requires replication to be disabled \
+             (draining a backup would need replica re-placement)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmc_ycsb::{StandardWorkload, WorkloadSpec};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::new(10, 30, WorkloadSpec::standard(StandardWorkload::A))
+    }
+
+    #[test]
+    fn defaults_match_paper_platform() {
+        let c = cfg();
+        assert_eq!(c.segment_bytes, 8 << 20);
+        assert_eq!(c.memory_bytes, 10 << 30);
+        assert_eq!(c.net.name, "infiniband-20g");
+        assert_eq!(c.replication, 0);
+        assert_eq!(c.consistency, Consistency::Strong);
+        c.validate();
+    }
+
+    #[test]
+    fn payload_scaling_shrinks_segments_proportionally() {
+        let c = cfg();
+        let scale = c.payload.entry_scale(c.key_bytes());
+        assert!(scale < 0.1, "compact scale should be small, got {scale}");
+        let nominal_entries = c.segment_bytes / c.nominal_entry_bytes();
+        let stored_entry =
+            rmc_logstore::HEADER_BYTES + c.key_bytes() + c.payload.stored_value_bytes;
+        let stored_entries = c.stored_segment_bytes() / stored_entry;
+        let ratio = stored_entries as f64 / nominal_entries as f64;
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "entries per segment should match: nominal {nominal_entries} stored {stored_entries}"
+        );
+    }
+
+    #[test]
+    fn full_payload_is_identity() {
+        let p = PayloadScale::full(1024);
+        assert_eq!(p.entry_scale(24), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back itself up")]
+    fn replication_needs_other_servers() {
+        let c = ClusterConfig::new(2, 1, WorkloadSpec::standard(StandardWorkload::A))
+            .with_replication(2);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = cfg().with_replication(3).with_seed(7).with_throttle(200.0);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.throttle_rate, Some(200.0));
+    }
+}

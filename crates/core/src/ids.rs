@@ -1,0 +1,36 @@
+//! Identifier newtypes for the cluster simulation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A client machine index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub usize);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+/// A unique in-flight operation id (never reused within a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(ClientId(2).to_string(), "client#2");
+        assert_eq!(OpId(9).to_string(), "op#9");
+    }
+}

@@ -1,0 +1,515 @@
+//! Per-server state: the master's store, the collocated backup service, the
+//! threading model (dispatch + spinning workers), and activity accounting.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use rmc_disk::DiskModel;
+use rmc_logstore::Store;
+use rmc_sim::{BinnedUsage, SimDuration, SimTime};
+
+use crate::calib::Calibration;
+use crate::ids::OpId;
+
+/// Bytes accumulated into one-second bins; reports GB/s per bin (feeds the
+/// power model's memory-write and NIC terms).
+#[derive(Debug, Clone, Default)]
+pub struct ByteBins {
+    bins: Vec<f64>,
+}
+
+impl ByteBins {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ByteBins::default()
+    }
+
+    /// Adds `bytes` at time `t`.
+    pub fn add(&mut self, t: SimTime, bytes: f64) {
+        let bin = t.as_secs_f64() as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0.0);
+        }
+        self.bins[bin] += bytes;
+    }
+
+    /// GB/s during bin `i`.
+    pub fn gbps(&self, i: usize) -> f64 {
+        self.bins.get(i).copied().unwrap_or(0.0) / 1e9
+    }
+
+    /// Total bytes recorded.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+}
+
+/// Metadata a master keeps per log segment for replication and recovery.
+#[derive(Debug, Clone)]
+pub struct SegMeta {
+    /// Backup servers holding replicas of this segment.
+    pub backups: Vec<usize>,
+    /// Whether the segment has been sealed (closed and flushed-eligible).
+    pub sealed: bool,
+    /// Nominal bytes appended to this segment (model size).
+    pub nominal_bytes: u64,
+    /// Entries appended.
+    pub entries: u64,
+}
+
+/// One worker thread's scheduling state.
+#[derive(Debug, Clone, Copy)]
+pub struct Worker {
+    /// When the worker next becomes available; `SimTime::MAX` while blocked
+    /// waiting for replication acks.
+    pub free_at: SimTime,
+}
+
+/// The backup service's replica storage: real serialized entry bytes staged
+/// in DRAM, then flushed to the (simulated) disk when the segment seals.
+#[derive(Debug, Default)]
+pub struct BackupService {
+    /// Open-segment replicas staged in DRAM, keyed by (master, segment).
+    pub staged: HashMap<(usize, u64), Vec<u8>>,
+    /// Sealed replicas on disk.
+    pub flushed: HashMap<(usize, u64), Vec<u8>>,
+    /// Bytes staged in DRAM right now (nominal accounting).
+    pub staged_nominal_bytes: u64,
+}
+
+impl BackupService {
+    /// Appends replicated entry bytes to the staged copy of a segment.
+    pub fn stage(&mut self, master: usize, segment: u64, bytes: &[u8], nominal: u64) {
+        self.staged
+            .entry((master, segment))
+            .or_default()
+            .extend_from_slice(bytes);
+        self.staged_nominal_bytes += nominal;
+    }
+
+    /// Moves a staged segment to disk storage (called when the disk write
+    /// completes).
+    pub fn flush(&mut self, master: usize, segment: u64, nominal: u64) {
+        if let Some(bytes) = self.staged.remove(&(master, segment)) {
+            self.flushed.insert((master, segment), bytes);
+            self.staged_nominal_bytes = self.staged_nominal_bytes.saturating_sub(nominal);
+        }
+    }
+
+    /// The replica bytes for a segment, wherever they live. The bool is
+    /// `true` when the copy is on disk (reading it costs I/O).
+    pub fn replica(&self, master: usize, segment: u64) -> Option<(&[u8], bool)> {
+        if let Some(b) = self.flushed.get(&(master, segment)) {
+            return Some((b, true));
+        }
+        self.staged.get(&(master, segment)).map(|b| (b.as_slice(), false))
+    }
+
+    /// Drops every replica belonging to `master` (post-recovery cleanup).
+    pub fn drop_master(&mut self, master: usize) {
+        self.staged.retain(|&(m, _), _| m != master);
+        self.flushed.retain(|&(m, _), _| m != master);
+    }
+}
+
+/// Work waiting for a free worker (all workers blocked on replication acks).
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedWork {
+    /// The op to run.
+    pub op: OpId,
+    /// When dispatch finished with it.
+    pub ready_at: SimTime,
+}
+
+/// A storage server: master + backup service on one 4-core machine.
+#[derive(Debug)]
+pub struct ServerNode {
+    /// Server index.
+    pub id: usize,
+    /// False once killed.
+    pub alive: bool,
+    /// The master's real log-structured store.
+    pub store: Store,
+    /// The collocated backup service.
+    pub backup: BackupService,
+    /// The node's disk.
+    pub disk: DiskModel,
+    /// Per-segment replication metadata (keyed by raw segment id).
+    pub segments: BTreeMap<u64, SegMeta>,
+    /// When the dispatch thread frees up.
+    pub dispatch_free: SimTime,
+    /// Worker pool.
+    pub workers: Vec<Worker>,
+    /// Ops whose dispatch finished but no worker was available.
+    pub pending: VecDeque<QueuedWork>,
+    /// Ops between worker assignment and local completion.
+    pub in_service: usize,
+    /// Writers between dispatch arrival and local completion (drives the
+    /// log-head contention factor).
+    pub waiting_writers: usize,
+    /// When the log-head critical section frees up.
+    pub lock_free: SimTime,
+    /// Exponentially smoothed time-average of the number of concurrent
+    /// writers (updates between dispatch arrival and local completion) —
+    /// the write-path thread pressure the paper identifies as the driver of
+    /// the update-path degradation ("this issue is tightly related to the
+    /// number of threads servicing requests", Finding 2).
+    pub writers_ewma: f64,
+    /// Start of the current writer-observation window.
+    writers_window_start: SimTime,
+    /// ∫ waiting_writers dt within the current window, in seconds.
+    writers_integral: f64,
+    /// Last instant `waiting_writers` changed.
+    writers_last_change: SimTime,
+    /// Worker busy time (service + spin) per 1 s bin, in core-seconds.
+    pub cpu: BinnedUsage,
+    /// Nominal bytes written to memory (appends + staging) per 1 s bin.
+    pub mem_write: ByteBins,
+    /// Instant the node died, if it did.
+    pub killed_at: Option<SimTime>,
+    /// Completed standby (suspended) intervals.
+    pub standby_intervals: Vec<(SimTime, SimTime)>,
+    /// Start of the current standby interval, if suspended now.
+    pub standby_open: Option<SimTime>,
+    /// Ops that timed out at clients while targeting this server.
+    pub timeouts: u64,
+    /// Client operations completed per one-second bin (the elastic policy's
+    /// load signal).
+    pub ops_bins: ByteBins,
+}
+
+impl ServerNode {
+    /// Creates an idle, empty server.
+    pub fn new(id: usize, store: Store, disk: DiskModel, calib: &Calibration) -> Self {
+        ServerNode {
+            id,
+            alive: true,
+            store,
+            backup: BackupService::default(),
+            disk,
+            segments: BTreeMap::new(),
+            dispatch_free: SimTime::ZERO,
+            workers: vec![Worker { free_at: SimTime::ZERO }; calib.worker_threads],
+            pending: VecDeque::new(),
+            in_service: 0,
+            waiting_writers: 0,
+            lock_free: SimTime::ZERO,
+            writers_ewma: 0.0,
+            writers_window_start: SimTime::ZERO,
+            writers_integral: 0.0,
+            writers_last_change: SimTime::ZERO,
+            cpu: BinnedUsage::new(SimDuration::from_secs(1)),
+            mem_write: ByteBins::new(),
+            killed_at: None,
+            standby_intervals: Vec::new(),
+            standby_open: None,
+            timeouts: 0,
+            ops_bins: ByteBins::new(),
+        }
+    }
+
+    /// Records entering (`true`) or leaving standby at `now`.
+    pub fn set_standby(&mut self, now: SimTime, standby: bool) {
+        match (standby, self.standby_open) {
+            (true, None) => self.standby_open = Some(now),
+            (false, Some(from)) => {
+                self.standby_intervals.push((from, now));
+                self.standby_open = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the node was suspended at instant `t`.
+    pub fn is_standby_at(&self, t: SimTime) -> bool {
+        if let Some(from) = self.standby_open {
+            if t >= from {
+                return true;
+            }
+        }
+        self.standby_intervals
+            .iter()
+            .any(|&(a, b)| t >= a && t < b)
+    }
+
+    /// Runs the dispatch stage for a request arriving at `now`; returns when
+    /// dispatch hands the request to the worker pool.
+    pub fn dispatch(&mut self, now: SimTime, calib: &Calibration) -> SimTime {
+        let start = now.max(self.dispatch_free);
+        let done = start + SimDuration::from_micros_f64(calib.dispatch_us);
+        self.dispatch_free = done;
+        done
+    }
+
+    /// Number of requests currently runnable (in service or queued).
+    pub fn runnable(&self) -> usize {
+        self.in_service + self.pending.len()
+    }
+
+    /// Adjusts the concurrent-writer count at `now`, folding elapsed time
+    /// into the windowed average that feeds [`ServerNode::write_inflation`].
+    pub fn adjust_writers(&mut self, now: SimTime, delta: isize) {
+        const WINDOW: SimDuration = SimDuration::from_millis(20);
+        const ALPHA: f64 = 0.3;
+        let w = WINDOW.as_secs_f64();
+        // Integrate the old level forward, window by window.
+        let mut rolled = 0u32;
+        while now >= self.writers_window_start + WINDOW {
+            let window_end = self.writers_window_start + WINDOW;
+            self.writers_integral += self.waiting_writers as f64
+                * window_end.saturating_since(self.writers_last_change).as_secs_f64();
+            self.writers_ewma += ALPHA * (self.writers_integral / w - self.writers_ewma);
+            self.writers_integral = 0.0;
+            self.writers_window_start = window_end;
+            self.writers_last_change = window_end;
+            rolled += 1;
+            if rolled > 64 {
+                // Long idle gap: restart at now with a settled average.
+                self.writers_window_start = now;
+                self.writers_last_change = now;
+                self.writers_integral = 0.0;
+                self.writers_ewma = self.waiting_writers as f64;
+                break;
+            }
+        }
+        self.writers_integral += self.waiting_writers as f64
+            * now.saturating_since(self.writers_last_change).as_secs_f64();
+        self.writers_last_change = now;
+        if delta >= 0 {
+            self.waiting_writers += delta as usize;
+        } else {
+            self.waiting_writers = self.waiting_writers.saturating_sub((-delta) as usize);
+        }
+    }
+
+    /// Picks a worker for a request that becomes runnable at `ready`:
+    /// prefer the *most recently used* idle worker (it is still spinning —
+    /// no wakeup), otherwise the earliest-free busy worker. `None` when
+    /// every worker is blocked on replication acks.
+    ///
+    /// The hot-worker preference is what keeps exactly one worker spinning
+    /// per closed-loop client at light load — the Table I staircase
+    /// (49.8 % CPU at 1 client, 74 % at 2).
+    pub fn pick_worker(&mut self, ready: SimTime) -> Option<usize> {
+        let mut hottest_idle: Option<(usize, SimTime)> = None;
+        let mut earliest_busy: Option<(usize, SimTime)> = None;
+        for (w, worker) in self.workers.iter().enumerate() {
+            if worker.free_at == SimTime::MAX {
+                continue;
+            }
+            if worker.free_at <= ready {
+                if hottest_idle.map_or(true, |(_, f)| worker.free_at > f) {
+                    hottest_idle = Some((w, worker.free_at));
+                }
+            } else if earliest_busy.map_or(true, |(_, f)| worker.free_at < f) {
+                earliest_busy = Some((w, worker.free_at));
+            }
+        }
+        hottest_idle.or(earliest_busy).map(|(w, _)| w)
+    }
+
+    /// Accounts a worker's busy span, extending backwards over its
+    /// spin-before-sleep window.
+    pub fn account_worker_busy(
+        &mut self,
+        worker: usize,
+        idle_since: SimTime,
+        start: SimTime,
+        end: SimTime,
+        calib: &Calibration,
+    ) {
+        let spin = SimDuration::from_micros_f64(calib.spin_timeout_us);
+        let spin_end = idle_since.saturating_add(spin).min(start);
+        if spin_end > idle_since {
+            self.cpu.add_span(idle_since, spin_end, 1.0);
+        }
+        if end > start {
+            self.cpu.add_span(start, end, 1.0);
+        }
+        let _ = worker;
+    }
+
+    /// Read-side contention factor at current queue depth.
+    pub fn read_inflation(&self, calib: &Calibration) -> f64 {
+        let excess = self.runnable().saturating_sub(calib.worker_threads);
+        1.0 + calib.contention_read * excess as f64
+    }
+
+    /// Context-switch inflation factor for write worker service at the
+    /// current writer pressure: ramps linearly from 1 to
+    /// `1 + contention_write` as the time-averaged concurrent-writer count
+    /// climbs from `contention_threshold` over `contention_scale` more
+    /// writers — the paper's "poor thread handling under highly-concurrent
+    /// accesses" (Finding 2).
+    pub fn write_inflation(&self, calib: &Calibration) -> f64 {
+        let excess = (self.writers_ewma - calib.contention_threshold).max(0.0);
+        let ramp = (excess / calib.contention_scale).min(1.0);
+        1.0 + calib.contention_write * ramp
+    }
+
+    /// The short serialized log-head append.
+    pub fn write_lock_duration(&self, calib: &Calibration) -> SimDuration {
+        SimDuration::from_micros_f64(calib.write_lock_us)
+    }
+
+    /// CPU busy fraction of the node in one-second bin `bin`: dispatch core
+    /// (while alive) plus worker activity, over `cores`. `coverage` is the
+    /// fraction of the bin the run actually spans (the final bin of a short
+    /// run is partial; without the correction short runs would dilute).
+    pub fn cpu_fraction(&self, bin: usize, coverage: f64, calib: &Calibration) -> f64 {
+        let coverage = coverage.clamp(1e-9, 1.0);
+        let died_before = match self.killed_at {
+            Some(t) => (t.as_secs_f64() as usize) < bin + 1,
+            None => false,
+        };
+        let dispatch = if died_before { 0.0 } else { 1.0 };
+        let workers = (self.cpu.bin_value(bin) / coverage).min(calib.worker_threads as f64);
+        ((dispatch + workers) / calib.cores as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmc_disk::DiskProfile;
+    use rmc_logstore::LogConfig;
+
+    fn node() -> ServerNode {
+        ServerNode::new(
+            0,
+            Store::new(LogConfig {
+                segment_bytes: 4096,
+                max_segments: 16,
+                ordered_index: false,
+            }),
+            DiskModel::new(DiskProfile::grid5000_hdd()),
+            &Calibration::default(),
+        )
+    }
+
+    #[test]
+    fn dispatch_serializes() {
+        let calib = Calibration::default();
+        let mut n = node();
+        let d1 = n.dispatch(SimTime::ZERO, &calib);
+        let d2 = n.dispatch(SimTime::ZERO, &calib);
+        assert!(d2 > d1);
+        assert_eq!((d2 - d1).as_micros_f64(), calib.dispatch_us);
+    }
+
+    #[test]
+    fn hottest_idle_worker_preferred() {
+        let mut n = node();
+        let ready = SimTime::from_micros(100);
+        n.workers[0].free_at = SimTime::from_micros(10);
+        n.workers[1].free_at = SimTime::from_micros(90); // most recently freed
+        n.workers[2].free_at = SimTime::from_micros(50);
+        assert_eq!(n.pick_worker(ready), Some(1));
+    }
+
+    #[test]
+    fn earliest_busy_worker_when_none_idle() {
+        let mut n = node();
+        let ready = SimTime::from_micros(10);
+        n.workers[0].free_at = SimTime::from_micros(300);
+        n.workers[1].free_at = SimTime::from_micros(200);
+        n.workers[2].free_at = SimTime::from_micros(400);
+        assert_eq!(n.pick_worker(ready), Some(1));
+    }
+
+    #[test]
+    fn blocked_workers_skipped() {
+        let mut n = node();
+        n.workers[0].free_at = SimTime::MAX;
+        n.workers[1].free_at = SimTime::MAX;
+        assert_eq!(n.pick_worker(SimTime::ZERO), Some(2));
+        n.workers[2].free_at = SimTime::MAX;
+        assert_eq!(n.pick_worker(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn spin_accounting_caps_at_timeout() {
+        let calib = Calibration::default();
+        let mut n = node();
+        // Worker idle from t=0, next work at t=1ms: spin covers only the
+        // spin timeout, then sleep.
+        n.account_worker_busy(
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            SimTime::from_millis(1) + SimDuration::from_micros(5),
+            &calib,
+        );
+        let busy = n.cpu.total_busy_seconds();
+        let expect = (calib.spin_timeout_us + 5.0) / 1e6;
+        assert!((busy - expect).abs() < 1e-9, "busy={busy} expect={expect}");
+    }
+
+    #[test]
+    fn spin_accounting_contiguous_when_gap_small() {
+        let calib = Calibration::default();
+        let mut n = node();
+        // Gap of 10 µs < 35 µs timeout: worker never sleeps.
+        n.account_worker_busy(
+            0,
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+            SimTime::from_micros(14),
+            &calib,
+        );
+        let busy = n.cpu.total_busy_seconds();
+        assert!((busy - 14e-6).abs() < 1e-12, "busy={busy}");
+    }
+
+    #[test]
+    fn write_lock_inflates_superlinearly_with_runnable() {
+        let calib = Calibration::default();
+        let mut n = node();
+        n.writers_ewma = 0.8;
+        let base = n.write_inflation(&calib);
+        n.writers_ewma = 2.0;
+        let mid = n.write_inflation(&calib);
+        n.writers_ewma = 9.0;
+        let high = n.write_inflation(&calib);
+        assert!((base - 1.0).abs() < 0.05, "no inflation at light writers: {base}");
+        assert!(mid > 1.8, "mid={mid}");
+        // Saturating: the factor approaches a ceiling instead of running
+        // away (the paper's A throughput is flat from 30 to 90 clients).
+        let cap = 1.0 + calib.contention_write;
+        assert!(high <= cap + 1e-9, "high={high} cap={cap}");
+        assert!(high >= mid);
+    }
+
+    #[test]
+    fn cpu_fraction_has_dispatch_floor() {
+        let calib = Calibration::default();
+        let n = node();
+        assert_eq!(n.cpu_fraction(0, 1.0, &calib), 0.25);
+    }
+
+    #[test]
+    fn cpu_fraction_zero_after_death() {
+        let calib = Calibration::default();
+        let mut n = node();
+        n.killed_at = Some(SimTime::from_secs(5));
+        assert_eq!(n.cpu_fraction(2, 1.0, &calib), 0.25);
+        assert_eq!(n.cpu_fraction(6, 1.0, &calib), 0.0);
+    }
+
+    #[test]
+    fn backup_stage_flush_replica_lifecycle() {
+        let mut b = BackupService::default();
+        b.stage(3, 7, b"abc", 1024);
+        b.stage(3, 7, b"def", 1024);
+        let (bytes, on_disk) = b.replica(3, 7).unwrap();
+        assert_eq!(bytes, b"abcdef");
+        assert!(!on_disk);
+        assert_eq!(b.staged_nominal_bytes, 2048);
+        b.flush(3, 7, 2048);
+        let (bytes, on_disk) = b.replica(3, 7).unwrap();
+        assert_eq!(bytes, b"abcdef");
+        assert!(on_disk);
+        assert_eq!(b.staged_nominal_bytes, 0);
+        b.drop_master(3);
+        assert!(b.replica(3, 7).is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! End-to-end tests of the simulated cluster: data-plane correctness,
+//! replication and recovery invariants, determinism, and the qualitative
+//! behaviours the paper's findings rest on.
+
+use rmc_core::{Cluster, ClusterConfig, Consistency};
+use rmc_sim::{SimDuration, SimTime};
+use rmc_ycsb::{StandardWorkload, WorkloadSpec};
+
+fn small_workload(w: StandardWorkload, records: u64, ops: u64) -> WorkloadSpec {
+    WorkloadSpec::standard(w)
+        .with_record_count(records)
+        .with_ops_per_client(ops)
+}
+
+#[test]
+fn read_only_run_completes_all_ops() {
+    let cfg = ClusterConfig::new(3, 4, small_workload(StandardWorkload::C, 500, 1_000));
+    let report = Cluster::new(cfg).run();
+    assert_eq!(report.completed_ops, 4_000);
+    assert!(report.throughput_ops > 10_000.0);
+    assert_eq!(report.timeout_ops, 0);
+    assert!(!report.crashed);
+}
+
+#[test]
+fn update_heavy_run_stores_real_data() {
+    let workload = small_workload(StandardWorkload::A, 200, 2_000);
+    let cfg = ClusterConfig::new(2, 2, workload.clone());
+    let mut cluster = Cluster::new(cfg);
+    cluster.preload();
+    // After preload every record is readable through the owning master.
+    for i in 0..200 {
+        let key = workload.key_for(i);
+        assert!(cluster.peek(&key).is_some(), "record {i} missing after load");
+    }
+    let report = cluster.run();
+    assert_eq!(report.completed_ops, 4_000);
+    assert!(report.client_stats.writes > 1_500, "A is half updates");
+}
+
+#[test]
+fn per_node_cpu_has_dispatch_floor_when_idle() {
+    // No client ops, 5-second idle window: CPU = the polling dispatch core.
+    let workload = small_workload(StandardWorkload::C, 100, 0);
+    let cfg = ClusterConfig::new(2, 1, workload);
+    let report = Cluster::new(cfg).run_with_min_duration(SimDuration::from_secs(5));
+    let (lo, hi) = report.cpu_min_max_pct();
+    assert!((24.0..=26.0).contains(&lo), "idle CPU floor, got {lo}");
+    assert!((24.0..=26.0).contains(&hi));
+    // Idle power is well below loaded power but above base.
+    assert!(report.avg_node_watts() > 70.0);
+    assert!(report.avg_node_watts() < 85.0);
+}
+
+#[test]
+fn same_seed_same_report_different_seed_differs() {
+    let mk = |seed| {
+        let cfg = ClusterConfig::new(3, 3, small_workload(StandardWorkload::A, 300, 1_500))
+            .with_replication(2)
+            .with_seed(seed);
+        Cluster::new(cfg).run()
+    };
+    let a = mk(7);
+    let b = mk(7);
+    let c = mk(8);
+    assert_eq!(a.completed_ops, b.completed_ops);
+    assert_eq!(a.duration_secs, b.duration_secs);
+    assert_eq!(a.mean_latency_us, b.mean_latency_us);
+    assert_eq!(a.energy.total_energy_joules, b.energy.total_energy_joules);
+    assert_ne!(
+        (a.duration_secs, a.mean_latency_us),
+        (c.duration_secs, c.mean_latency_us),
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn replication_slows_updates_monotonically() {
+    // Finding 3's core shape at miniature scale.
+    let mut last = f64::INFINITY;
+    for r in [0u32, 1, 2, 3] {
+        let cfg = ClusterConfig::new(5, 4, small_workload(StandardWorkload::A, 300, 2_000))
+            .with_replication(r);
+        let report = Cluster::new(cfg).run();
+        assert!(
+            report.throughput_ops < last * 1.02,
+            "R={r}: {} should not exceed R-1's {last}",
+            report.throughput_ops
+        );
+        last = report.throughput_ops;
+    }
+}
+
+#[test]
+fn relaxed_consistency_outperforms_strong() {
+    // The §IX-B what-if: not waiting for acks recovers most of the loss.
+    let base = small_workload(StandardWorkload::A, 300, 2_000);
+    let strong = {
+        let cfg = ClusterConfig::new(5, 4, base.clone()).with_replication(3);
+        Cluster::new(cfg).run()
+    };
+    let relaxed = {
+        let mut cfg = ClusterConfig::new(5, 4, base).with_replication(3);
+        cfg.consistency = Consistency::Relaxed;
+        Cluster::new(cfg).run()
+    };
+    assert!(
+        relaxed.throughput_ops > strong.throughput_ops * 1.1,
+        "relaxed {} vs strong {}",
+        relaxed.throughput_ops,
+        strong.throughput_ops
+    );
+}
+
+#[test]
+fn backups_hold_replicas_after_replicated_run() {
+    let cfg = ClusterConfig::new(4, 2, small_workload(StandardWorkload::A, 200, 1_000))
+        .with_replication(2);
+    let mut cluster = Cluster::new(cfg);
+    cluster.preload();
+    // Every master segment must have 2 replicas on other nodes.
+    for m in 0..4 {
+        for (seg, meta) in &cluster.node(m).segments {
+            assert_eq!(meta.backups.len(), 2, "master {m} segment {seg}");
+            for &b in &meta.backups {
+                assert_ne!(b, m, "a master must not back itself up");
+                assert!(
+                    cluster.node(b).backup.replica(m, *seg).is_some(),
+                    "replica of ({m},{seg}) missing on {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_restores_all_data() {
+    // Kill a server mid-run; afterwards every pre-loaded record must be
+    // readable from the surviving masters (real bytes, really replayed).
+    let records = 400;
+    let workload = small_workload(StandardWorkload::A, records, 500);
+    let cfg = ClusterConfig::new(4, 2, workload.clone())
+        .with_replication(2)
+        .with_seed(11);
+    let mut cluster = Cluster::new(cfg);
+    cluster.plan_kill(SimTime::from_millis(50), Some(1));
+    cluster.preload();
+
+    // Snapshot what master 1 holds before the crash.
+    let victim_objects: Vec<Vec<u8>> = cluster
+        .node(1)
+        .store
+        .live_objects()
+        .map(|o| o.key.to_vec())
+        .collect();
+    assert!(!victim_objects.is_empty(), "victim should own data");
+
+    let report = {
+        // Re-create with the same seed because preload was already run above
+        // for the snapshot; run a fresh deterministic copy.
+        let cfg = ClusterConfig::new(4, 2, workload.clone())
+            .with_replication(2)
+            .with_seed(11);
+        let mut c = Cluster::new(cfg);
+        c.plan_kill(SimTime::from_millis(50), Some(1));
+        c.run_with_min_duration(SimDuration::from_secs(2))
+    };
+    let recovery = report.recovery.expect("recovery must have happened");
+    assert_eq!(recovery.crashed_server, 1);
+    assert!(recovery.duration_secs > 0.0);
+    assert!(recovery.replayed_entries > 0);
+    assert!(!report.per_client_latency_timelines.is_empty());
+}
+
+#[test]
+fn recovery_leaves_cluster_readable() {
+    // Drive the cluster state machine directly so we can inspect the final
+    // cluster (run() consumes it): preload, kill, recover, verify peeks.
+    let records = 300u64;
+    let workload = small_workload(StandardWorkload::C, records, 200);
+    let cfg = ClusterConfig::new(3, 1, workload.clone())
+        .with_replication(2)
+        .with_seed(5);
+    let mut cluster = Cluster::new(cfg);
+    cluster.preload();
+    cluster.plan_kill(SimTime::from_millis(10), Some(0));
+
+    // Run the simulation manually to keep ownership of the cluster.
+    let kill = SimTime::from_millis(10);
+    let mut sim = rmc_sim::Simulation::new(cluster);
+    sim.scheduler_mut().schedule_at(kill, move |cl: &mut Cluster, s| {
+        cl.kill_server_now(0, s);
+    });
+    sim.run();
+    let cluster = sim.into_state();
+
+    assert!(cluster.coordinator().recovery.is_none(), "recovery finished");
+    assert!(!cluster.coordinator().is_alive(0));
+    let mut missing = 0;
+    for i in 0..records {
+        let key = workload.key_for(i);
+        if cluster.peek(&key).is_none() {
+            missing += 1;
+        }
+    }
+    assert_eq!(missing, 0, "{missing}/{records} records lost in recovery");
+    // The dead master owns nothing afterwards.
+    for b in 0..cluster.coordinator().buckets() {
+        assert_ne!(cluster.coordinator().owner_of_bucket(b), 0);
+    }
+}
+
+#[test]
+fn recovery_slows_with_replication_factor() {
+    // Finding 6 at miniature scale: higher R → longer recovery.
+    let mut last = 0.0;
+    for r in [1u32, 3] {
+        let mut workload = small_workload(StandardWorkload::C, 30_000, 0);
+        workload.value_bytes = 4096;
+        let cfg = ClusterConfig::new(4, 1, workload).with_replication(r).with_seed(3);
+        let mut cluster = Cluster::new(cfg);
+        cluster.plan_kill(SimTime::from_secs(1), Some(2));
+        let report = cluster.run_with_min_duration(SimDuration::from_secs(3));
+        let rec = report.recovery.expect("recovery ran");
+        assert!(
+            rec.duration_secs > last,
+            "R={r} recovery {} should exceed previous {last}",
+            rec.duration_secs
+        );
+        last = rec.duration_secs;
+    }
+}
+
+#[test]
+fn throttled_clients_scale_linearly() {
+    // Fig 13's premise: with client-side rate caps, aggregate throughput is
+    // clients × rate.
+    for clients in [2usize, 4, 8] {
+        let cfg = ClusterConfig::new(3, clients, small_workload(StandardWorkload::A, 300, 1_000))
+            .with_replication(2)
+            .with_throttle(500.0);
+        let report = Cluster::new(cfg).run();
+        let expect = clients as f64 * 500.0;
+        let got = report.throughput_ops;
+        assert!(
+            (expect * 0.85..expect * 1.1).contains(&got),
+            "{clients} clients at 500 req/s: got {got}, expected ~{expect}"
+        );
+    }
+}
+
+#[test]
+fn disk_timeline_shows_recovery_io() {
+    let mut workload = small_workload(StandardWorkload::C, 20_000, 0);
+    workload.value_bytes = 4096;
+    let cfg = ClusterConfig::new(4, 1, workload).with_replication(2).with_seed(9);
+    let mut cluster = Cluster::new(cfg);
+    cluster.plan_kill(SimTime::from_secs(2), Some(1));
+    let report = cluster.run_with_min_duration(SimDuration::from_secs(4));
+    let total_read: f64 = report.disk_timeline.iter().map(|&(_, r, _)| r).sum();
+    let total_write: f64 = report.disk_timeline.iter().map(|&(_, _, w)| w).sum();
+    assert!(total_read > 0.0, "recovery must read from backup disks");
+    assert!(total_write > 0.0, "re-replication must write to disks");
+}
+
+#[test]
+fn energy_report_consistent() {
+    let cfg = ClusterConfig::new(3, 3, small_workload(StandardWorkload::C, 300, 3_000));
+    let report = Cluster::new(cfg).run();
+    let e = &report.energy;
+    assert_eq!(e.per_node_avg_watts.len(), 3);
+    // Energy ≈ avg power × nodes × duration (within sampling granularity).
+    let approx = e.cluster_avg_watts * 3.0 * report.duration_secs.ceil();
+    assert!(
+        (e.total_energy_joules - approx).abs() / approx < 0.25,
+        "energy {} vs approx {approx}",
+        e.total_energy_joules
+    );
+    assert!(report.ops_per_joule > 0.0);
+}
+
+#[test]
+fn all_client_ops_complete_across_crash() {
+    // Liveness: every client operation eventually completes even when a
+    // master dies mid-run — blocked ops are re-issued after recovery.
+    let workload = small_workload(StandardWorkload::A, 400, 3_000);
+    let cfg = ClusterConfig::new(4, 3, workload)
+        .with_replication(2)
+        .with_seed(17);
+    let mut cluster = Cluster::new(cfg);
+    cluster.plan_kill(SimTime::from_millis(20), Some(2));
+    let report = cluster.run();
+    assert!(report.recovery.is_some(), "crash must have triggered recovery");
+    assert_eq!(
+        report.completed_ops, 9_000,
+        "every op must complete despite the crash"
+    );
+    // The ops that waited out the recovery show up as high-latency tail.
+    assert!(
+        report.client_stats.latency.max() as f64 / 1e9
+            >= report.recovery.as_ref().unwrap().duration_secs * 0.9,
+        "some op should have waited for the recovery"
+    );
+}

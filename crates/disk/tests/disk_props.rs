@@ -1,0 +1,62 @@
+//! Property tests for the disk model: completion-order and conservation
+//! invariants hold for arbitrary request sequences.
+
+use proptest::prelude::*;
+use rmc_disk::{DiskModel, DiskProfile, IoKind};
+use rmc_sim::{SimDuration, SimTime};
+
+fn any_kind() -> impl Strategy<Value = IoKind> {
+    prop_oneof![Just(IoKind::Read), Just(IoKind::Write)]
+}
+
+proptest! {
+    /// FIFO: completions are non-decreasing in submission order, each
+    /// completion is after its own arrival, and total busy time is at least
+    /// the sum of pure transfer times (overheads only add).
+    #[test]
+    fn fifo_and_conservation(
+        reqs in proptest::collection::vec((0u64..1_000_000, any_kind(), 1u64..64_000_000), 1..60)
+    ) {
+        let profile = DiskProfile::grid5000_hdd();
+        let mut disk = DiskModel::new(profile.clone());
+        let mut last_done = SimTime::ZERO;
+        let mut min_transfer = SimDuration::ZERO;
+        let mut clock = 0u64;
+        for (gap, kind, bytes) in reqs {
+            clock += gap;
+            let now = SimTime::from_micros(clock);
+            let done = disk.submit(now, kind, bytes);
+            prop_assert!(done > now, "completion must be after arrival");
+            prop_assert!(done >= last_done, "FIFO order violated");
+            last_done = done;
+            let bw = match kind {
+                IoKind::Read => profile.read_bytes_per_sec,
+                IoKind::Write => profile.write_bytes_per_sec,
+            };
+            min_transfer = min_transfer + SimDuration::from_secs_f64(bytes as f64 / bw);
+        }
+        // The disk cannot finish faster than pure transfer time.
+        prop_assert!(
+            last_done.as_nanos() >= min_transfer.as_nanos(),
+            "finished before pure transfer time"
+        );
+    }
+
+    /// Byte counters are exact sums regardless of order.
+    #[test]
+    fn byte_counters_exact(
+        reqs in proptest::collection::vec((any_kind(), 1u64..10_000_000), 1..40)
+    ) {
+        let mut disk = DiskModel::new(DiskProfile::commodity_ssd());
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (kind, bytes) in &reqs {
+            disk.submit(SimTime::ZERO, *kind, *bytes);
+            match kind {
+                IoKind::Read => reads += bytes,
+                IoKind::Write => writes += bytes,
+            }
+        }
+        prop_assert_eq!(disk.byte_counts(), (reads, writes));
+    }
+}

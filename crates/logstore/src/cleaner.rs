@@ -1,0 +1,311 @@
+//! The log cleaner.
+//!
+//! RAMCloud's log-structured memory reclaims dead space by *cleaning*: pick
+//! closed segments with low live-data utilization, relocate their live
+//! entries to the head of the log, update the index, and free the segments.
+//! Candidate selection uses the classic LFS cost-benefit score
+//!
+//! ```text
+//! benefit / cost = (1 − u) · age / (1 + u)
+//! ```
+//!
+//! where `u` is the segment's live fraction and `age` counts head rolls
+//! since the segment was created.
+//!
+//! The paper's workloads were deliberately sized *not* to trigger the
+//! cleaner (Section III-C) — but any adoptable implementation needs one, and
+//! the cleaner ablation benchmark measures what the paper avoided.
+
+use crate::entry::LogEntry;
+use crate::store::Store;
+use crate::types::SegmentId;
+
+/// Cleaner policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CleanerConfig {
+    /// Master switch; when off, a full log surfaces as
+    /// [`crate::StoreError::OutOfMemory`].
+    pub enabled: bool,
+    /// Start cleaning when free segment slots drop to this reserve. The
+    /// reserve guarantees the cleaner has room to relocate into.
+    pub min_free_slots: usize,
+    /// Keep cleaning until this many slots are free (or no candidates
+    /// remain).
+    pub target_free_slots: usize,
+    /// Do not clean segments with live fraction above this (cleaning them
+    /// costs almost a full segment of writes for almost no gain).
+    pub max_candidate_utilization: f64,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            enabled: true,
+            min_free_slots: 2,
+            target_free_slots: 4,
+            max_candidate_utilization: 0.97,
+        }
+    }
+}
+
+/// What one cleaning invocation accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanOutcome {
+    /// Segments freed.
+    pub segments_freed: u64,
+    /// Live bytes relocated to the head.
+    pub bytes_relocated: u64,
+    /// Tombstones found safe to drop.
+    pub tombstones_dropped: u64,
+}
+
+impl Store {
+    /// Scores a candidate segment; higher is better to clean.
+    fn cost_benefit(&self, id: SegmentId) -> Option<f64> {
+        let u = self.log.segment_utilization(id)?;
+        if u > self.cleaner.max_candidate_utilization {
+            return None;
+        }
+        let age = self.log.segment_age(id)? as f64;
+        Some((1.0 - u) * (age + 1.0) / (1.0 + u))
+    }
+
+    /// Runs the cleaner until the free-slot target is met or no candidate
+    /// remains. Returns what was accomplished (possibly nothing).
+    ///
+    /// Invariants: live data is never lost, deleted data is never
+    /// resurrected, and versions are preserved — the property tests in
+    /// `tests/cleaner_props.rs` pin all three.
+    pub fn clean(&mut self) -> CleanOutcome {
+        let mut outcome = CleanOutcome::default();
+        if !self.cleaner.enabled {
+            return outcome;
+        }
+        self.stats.cleanings += 1;
+        while self.log.free_segment_slots() < self.cleaner.target_free_slots {
+            // Pick the best candidate by cost-benefit.
+            let best = self
+                .log
+                .closed_segment_ids()
+                .into_iter()
+                .filter_map(|id| self.cost_benefit(id).map(|score| (id, score)))
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((victim, _)) = best else { break };
+            if !self.clean_segment(victim, &mut outcome) {
+                break;
+            }
+        }
+        self.stats.segments_freed += outcome.segments_freed;
+        self.stats.bytes_relocated += outcome.bytes_relocated;
+        self.stats.tombstones_dropped += outcome.tombstones_dropped;
+        outcome
+    }
+
+    /// Relocates the live contents of `victim` and frees it. Returns `false`
+    /// if relocation ran out of space (the victim is left intact).
+    fn clean_segment(&mut self, victim: SegmentId, outcome: &mut CleanOutcome) -> bool {
+        let Some(segment) = self.log.segment(victim) else {
+            return false;
+        };
+        // Gather entries first: we cannot append while iterating the log.
+        let entries: Vec<(u32, LogEntry)> = segment.iter().collect();
+        for (offset, entry) in entries {
+            let pos = crate::types::LogPosition {
+                segment: victim,
+                offset,
+            };
+            match entry {
+                LogEntry::Object(ref o) => {
+                    let hash = crate::types::key_hash(o.table, &o.key);
+                    let is_live = self.index.candidates(hash).any(|p| p == pos);
+                    if !is_live {
+                        continue;
+                    }
+                    let size = entry.serialized_len() as u64;
+                    match self.log.append(&entry) {
+                        Ok(out) => {
+                            let moved = self.index.update(hash, pos, out.position);
+                            debug_assert!(moved, "live entry must be indexed");
+                            outcome.bytes_relocated += size;
+                        }
+                        Err(_) => return false,
+                    }
+                }
+                LogEntry::Tombstone(ref t) => {
+                    // A tombstone is droppable once the segment that held the
+                    // object it killed no longer exists (including when that
+                    // segment is the victim itself, freed below).
+                    let droppable =
+                        t.dead_segment == victim || !self.log.contains_segment(t.dead_segment);
+                    if droppable {
+                        outcome.tombstones_dropped += 1;
+                        continue;
+                    }
+                    let size = entry.serialized_len() as u64;
+                    match self.log.append(&entry) {
+                        Ok(_) => outcome.bytes_relocated += size,
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+        self.log.free_segment(victim);
+        outcome.segments_freed += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use crate::types::TableId;
+
+    const T: TableId = TableId(1);
+
+    fn churn_store(max_segments: usize) -> Store {
+        Store::with_cleaner(
+            LogConfig {
+                segment_bytes: 512,
+                max_segments,
+                ordered_index: false,
+            },
+            CleanerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn overwrite_churn_survives_in_bounded_memory() {
+        // 16 segments × 512 B ≈ 8 KB of log; churn 20× that volume over a
+        // small key set. Without the cleaner this would be OutOfMemory.
+        let mut s = churn_store(16);
+        for round in 0..200 {
+            for k in 0..10 {
+                s.write(T, format!("key{k}").as_bytes(), format!("value-{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        for k in 0..10 {
+            let got = s.read(T, format!("key{k}").as_bytes()).unwrap();
+            assert_eq!(&got.value[..], b"value-199");
+        }
+        assert!(s.stats().cleanings > 0, "cleaner must have run");
+        assert!(s.stats().segments_freed > 0);
+    }
+
+    #[test]
+    fn cleaning_preserves_live_data_and_versions() {
+        let mut s = churn_store(16);
+        for i in 0..20 {
+            s.write(T, format!("stable{i}").as_bytes(), b"keep-me").unwrap();
+        }
+        // Churn other keys to force cleaning.
+        for round in 0..300 {
+            s.write(T, b"hot", format!("{round}").as_bytes()).unwrap();
+        }
+        assert!(s.stats().segments_freed > 0);
+        for i in 0..20 {
+            let got = s.read(T, format!("stable{i}").as_bytes()).unwrap();
+            assert_eq!(&got.value[..], b"keep-me");
+            assert_eq!(got.version, crate::types::Version::FIRST);
+        }
+        assert_eq!(&s.read(T, b"hot").unwrap().value[..], b"299");
+    }
+
+    #[test]
+    fn cleaning_does_not_resurrect_deleted_keys() {
+        let mut s = churn_store(16);
+        for i in 0..30 {
+            s.write(T, format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..15 {
+            s.delete(T, format!("k{i}").as_bytes()).unwrap();
+        }
+        for round in 0..300 {
+            s.write(T, b"churn", format!("{round}").as_bytes()).unwrap();
+        }
+        for i in 0..15 {
+            assert!(
+                s.read(T, format!("k{i}").as_bytes()).is_none(),
+                "k{i} must stay deleted after cleaning"
+            );
+        }
+        for i in 15..30 {
+            assert!(s.read(T, format!("k{i}").as_bytes()).is_some());
+        }
+    }
+
+    #[test]
+    fn tombstones_eventually_dropped() {
+        let mut s = churn_store(16);
+        for i in 0..50 {
+            s.write(T, format!("k{i}").as_bytes(), b"v").unwrap();
+            s.delete(T, format!("k{i}").as_bytes()).unwrap();
+        }
+        for round in 0..400 {
+            s.write(T, b"churn", format!("{round}").as_bytes()).unwrap();
+        }
+        assert!(
+            s.stats().tombstones_dropped > 0,
+            "churn must let some tombstones expire"
+        );
+    }
+
+    #[test]
+    fn disabled_cleaner_never_cleans() {
+        let mut s = Store::with_cleaner(
+            LogConfig {
+                segment_bytes: 512,
+                max_segments: 8,
+                ordered_index: false,
+            },
+            CleanerConfig {
+                enabled: false,
+                ..CleanerConfig::default()
+            },
+        );
+        let out = s.clean();
+        assert_eq!(out, CleanOutcome::default());
+        assert_eq!(s.stats().cleanings, 0);
+    }
+
+    #[test]
+    fn fully_live_log_reports_out_of_memory() {
+        // Distinct keys, no dead data: the cleaner cannot help.
+        let mut s = churn_store(4);
+        let val = vec![7u8; 128];
+        let mut result = Ok(());
+        for i in 0..40 {
+            if let Err(e) = s.write(T, format!("unique-{i}").as_bytes(), &val) {
+                result = Err(e);
+                break;
+            }
+        }
+        assert_eq!(result, Err(crate::store::StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_emptier_segments() {
+        let mut s = churn_store(32);
+        // Fill several segments, then kill everything in the early ones.
+        for i in 0..60 {
+            s.write(T, format!("k{i}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        for i in 0..30 {
+            s.delete(T, format!("k{i}").as_bytes()).unwrap();
+        }
+        let ids = s.log().closed_segment_ids();
+        let (mut best_id, mut best_score) = (None, f64::MIN);
+        for id in ids {
+            if let Some(score) = s.cost_benefit(id) {
+                if score > best_score {
+                    best_score = score;
+                    best_id = Some(id);
+                }
+            }
+        }
+        let best_id = best_id.expect("some candidate");
+        let u = s.log().segment_utilization(best_id).unwrap();
+        assert!(u < 0.6, "best candidate should be mostly dead, u={u}");
+    }
+}

@@ -1,0 +1,425 @@
+//! On-log entry format: objects and tombstones, with checksums.
+//!
+//! Every record in a segment is serialized as
+//!
+//! ```text
+//! +------+----------+---------+-----------+---------+----------+-----+-------+
+//! | type | table id | key len | value len | version | checksum | key | value |
+//! | 1 B  |   8 B    |  2 B    |   4 B     |  8 B    |   4 B    | ... |  ...  |
+//! +------+----------+---------+-----------+---------+----------+-----+-------+
+//! ```
+//!
+//! For tombstones the "value" is the 8-byte id of the segment that held the
+//! deleted object — the cleaner uses it to decide when the tombstone itself
+//! may be dropped (once that segment has been cleaned, no stale copy of the
+//! object can ever be replayed).
+
+use bytes::Bytes;
+
+use crate::types::{SegmentId, TableId, Version};
+
+/// Identifies one logical client operation for exactly-once semantics
+/// (RIFL-style): retries of the same `(client, seq)` must not re-apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompletionId {
+    /// The issuing client.
+    pub client: u64,
+    /// The client's operation sequence number.
+    pub seq: u64,
+}
+
+/// Fixed header size in bytes.
+pub const HEADER_BYTES: usize = 1 + 8 + 2 + 4 + 8 + 4;
+
+const TYPE_OBJECT: u8 = 0;
+const TYPE_TOMBSTONE: u8 = 1;
+/// Object carrying a RIFL completion record (16 extra trailing bytes).
+const TYPE_OBJECT_RIFL: u8 = 2;
+
+/// Largest supported key, in bytes.
+pub const MAX_KEY_BYTES: usize = u16::MAX as usize;
+/// Largest supported value, in bytes (1 MB, RAMCloud's object limit).
+pub const MAX_VALUE_BYTES: usize = 1 << 20;
+
+/// A deserialized log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    /// A live key-value object.
+    Object(ObjectRecord),
+    /// A deletion marker.
+    Tombstone(TombstoneRecord),
+}
+
+/// A key-value object as stored in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Owning table.
+    pub table: TableId,
+    /// The key bytes.
+    pub key: Bytes,
+    /// The value bytes.
+    pub value: Bytes,
+    /// Version assigned at write time.
+    pub version: Version,
+    /// The client operation that produced this write, when exactly-once
+    /// tracking is in use. Persisted with the entry so crash recovery can
+    /// rebuild the duplicate-suppression table.
+    pub completion: Option<CompletionId>,
+}
+
+/// A deletion marker as stored in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TombstoneRecord {
+    /// Owning table.
+    pub table: TableId,
+    /// The deleted key.
+    pub key: Bytes,
+    /// Version of the object this tombstone kills.
+    pub version: Version,
+    /// Segment that held the killed object when the delete ran.
+    pub dead_segment: SegmentId,
+}
+
+/// Errors produced when parsing a log entry from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEntryError {
+    /// The buffer is shorter than the declared entry.
+    Truncated,
+    /// The stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum stored in the entry.
+        stored: u32,
+        /// Checksum recomputed from the bytes.
+        computed: u32,
+    },
+    /// The type byte is neither object nor tombstone.
+    UnknownType(u8),
+    /// A tombstone's value field has the wrong length.
+    MalformedTombstone,
+}
+
+impl std::fmt::Display for ParseEntryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseEntryError::Truncated => write!(f, "log entry truncated"),
+            ParseEntryError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "log entry checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+            ),
+            ParseEntryError::UnknownType(t) => write!(f, "unknown log entry type {t}"),
+            ParseEntryError::MalformedTombstone => write!(f, "malformed tombstone payload"),
+        }
+    }
+}
+
+impl std::error::Error for ParseEntryError {}
+
+/// CRC-32 (Castagnoli polynomial, bitwise) over `bytes`.
+///
+/// Small and dependency-free; throughput is irrelevant here because entries
+/// are checksummed once at append time.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0x82F63B78 & mask);
+        }
+    }
+    !crc
+}
+
+impl LogEntry {
+    /// The owning table.
+    pub fn table(&self) -> TableId {
+        match self {
+            LogEntry::Object(o) => o.table,
+            LogEntry::Tombstone(t) => t.table,
+        }
+    }
+
+    /// The key bytes.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            LogEntry::Object(o) => &o.key,
+            LogEntry::Tombstone(t) => &t.key,
+        }
+    }
+
+    /// The record version.
+    pub fn version(&self) -> Version {
+        match self {
+            LogEntry::Object(o) => o.version,
+            LogEntry::Tombstone(t) => t.version,
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> usize {
+        let value_len = match self {
+            LogEntry::Object(o) => o.value.len() + if o.completion.is_some() { 16 } else { 0 },
+            LogEntry::Tombstone(_) => 8,
+        };
+        HEADER_BYTES + self.key().len() + value_len
+    }
+
+    /// Serializes the entry, appending to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key or value exceeds [`MAX_KEY_BYTES`] /
+    /// [`MAX_VALUE_BYTES`]; the store validates sizes before reaching this
+    /// point.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let (ty, table, key, version) = match self {
+            LogEntry::Object(o) => (
+                if o.completion.is_some() {
+                    TYPE_OBJECT_RIFL
+                } else {
+                    TYPE_OBJECT
+                },
+                o.table,
+                &o.key,
+                o.version,
+            ),
+            LogEntry::Tombstone(t) => (TYPE_TOMBSTONE, t.table, &t.key, t.version),
+        };
+        let dead_segment_bytes;
+        let mut rifl_value;
+        let value: &[u8] = match self {
+            LogEntry::Object(o) => {
+                assert!(o.value.len() <= MAX_VALUE_BYTES, "value too large");
+                match o.completion {
+                    Some(c) => {
+                        // Completion id rides after the value bytes; the
+                        // declared value length includes it (type
+                        // disambiguates on parse).
+                        rifl_value = Vec::with_capacity(o.value.len() + 16);
+                        rifl_value.extend_from_slice(&o.value);
+                        rifl_value.extend_from_slice(&c.client.to_le_bytes());
+                        rifl_value.extend_from_slice(&c.seq.to_le_bytes());
+                        &rifl_value
+                    }
+                    None => &o.value,
+                }
+            }
+            LogEntry::Tombstone(t) => {
+                dead_segment_bytes = t.dead_segment.0.to_le_bytes();
+                &dead_segment_bytes
+            }
+        };
+        assert!(key.len() <= MAX_KEY_BYTES, "key too large");
+
+        let start = out.len();
+        out.push(ty);
+        out.extend_from_slice(&table.0.to_le_bytes());
+        out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(&version.0.to_le_bytes());
+        let checksum_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        out.extend_from_slice(key);
+        out.extend_from_slice(value);
+        // Checksum covers everything except the checksum field itself.
+        let crc = {
+            let body = &out[start..];
+            let mut tmp = Vec::with_capacity(body.len());
+            tmp.extend_from_slice(&body[..checksum_at - start]);
+            tmp.extend_from_slice(&body[checksum_at - start + 4..]);
+            crc32c(&tmp)
+        };
+        out[checksum_at..checksum_at + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Parses the entry starting at the beginning of `buf`. Returns the
+    /// entry and its total serialized length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEntryError`] when the buffer is truncated, corrupted,
+    /// or structurally invalid.
+    pub fn parse(buf: &[u8]) -> Result<(LogEntry, usize), ParseEntryError> {
+        if buf.len() < HEADER_BYTES {
+            return Err(ParseEntryError::Truncated);
+        }
+        let ty = buf[0];
+        let table = TableId(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
+        let key_len = u16::from_le_bytes(buf[9..11].try_into().unwrap()) as usize;
+        let value_len = u32::from_le_bytes(buf[11..15].try_into().unwrap()) as usize;
+        let version = Version(u64::from_le_bytes(buf[15..23].try_into().unwrap()));
+        let stored_crc = u32::from_le_bytes(buf[23..27].try_into().unwrap());
+        let total = HEADER_BYTES + key_len + value_len;
+        if buf.len() < total {
+            return Err(ParseEntryError::Truncated);
+        }
+        let computed = {
+            let mut tmp = Vec::with_capacity(total - 4);
+            tmp.extend_from_slice(&buf[..23]);
+            tmp.extend_from_slice(&buf[27..total]);
+            crc32c(&tmp)
+        };
+        if computed != stored_crc {
+            return Err(ParseEntryError::ChecksumMismatch {
+                stored: stored_crc,
+                computed,
+            });
+        }
+        let key = Bytes::copy_from_slice(&buf[HEADER_BYTES..HEADER_BYTES + key_len]);
+        let value = &buf[HEADER_BYTES + key_len..total];
+        let entry = match ty {
+            TYPE_OBJECT => LogEntry::Object(ObjectRecord {
+                table,
+                key,
+                value: Bytes::copy_from_slice(value),
+                version,
+                completion: None,
+            }),
+            TYPE_OBJECT_RIFL => {
+                if value.len() < 16 {
+                    return Err(ParseEntryError::MalformedTombstone);
+                }
+                let split = value.len() - 16;
+                let client = u64::from_le_bytes(value[split..split + 8].try_into().unwrap());
+                let seq = u64::from_le_bytes(value[split + 8..].try_into().unwrap());
+                LogEntry::Object(ObjectRecord {
+                    table,
+                    key,
+                    value: Bytes::copy_from_slice(&value[..split]),
+                    version,
+                    completion: Some(CompletionId { client, seq }),
+                })
+            }
+            TYPE_TOMBSTONE => {
+                if value.len() != 8 {
+                    return Err(ParseEntryError::MalformedTombstone);
+                }
+                LogEntry::Tombstone(TombstoneRecord {
+                    table,
+                    key,
+                    version,
+                    dead_segment: SegmentId(u64::from_le_bytes(value.try_into().unwrap())),
+                })
+            }
+            other => return Err(ParseEntryError::UnknownType(other)),
+        };
+        Ok((entry, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_object() -> LogEntry {
+        LogEntry::Object(ObjectRecord {
+            table: TableId(7),
+            key: Bytes::from_static(b"user4312"),
+            value: Bytes::from(vec![0xAB; 100]),
+            version: Version(3),
+            completion: None,
+        })
+    }
+
+    fn sample_tombstone() -> LogEntry {
+        LogEntry::Tombstone(TombstoneRecord {
+            table: TableId(7),
+            key: Bytes::from_static(b"user4312"),
+            version: Version(4),
+            dead_segment: SegmentId(12),
+        })
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let entry = sample_object();
+        let mut buf = Vec::new();
+        entry.serialize_into(&mut buf);
+        assert_eq!(buf.len(), entry.serialized_len());
+        let (parsed, len) = LogEntry::parse(&buf).unwrap();
+        assert_eq!(parsed, entry);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let entry = sample_tombstone();
+        let mut buf = Vec::new();
+        entry.serialize_into(&mut buf);
+        let (parsed, _) = LogEntry::parse(&buf).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn parse_consumes_exact_length_with_trailing_data() {
+        let mut buf = Vec::new();
+        sample_object().serialize_into(&mut buf);
+        let object_len = buf.len();
+        sample_tombstone().serialize_into(&mut buf);
+        let (first, len) = LogEntry::parse(&buf).unwrap();
+        assert_eq!(first, sample_object());
+        assert_eq!(len, object_len);
+        let (second, _) = LogEntry::parse(&buf[len..]).unwrap();
+        assert_eq!(second, sample_tombstone());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = Vec::new();
+        sample_object().serialize_into(&mut buf);
+        // Flip a byte in the value.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        match LogEntry::parse(&buf) {
+            Err(ParseEntryError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        sample_object().serialize_into(&mut buf);
+        buf.truncate(buf.len() - 1);
+        assert_eq!(LogEntry::parse(&buf), Err(ParseEntryError::Truncated));
+        assert_eq!(LogEntry::parse(&buf[..5]), Err(ParseEntryError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_detected() {
+        let mut buf = Vec::new();
+        sample_object().serialize_into(&mut buf);
+        buf[0] = 99;
+        // Checksum now mismatches too; force it valid again by recomputing.
+        let total = buf.len();
+        let mut tmp = Vec::new();
+        tmp.extend_from_slice(&buf[..23]);
+        tmp.extend_from_slice(&buf[27..total]);
+        let crc = crc32c(&tmp);
+        buf[23..27].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(LogEntry::parse(&buf), Err(ParseEntryError::UnknownType(99)));
+    }
+
+    #[test]
+    fn empty_key_and_value_supported() {
+        let entry = LogEntry::Object(ObjectRecord {
+            table: TableId(0),
+            key: Bytes::new(),
+            value: Bytes::new(),
+            version: Version::FIRST,
+            completion: None,
+        });
+        let mut buf = Vec::new();
+        entry.serialize_into(&mut buf);
+        assert_eq!(buf.len(), HEADER_BYTES);
+        let (parsed, _) = LogEntry::parse(&buf).unwrap();
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        // "123456789" -> 0xE3069283 (CRC-32C check value).
+        assert_eq!(crc32c(b"123456789"), 0xE3069283);
+        assert_eq!(crc32c(b""), 0);
+    }
+}

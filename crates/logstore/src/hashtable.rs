@@ -1,0 +1,342 @@
+//! The in-memory index: key hash → log position.
+//!
+//! RAMCloud indexes its log with a custom hash table rather than keeping
+//! objects in a conventional heap; this is what makes the log the *only*
+//! copy of the data. The table maps the 64-bit hash of `(table, key)` to the
+//! [`LogPosition`] of the current object. It is deliberately a *multi*-map:
+//! two distinct keys can collide on the full 64-bit hash, in which case both
+//! mappings coexist and the store disambiguates by reading the log and
+//! comparing keys.
+//!
+//! Implementation: open addressing with linear probing and tombstone slots,
+//! doubling at 70 % load.
+
+use crate::types::{KeyHash, LogPosition};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Deleted,
+    Occupied(KeyHash, LogPosition),
+}
+
+/// Open-addressing multi-map from [`KeyHash`] to [`LogPosition`].
+///
+/// # Examples
+///
+/// ```
+/// use rmc_logstore::{HashTable, KeyHash, LogPosition, SegmentId};
+///
+/// let mut ht = HashTable::new();
+/// let pos = LogPosition { segment: SegmentId(0), offset: 0 };
+/// ht.insert(KeyHash(42), pos);
+/// assert_eq!(ht.candidates(KeyHash(42)).collect::<Vec<_>>(), vec![pos]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    slots: Vec<Slot>,
+    /// Occupied slots.
+    len: usize,
+    /// Occupied + deleted slots (drives resizing).
+    used: usize,
+}
+
+const INITIAL_CAPACITY: usize = 64;
+const MAX_LOAD_PERCENT: usize = 70;
+
+impl Default for HashTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        HashTable {
+            slots: vec![Slot::Empty; INITIAL_CAPACITY],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Creates a table pre-sized for roughly `n` mappings.
+    pub fn with_capacity(n: usize) -> Self {
+        let target = (n * 100 / MAX_LOAD_PERCENT + 1).next_power_of_two().max(INITIAL_CAPACITY);
+        HashTable {
+            slots: vec![Slot::Empty; target],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of stored mappings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no mappings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn maybe_grow(&mut self) {
+        if self.used * 100 >= self.slots.len() * MAX_LOAD_PERCENT {
+            let new_cap = self.slots.len() * 2;
+            let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
+            self.len = 0;
+            self.used = 0;
+            for slot in old {
+                if let Slot::Occupied(h, p) = slot {
+                    self.insert_no_grow(h, p);
+                }
+            }
+        }
+    }
+
+    fn insert_no_grow(&mut self, hash: KeyHash, pos: LogPosition) {
+        let mask = self.mask();
+        let mut i = hash.0 as usize & mask;
+        loop {
+            match self.slots[i] {
+                Slot::Empty => {
+                    self.slots[i] = Slot::Occupied(hash, pos);
+                    self.len += 1;
+                    self.used += 1;
+                    return;
+                }
+                Slot::Deleted => {
+                    self.slots[i] = Slot::Occupied(hash, pos);
+                    self.len += 1;
+                    // `used` unchanged: the slot was already counted.
+                    return;
+                }
+                Slot::Occupied(..) => {
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Adds a mapping. The caller is responsible for not inserting two
+    /// mappings for the *same* key (use [`HashTable::update`] on overwrite);
+    /// duplicate hashes from distinct colliding keys are fine.
+    pub fn insert(&mut self, hash: KeyHash, pos: LogPosition) {
+        self.maybe_grow();
+        self.insert_no_grow(hash, pos);
+    }
+
+    /// All positions stored under `hash`, in probe order. Usually zero or
+    /// one; more only under 64-bit hash collisions.
+    pub fn candidates(&self, hash: KeyHash) -> Candidates<'_> {
+        Candidates {
+            table: self,
+            hash,
+            i: hash.0 as usize & self.mask(),
+            steps: 0,
+        }
+    }
+
+    /// Replaces the mapping `hash → old` with `hash → new`. Returns `false`
+    /// if no such mapping existed.
+    pub fn update(&mut self, hash: KeyHash, old: LogPosition, new: LogPosition) -> bool {
+        let mask = self.mask();
+        let mut i = hash.0 as usize & mask;
+        let mut steps = 0;
+        loop {
+            match self.slots[i] {
+                Slot::Empty => return false,
+                Slot::Occupied(h, p) if h == hash && p == old => {
+                    self.slots[i] = Slot::Occupied(hash, new);
+                    return true;
+                }
+                _ => {
+                    i = (i + 1) & mask;
+                    steps += 1;
+                    if steps > self.slots.len() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the mapping `hash → pos`. Returns `false` if absent.
+    pub fn remove(&mut self, hash: KeyHash, pos: LogPosition) -> bool {
+        let mask = self.mask();
+        let mut i = hash.0 as usize & mask;
+        let mut steps = 0;
+        loop {
+            match self.slots[i] {
+                Slot::Empty => return false,
+                Slot::Occupied(h, p) if h == hash && p == pos => {
+                    self.slots[i] = Slot::Deleted;
+                    self.len -= 1;
+                    return true;
+                }
+                _ => {
+                    i = (i + 1) & mask;
+                    steps += 1;
+                    if steps > self.slots.len() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates over every stored `(hash, position)` mapping.
+    pub fn iter(&self) -> impl Iterator<Item = (KeyHash, LogPosition)> + '_ {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Occupied(h, p) => Some((*h, *p)),
+            _ => None,
+        })
+    }
+}
+
+/// Iterator over candidate positions for one hash; see
+/// [`HashTable::candidates`].
+#[derive(Debug)]
+pub struct Candidates<'a> {
+    table: &'a HashTable,
+    hash: KeyHash,
+    i: usize,
+    steps: usize,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = LogPosition;
+
+    fn next(&mut self) -> Option<LogPosition> {
+        let mask = self.table.mask();
+        while self.steps <= self.table.slots.len() {
+            let slot = self.table.slots[self.i];
+            self.i = (self.i + 1) & mask;
+            self.steps += 1;
+            match slot {
+                Slot::Empty => return None,
+                Slot::Occupied(h, p) if h == self.hash => return Some(p),
+                _ => continue,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SegmentId;
+
+    fn pos(seg: u64, off: u32) -> LogPosition {
+        LogPosition {
+            segment: SegmentId(seg),
+            offset: off,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut ht = HashTable::new();
+        ht.insert(KeyHash(1), pos(0, 0));
+        ht.insert(KeyHash(2), pos(0, 50));
+        assert_eq!(ht.candidates(KeyHash(1)).collect::<Vec<_>>(), vec![pos(0, 0)]);
+        assert_eq!(ht.candidates(KeyHash(2)).collect::<Vec<_>>(), vec![pos(0, 50)]);
+        assert_eq!(ht.candidates(KeyHash(3)).count(), 0);
+        assert_eq!(ht.len(), 2);
+    }
+
+    #[test]
+    fn colliding_hashes_coexist() {
+        let mut ht = HashTable::new();
+        ht.insert(KeyHash(9), pos(0, 0));
+        ht.insert(KeyHash(9), pos(1, 0));
+        let mut got: Vec<_> = ht.candidates(KeyHash(9)).collect();
+        got.sort_by_key(|p| p.segment);
+        assert_eq!(got, vec![pos(0, 0), pos(1, 0)]);
+    }
+
+    #[test]
+    fn update_moves_position() {
+        let mut ht = HashTable::new();
+        ht.insert(KeyHash(5), pos(0, 0));
+        assert!(ht.update(KeyHash(5), pos(0, 0), pos(3, 77)));
+        assert_eq!(ht.candidates(KeyHash(5)).collect::<Vec<_>>(), vec![pos(3, 77)]);
+        assert!(!ht.update(KeyHash(5), pos(0, 0), pos(4, 0)));
+        assert_eq!(ht.len(), 1);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_mapping() {
+        let mut ht = HashTable::new();
+        ht.insert(KeyHash(9), pos(0, 0));
+        ht.insert(KeyHash(9), pos(1, 0));
+        assert!(ht.remove(KeyHash(9), pos(0, 0)));
+        assert_eq!(ht.candidates(KeyHash(9)).collect::<Vec<_>>(), vec![pos(1, 0)]);
+        assert!(!ht.remove(KeyHash(9), pos(0, 0)));
+        assert_eq!(ht.len(), 1);
+    }
+
+    #[test]
+    fn probing_continues_past_deleted_slots() {
+        let mut ht = HashTable::new();
+        // Force a probe chain with colliding low bits.
+        let base = 0x40u64; // multiple of table size 64
+        let hashes = [KeyHash(base), KeyHash(base * 2), KeyHash(base * 3)];
+        for (i, &h) in hashes.iter().enumerate() {
+            ht.insert(h, pos(i as u64, 0));
+        }
+        // Remove the middle of the chain; the last must stay findable.
+        assert!(ht.remove(hashes[1], pos(1, 0)));
+        assert_eq!(
+            ht.candidates(hashes[2]).collect::<Vec<_>>(),
+            vec![pos(2, 0)]
+        );
+    }
+
+    #[test]
+    fn grows_under_load() {
+        let mut ht = HashTable::new();
+        for i in 0..10_000u64 {
+            ht.insert(KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)), pos(i, 0));
+        }
+        assert_eq!(ht.len(), 10_000);
+        for i in 0..10_000u64 {
+            let h = KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15));
+            assert_eq!(ht.candidates(h).collect::<Vec<_>>(), vec![pos(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn deleted_slot_reuse_does_not_grow_used() {
+        let mut ht = HashTable::new();
+        for round in 0..1000u64 {
+            ht.insert(KeyHash(round % 3), pos(round, 0));
+            ht.remove(KeyHash(round % 3), pos(round, 0));
+        }
+        assert!(ht.is_empty());
+        // Reusing deleted slots keeps the table from ballooning.
+        assert!(ht.slots.len() <= 4096, "table grew to {}", ht.slots.len());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut ht = HashTable::new();
+        for i in 0..100u64 {
+            ht.insert(KeyHash(i), pos(i, 0));
+        }
+        let mut seen: Vec<u64> = ht.iter().map(|(h, _)| h.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_capacity_avoids_growth() {
+        let ht = HashTable::with_capacity(1000);
+        assert!(ht.slots.len() >= 1000 * 100 / MAX_LOAD_PERCENT);
+    }
+}

@@ -1,0 +1,414 @@
+//! The segmented append-only log.
+//!
+//! A [`Log`] owns a bounded pool of [`Segment`]s. Appends go to the *head*
+//! segment; when an entry does not fit, the head is sealed (closed) and a
+//! fresh segment becomes the head. Sealing matters to the wider system: a
+//! sealed segment is the unit backups flush to disk. The log also tracks
+//! per-segment live-byte counts on behalf of the store — the input to the
+//! cleaner's cost-benefit policy.
+
+use std::collections::BTreeMap;
+
+use crate::entry::LogEntry;
+use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
+use crate::types::{LogPosition, SegmentId};
+
+/// Sizing of a master's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Bytes per segment (8 MB in RAMCloud and throughout the paper).
+    pub segment_bytes: usize,
+    /// Maximum number of simultaneously allocated segments;
+    /// `segment_bytes × max_segments` is the master's memory budget
+    /// (10 GB in the paper's configuration).
+    pub max_segments: usize,
+    /// Maintain an ordered secondary key index so [`crate::Store::scan`]
+    /// works (YCSB workload E). Costs extra memory per key; the paper's
+    /// workloads don't scan, so this defaults to off.
+    pub ordered_index: bool,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            max_segments: 1280, // 10 GB at 8 MB/segment
+            ordered_index: false,
+        }
+    }
+}
+
+/// Error: the log has no room for the entry and no free segment slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogFullError;
+
+impl std::fmt::Display for LogFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log is out of memory (all segments allocated)")
+    }
+}
+
+impl std::error::Error for LogFullError {}
+
+/// Result of a successful append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Where the entry landed.
+    pub position: LogPosition,
+    /// Set when this append rolled the log over to a new head: the previous
+    /// head is now sealed and (in the full system) eligible for backup
+    /// flushing.
+    pub sealed: Option<SegmentId>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SegmentStats {
+    live_bytes: usize,
+    /// Sequence number at creation; proxy for age in the cost-benefit
+    /// cleaner policy.
+    created_seq: u64,
+}
+
+/// A bounded pool of append-only segments with live-byte accounting.
+#[derive(Debug)]
+pub struct Log {
+    config: LogConfig,
+    segments: BTreeMap<SegmentId, Segment>,
+    stats: BTreeMap<SegmentId, SegmentStats>,
+    head: SegmentId,
+    next_id: u64,
+    append_seq: u64,
+    total_appended_bytes: u64,
+}
+
+impl Log {
+    /// Creates a log with one open head segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_segments` is zero.
+    pub fn new(config: LogConfig) -> Self {
+        assert!(config.max_segments > 0, "log needs at least one segment");
+        let head = SegmentId(0);
+        let mut segments = BTreeMap::new();
+        segments.insert(head, Segment::new(head, config.segment_bytes));
+        let mut stats = BTreeMap::new();
+        stats.insert(head, SegmentStats::default());
+        Log {
+            config,
+            segments,
+            stats,
+            head,
+            next_id: 1,
+            append_seq: 0,
+            total_appended_bytes: 0,
+        }
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// The current head segment id.
+    pub fn head(&self) -> SegmentId {
+        self.head
+    }
+
+    /// Number of allocated segments.
+    pub fn allocated_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Segment slots still available before the memory budget is exhausted.
+    pub fn free_segment_slots(&self) -> usize {
+        self.config.max_segments - self.segments.len()
+    }
+
+    /// Total bytes ever appended (including entries later cleaned).
+    pub fn total_appended_bytes(&self) -> u64 {
+        self.total_appended_bytes
+    }
+
+    /// Appends an entry, rolling the head if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFullError`] when the head is full and no segment slot is
+    /// free. The caller (the store) is expected to run the cleaner and retry.
+    pub fn append(&mut self, entry: &LogEntry) -> Result<AppendOutcome, LogFullError> {
+        debug_assert!(
+            entry.serialized_len() <= self.config.segment_bytes,
+            "entry larger than a segment"
+        );
+        let mut sealed = None;
+        let head_id = self.head;
+        let at_capacity = self.segments.len() >= self.config.max_segments;
+        let head = self.segments.get_mut(&head_id).expect("head exists");
+        let offset = match head.append(entry) {
+            Ok(off) => off,
+            Err(_) => {
+                // Roll over to a new head.
+                if at_capacity {
+                    return Err(LogFullError);
+                }
+                head.close();
+                sealed = Some(head_id);
+                let new_id = SegmentId(self.next_id);
+                self.next_id += 1;
+                self.append_seq += 1;
+                let mut seg = Segment::new(new_id, self.config.segment_bytes);
+                let off = seg
+                    .append(entry)
+                    .expect("entry must fit in an empty segment");
+                self.segments.insert(new_id, seg);
+                self.stats.insert(
+                    new_id,
+                    SegmentStats {
+                        live_bytes: 0,
+                        created_seq: self.append_seq,
+                    },
+                );
+                self.head = new_id;
+                off
+            }
+        };
+        let seg = self.head;
+        let size = entry.serialized_len();
+        self.stats.get_mut(&seg).expect("head stats").live_bytes += size;
+        self.total_appended_bytes += size as u64;
+        Ok(AppendOutcome {
+            position: LogPosition {
+                segment: seg,
+                offset,
+            },
+            sealed,
+        })
+    }
+
+    /// Reads the entry at `pos`, or `None` if the segment was cleaned or the
+    /// offset is invalid.
+    pub fn read(&self, pos: LogPosition) -> Option<LogEntry> {
+        self.segments.get(&pos.segment)?.read_at(pos.offset).ok()
+    }
+
+    /// Whether `id` is still allocated.
+    pub fn contains_segment(&self, id: SegmentId) -> bool {
+        self.segments.contains_key(&id)
+    }
+
+    /// Borrows an allocated segment.
+    pub fn segment(&self, id: SegmentId) -> Option<&Segment> {
+        self.segments.get(&id)
+    }
+
+    /// Ids of all allocated segments, ascending.
+    pub fn segment_ids(&self) -> Vec<SegmentId> {
+        self.segments.keys().copied().collect()
+    }
+
+    /// Live bytes currently credited to `id` (0 for unknown segments).
+    pub fn live_bytes(&self, id: SegmentId) -> usize {
+        self.stats.get(&id).map(|s| s.live_bytes).unwrap_or(0)
+    }
+
+    /// Adjusts the live-byte count of `id` by `delta`. The store calls this
+    /// when an overwrite or delete makes an old entry obsolete.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the count would go negative.
+    pub fn adjust_live(&mut self, id: SegmentId, delta: isize) {
+        if let Some(s) = self.stats.get_mut(&id) {
+            if delta >= 0 {
+                s.live_bytes += delta as usize;
+            } else {
+                let dec = (-delta) as usize;
+                debug_assert!(s.live_bytes >= dec, "live bytes underflow on {id}");
+                s.live_bytes = s.live_bytes.saturating_sub(dec);
+            }
+        }
+    }
+
+    /// Utilization of `id`: live bytes / appended bytes. `None` for unknown
+    /// segments; `1.0` for an empty (all-live, nothing appended) segment.
+    pub fn segment_utilization(&self, id: SegmentId) -> Option<f64> {
+        let seg = self.segments.get(&id)?;
+        let stats = self.stats.get(&id)?;
+        if seg.len() == 0 {
+            return Some(1.0);
+        }
+        Some(stats.live_bytes as f64 / seg.len() as f64)
+    }
+
+    /// Age proxy of `id`: how many head-rolls ago it was created. `None` for
+    /// unknown segments.
+    pub fn segment_age(&self, id: SegmentId) -> Option<u64> {
+        self.stats.get(&id).map(|s| self.append_seq - s.created_seq)
+    }
+
+    /// Frees a segment after cleaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to free the head — the head is never cleanable.
+    pub fn free_segment(&mut self, id: SegmentId) {
+        assert_ne!(id, self.head, "cannot free the head segment");
+        self.segments.remove(&id);
+        self.stats.remove(&id);
+    }
+
+    /// Memory utilization: fraction of the budget occupied by allocated
+    /// segments.
+    pub fn memory_utilization(&self) -> f64 {
+        self.segments.len() as f64 / self.config.max_segments as f64
+    }
+
+    /// Closed (non-head) segment ids — the cleaner's candidate pool.
+    pub fn closed_segment_ids(&self) -> Vec<SegmentId> {
+        self.segments
+            .keys()
+            .copied()
+            .filter(|&id| id != self.head)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ObjectRecord;
+    use crate::types::{TableId, Version};
+    use bytes::Bytes;
+
+    fn obj(key: &str, val_len: usize) -> LogEntry {
+        LogEntry::Object(ObjectRecord {
+            table: TableId(1),
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::from(vec![1u8; val_len]),
+            version: Version::FIRST,
+            completion: None,
+        })
+    }
+
+    fn small_log(max_segments: usize) -> Log {
+        Log::new(LogConfig {
+            segment_bytes: 256,
+            max_segments,
+                ordered_index: false,
+            })
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut log = small_log(4);
+        let e = obj("hello", 32);
+        let out = log.append(&e).unwrap();
+        assert_eq!(log.read(out.position), Some(e));
+        assert!(out.sealed.is_none());
+    }
+
+    #[test]
+    fn head_rolls_and_seals() {
+        let mut log = small_log(4);
+        let e = obj("key", 100); // ~130 bytes serialized, 1 per 256-byte segment... 2 fit? header 27+3+100=130; 256/130 -> 1 fits, second rolls
+        let first = log.append(&e).unwrap();
+        let second = log.append(&e).unwrap();
+        assert_eq!(second.sealed, Some(first.position.segment));
+        assert_ne!(first.position.segment, second.position.segment);
+        // Both remain readable.
+        assert!(log.read(first.position).is_some());
+        assert!(log.read(second.position).is_some());
+    }
+
+    #[test]
+    fn log_full_when_budget_exhausted() {
+        let mut log = small_log(2);
+        let e = obj("key", 100);
+        log.append(&e).unwrap();
+        log.append(&e).unwrap(); // rolls to segment 2/2
+        let err = log.append(&e).unwrap_err();
+        assert_eq!(err, LogFullError);
+        assert_eq!(log.free_segment_slots(), 0);
+    }
+
+    #[test]
+    fn live_byte_accounting() {
+        let mut log = small_log(4);
+        let e = obj("key", 50);
+        let size = e.serialized_len();
+        let out = log.append(&e).unwrap();
+        assert_eq!(log.live_bytes(out.position.segment), size);
+        log.adjust_live(out.position.segment, -(size as isize));
+        assert_eq!(log.live_bytes(out.position.segment), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_live_fraction() {
+        let mut log = small_log(4);
+        let e = obj("key", 50);
+        let a = log.append(&e).unwrap();
+        let _b = log.append(&e).unwrap();
+        let seg = a.position.segment;
+        assert_eq!(log.segment_utilization(seg), Some(1.0));
+        log.adjust_live(seg, -(e.serialized_len() as isize));
+        let u = log.segment_utilization(seg).unwrap();
+        assert!((u - 0.5).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn free_segment_reclaims_slot() {
+        let mut log = small_log(2);
+        let e = obj("key", 100);
+        let first = log.append(&e).unwrap();
+        log.append(&e).unwrap();
+        assert!(log.append(&e).is_err());
+        log.free_segment(first.position.segment);
+        assert!(log.append(&e).is_ok());
+        assert_eq!(log.read(first.position), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free the head")]
+    fn freeing_head_panics() {
+        let mut log = small_log(2);
+        log.append(&obj("k", 10)).unwrap();
+        log.free_segment(log.head());
+    }
+
+    #[test]
+    fn closed_segments_exclude_head() {
+        let mut log = small_log(8);
+        let e = obj("key", 100);
+        for _ in 0..5 {
+            log.append(&e).unwrap();
+        }
+        let closed = log.closed_segment_ids();
+        assert!(!closed.contains(&log.head()));
+        assert_eq!(closed.len(), log.allocated_segments() - 1);
+    }
+
+    #[test]
+    fn age_increases_with_rolls() {
+        let mut log = small_log(8);
+        let e = obj("key", 100);
+        let first = log.append(&e).unwrap();
+        for _ in 0..4 {
+            log.append(&e).unwrap();
+        }
+        let age_old = log.segment_age(first.position.segment).unwrap();
+        let age_head = log.segment_age(log.head()).unwrap();
+        assert!(age_old > age_head);
+    }
+
+    #[test]
+    fn ids_never_reused() {
+        let mut log = small_log(2);
+        let e = obj("key", 100);
+        let a = log.append(&e).unwrap();
+        log.append(&e).unwrap();
+        log.free_segment(a.position.segment);
+        let c = log.append(&e).unwrap();
+        assert!(c.position.segment.0 > 1, "freed id must not be recycled");
+    }
+}

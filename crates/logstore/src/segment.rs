@@ -1,0 +1,308 @@
+//! Fixed-size append-only segments.
+//!
+//! A master's log is a chain of segments (8 MB in RAMCloud; configurable
+//! here so tests can use tiny ones). A segment only ever grows at the tail;
+//! once closed it is immutable until the cleaner frees it. Segments are also
+//! the unit of replication: backups receive and store whole segments.
+
+use bytes::Bytes;
+
+use crate::entry::{LogEntry, ParseEntryError};
+use crate::types::SegmentId;
+
+/// The segment size hard-coded in RAMCloud and used throughout the paper.
+pub const DEFAULT_SEGMENT_BYTES: usize = 8 << 20;
+
+/// An append-only byte region holding serialized [`LogEntry`] records.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    id: SegmentId,
+    buf: Vec<u8>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Error returned by [`Segment::append`] when the entry does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFullError {
+    /// Bytes still free in the segment.
+    pub free: usize,
+    /// Bytes the entry needed.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for SegmentFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "segment full: {} bytes free, {} needed",
+            self.free, self.needed
+        )
+    }
+}
+
+impl std::error::Error for SegmentFullError {}
+
+impl Segment {
+    /// Creates an empty open segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` cannot hold even a minimal entry header.
+    pub fn new(id: SegmentId, capacity: usize) -> Self {
+        assert!(
+            capacity >= crate::entry::HEADER_BYTES,
+            "segment capacity {capacity} smaller than an entry header"
+        );
+        Segment {
+            id,
+            buf: Vec::new(),
+            capacity,
+            closed: false,
+        }
+    }
+
+    /// The segment's id.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// True once [`Segment::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Marks the segment immutable (it became a non-head segment).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Appends an entry, returning its byte offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentFullError`] when the serialized entry does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is closed — appending to a closed segment is a
+    /// logic error in the caller, never a runtime condition.
+    pub fn append(&mut self, entry: &LogEntry) -> Result<u32, SegmentFullError> {
+        assert!(!self.closed, "append to closed segment {}", self.id);
+        let needed = entry.serialized_len();
+        if needed > self.free() {
+            return Err(SegmentFullError {
+                free: self.free(),
+                needed,
+            });
+        }
+        let offset = self.buf.len() as u32;
+        entry.serialize_into(&mut self.buf);
+        Ok(offset)
+    }
+
+    /// Reads the entry at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseEntryError`] if `offset` does not point at a valid
+    /// entry (truncated, corrupt, or out of range).
+    pub fn read_at(&self, offset: u32) -> Result<LogEntry, ParseEntryError> {
+        let start = offset as usize;
+        if start >= self.buf.len() {
+            return Err(ParseEntryError::Truncated);
+        }
+        LogEntry::parse(&self.buf[start..]).map(|(e, _)| e)
+    }
+
+    /// Iterates over `(offset, entry)` pairs from the beginning.
+    pub fn iter(&self) -> SegmentIter<'_> {
+        SegmentIter {
+            segment: self,
+            offset: 0,
+        }
+    }
+
+    /// The raw serialized bytes (what a backup stores / recovery replays).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reconstructs a closed segment from raw bytes, validating every entry.
+    ///
+    /// Used on the recovery path: a recovery master receives segment bytes
+    /// from a backup and replays them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn from_bytes(id: SegmentId, capacity: usize, bytes: Bytes) -> Result<Self, ParseEntryError> {
+        // Validate structure eagerly so corruption is caught at transfer
+        // time rather than mid-replay.
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let (_, len) = LogEntry::parse(&bytes[off..])?;
+            off += len;
+        }
+        let mut seg = Segment::new(id, capacity.max(bytes.len()));
+        seg.buf = bytes.to_vec();
+        seg.closed = true;
+        Ok(seg)
+    }
+}
+
+/// Iterator over the entries of a [`Segment`].
+#[derive(Debug)]
+pub struct SegmentIter<'a> {
+    segment: &'a Segment,
+    offset: usize,
+}
+
+impl Iterator for SegmentIter<'_> {
+    type Item = (u32, LogEntry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.segment.buf.len() {
+            return None;
+        }
+        match LogEntry::parse(&self.segment.buf[self.offset..]) {
+            Ok((entry, len)) => {
+                let off = self.offset as u32;
+                self.offset += len;
+                Some((off, entry))
+            }
+            // A segment is only ever written through `append`, so a parse
+            // failure means memory corruption; surface it loudly in debug
+            // builds and end iteration in release.
+            Err(e) => {
+                debug_assert!(false, "corrupt segment {}: {e}", self.segment.id);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ObjectRecord;
+    use crate::types::{TableId, Version};
+
+    fn obj(key: &str, val_len: usize, version: u64) -> LogEntry {
+        LogEntry::Object(ObjectRecord {
+            table: TableId(1),
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::from(vec![7u8; val_len]),
+            version: Version(version),
+            completion: None,
+        })
+    }
+
+    #[test]
+    fn append_then_read() {
+        let mut seg = Segment::new(SegmentId(0), 4096);
+        let e = obj("alpha", 64, 1);
+        let off = seg.append(&e).unwrap();
+        assert_eq!(seg.read_at(off).unwrap(), e);
+    }
+
+    #[test]
+    fn multiple_entries_iterate_in_order() {
+        let mut seg = Segment::new(SegmentId(0), 4096);
+        let entries: Vec<LogEntry> = (0..5).map(|i| obj(&format!("k{i}"), 10, i + 1)).collect();
+        for e in &entries {
+            seg.append(e).unwrap();
+        }
+        let walked: Vec<LogEntry> = seg.iter().map(|(_, e)| e).collect();
+        assert_eq!(walked, entries);
+    }
+
+    #[test]
+    fn offsets_from_iteration_readable() {
+        let mut seg = Segment::new(SegmentId(0), 4096);
+        for i in 0..4 {
+            seg.append(&obj(&format!("key{i}"), 20, 1)).unwrap();
+        }
+        for (off, e) in seg.iter() {
+            assert_eq!(seg.read_at(off).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn full_segment_rejects_append() {
+        let mut seg = Segment::new(SegmentId(0), 128);
+        seg.append(&obj("a", 50, 1)).unwrap();
+        let err = seg.append(&obj("b", 50, 1)).unwrap_err();
+        assert!(err.needed > err.free);
+    }
+
+    #[test]
+    #[should_panic(expected = "append to closed segment")]
+    fn closed_segment_append_panics() {
+        let mut seg = Segment::new(SegmentId(0), 4096);
+        seg.close();
+        let _ = seg.append(&obj("a", 1, 1));
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut seg = Segment::new(SegmentId(3), 4096);
+        for i in 0..3 {
+            seg.append(&obj(&format!("k{i}"), 16, 1)).unwrap();
+        }
+        seg.close();
+        let restored =
+            Segment::from_bytes(SegmentId(3), 4096, Bytes::copy_from_slice(seg.as_bytes()))
+                .unwrap();
+        assert!(restored.is_closed());
+        assert_eq!(
+            restored.iter().map(|(_, e)| e).collect::<Vec<_>>(),
+            seg.iter().map(|(_, e)| e).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let mut seg = Segment::new(SegmentId(0), 4096);
+        seg.append(&obj("a", 32, 1)).unwrap();
+        let mut raw = seg.as_bytes().to_vec();
+        raw[30] ^= 0x1;
+        assert!(Segment::from_bytes(SegmentId(0), 4096, Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let seg = Segment::new(SegmentId(0), 128);
+        assert!(seg.read_at(64).is_err());
+    }
+
+    #[test]
+    fn free_accounting() {
+        let mut seg = Segment::new(SegmentId(0), 1000);
+        let e = obj("k", 100, 1);
+        let sz = e.serialized_len();
+        seg.append(&e).unwrap();
+        assert_eq!(seg.free(), 1000 - sz);
+        assert_eq!(seg.len(), sz);
+    }
+}

@@ -1,0 +1,126 @@
+//! Identifiers and fundamental value types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a table. RAMCloud stores data in tables that may span several
+/// masters; within one master the table id namespaces keys.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TableId(pub u64);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// Monotonically increasing per-object version, used to order overwrites and
+/// to let tombstones invalidate exactly the version they delete.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version assigned to the first write of an object.
+    pub const FIRST: Version = Version(1);
+
+    /// The next version after this one.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Index of a segment within a master's log. Segment ids are never reused,
+/// so a (segment, offset) pair uniquely names a log entry forever.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SegmentId(pub u64);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// The address of an entry in the log: which segment and the byte offset of
+/// its header within that segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogPosition {
+    /// The segment holding the entry.
+    pub segment: SegmentId,
+    /// Byte offset of the entry header inside the segment.
+    pub offset: u32,
+}
+
+impl fmt::Display for LogPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.segment, self.offset)
+    }
+}
+
+/// 64-bit FNV-1a hash of a `(table, key)` pair; the unit of indexing in the
+/// hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyHash(pub u64);
+
+/// Computes the [`KeyHash`] for a key within a table.
+pub fn key_hash(table: TableId, key: &[u8]) -> KeyHash {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for b in table.0.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    KeyHash(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_increment() {
+        assert_eq!(Version::FIRST.next(), Version(2));
+        assert!(Version(2) > Version::FIRST);
+    }
+
+    #[test]
+    fn key_hash_depends_on_table_and_key() {
+        let a = key_hash(TableId(1), b"k");
+        let b = key_hash(TableId(2), b"k");
+        let c = key_hash(TableId(1), b"l");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, key_hash(TableId(1), b"k"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TableId(3).to_string(), "table#3");
+        assert_eq!(Version(9).to_string(), "v9");
+        assert_eq!(
+            LogPosition {
+                segment: SegmentId(2),
+                offset: 100
+            }
+            .to_string(),
+            "seg#2+100"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Interactive shell over the standalone multi-threaded store.
+//!
+//! ```sh
+//! cargo run --release -p rmc-standalone --bin kvshell
+//! kv> set user1 hello
+//! kv> get user1
+//! ```
+
+use std::io::{BufRead, Write};
+
+use rmc_logstore::TableId;
+use rmc_standalone::{parse_command, ReplCommand, ServerConfig, StandaloneServer, HELP};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    config.log.ordered_index = true; // scans on
+    let server = StandaloneServer::start(config);
+    let client = server.client();
+    let table = TableId(1);
+
+    println!("rmc kvshell — log-structured in-memory store ({} workers). `help` for commands.",
+        3);
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("kv> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let cmd = match parse_command(&line) {
+            Ok(c) => c,
+            Err(rmc_standalone::ParseCommandError::Empty) => continue,
+            Err(e) => {
+                println!("error: {e}");
+                continue;
+            }
+        };
+        match cmd {
+            ReplCommand::Set { key, value } => match client.write(table, &key, &value) {
+                Ok(o) => println!("ok ({})", o.version),
+                Err(e) => println!("error: {e}"),
+            },
+            ReplCommand::Get { key } => match client.read(table, &key) {
+                Ok(Some(o)) => {
+                    println!("{} ({})", String::from_utf8_lossy(&o.value), o.version)
+                }
+                Ok(None) => println!("(nil)"),
+                Err(e) => println!("error: {e}"),
+            },
+            ReplCommand::Del { key } => match client.delete(table, &key) {
+                Ok(Some(v)) => println!("deleted ({v})"),
+                Ok(None) => println!("(nil)"),
+                Err(e) => println!("error: {e}"),
+            },
+            ReplCommand::Scan { start, limit } => match client.scan(table, &start, limit) {
+                Ok(objs) => {
+                    for o in &objs {
+                        println!(
+                            "{} = {} ({})",
+                            String::from_utf8_lossy(&o.key),
+                            String::from_utf8_lossy(&o.value),
+                            o.version
+                        );
+                    }
+                    println!("({} results)", objs.len());
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ReplCommand::Stats => {
+                let s = server.store().stats();
+                println!(
+                    "objects {} | writes {} (overwrites {}) | deletes {} | reads {}/{} hit/miss",
+                    server.store().object_count(),
+                    s.writes,
+                    s.overwrites,
+                    s.deletes,
+                    s.read_hits,
+                    s.read_misses
+                );
+                println!(
+                    "cleaner: {} passes, {} segments freed, {} bytes relocated",
+                    s.cleanings, s.segments_freed, s.bytes_relocated
+                );
+            }
+            ReplCommand::Help => println!("{HELP}"),
+            ReplCommand::Quit => break,
+        }
+    }
+    server.shutdown();
+}

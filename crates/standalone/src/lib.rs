@@ -1,0 +1,37 @@
+//! # rmc-standalone — a real multi-threaded single-node store
+//!
+//! The other deployments in this workspace run the log-structured engine
+//! inside a deterministic simulator. This crate runs it for real: a
+//! [`StandaloneServer`] owns a pool of worker threads (crossbeam channels)
+//! over a [`ShardedStore`] (per-shard `parking_lot` locks around
+//! `rmc_logstore::Store`), giving an embeddable in-memory KV store with the
+//! same data-plane semantics the paper's system has — append-only log,
+//! versions, tombstones, cleaning.
+//!
+//! ## Example
+//!
+//! ```
+//! use rmc_standalone::{ServerConfig, StandaloneServer};
+//! use rmc_logstore::TableId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = StandaloneServer::start(ServerConfig::default());
+//! let client = server.client();
+//! client.write(TableId(1), b"user:1", b"alice")?;
+//! let obj = client.read(TableId(1), b"user:1")?.expect("present");
+//! assert_eq!(&obj.value[..], b"alice");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod repl;
+mod server;
+mod shard;
+
+pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
+pub use server::{Client, ClientError, ServerConfig, StandaloneServer};
+pub use shard::ShardedStore;

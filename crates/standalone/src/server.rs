@@ -1,0 +1,479 @@
+//! A real multi-threaded single-node store.
+//!
+//! Mirrors the RAMCloud server architecture at miniature scale with actual
+//! threads: requests enter a crossbeam MPMC channel (the "dispatch" queue)
+//! and a pool of worker threads executes them against the sharded
+//! log-structured engine. This is the piece of the reproduction you can
+//! benchmark on real hardware (see the `standalone_store` Criterion bench)
+//! — it exhibits the same qualitative thread-contention behaviour the paper
+//! studies, for real.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+use rmc_logstore::{LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome};
+
+use crate::shard::ShardedStore;
+
+/// Configuration of a [`StandaloneServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads servicing requests (RAMCloud would use cores − 1).
+    pub worker_threads: usize,
+    /// Engine shards (lock granularity).
+    pub shards: usize,
+    /// Per-shard log sizing.
+    pub log: LogConfig,
+    /// Dispatch queue depth before submitters block.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: 3,
+            shards: 8,
+            log: LogConfig {
+                segment_bytes: 1 << 20,
+                max_segments: 256,
+                ordered_index: false,
+            },
+            queue_capacity: 1024,
+        }
+    }
+}
+
+enum Command {
+    /// Tells one worker to exit (used by `shutdown`; outstanding `Client`
+    /// handles keep the channel open, so closure alone cannot stop them).
+    Shutdown,
+    Read {
+        table: TableId,
+        key: Vec<u8>,
+        reply: Sender<Option<ObjectRecord>>,
+    },
+    Write {
+        table: TableId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        reply: Sender<Result<WriteOutcome, StoreError>>,
+    },
+    Delete {
+        table: TableId,
+        key: Vec<u8>,
+        reply: Sender<Result<Option<Version>, StoreError>>,
+    },
+    Scan {
+        table: TableId,
+        start_key: Vec<u8>,
+        limit: usize,
+        reply: Sender<Result<Vec<ObjectRecord>, StoreError>>,
+    },
+}
+
+impl std::fmt::Debug for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Command::Shutdown => "Shutdown",
+            Command::Read { .. } => "Read",
+            Command::Write { .. } => "Write",
+            Command::Delete { .. } => "Delete",
+            Command::Scan { .. } => "Scan",
+        };
+        write!(f, "Command::{name}")
+    }
+}
+
+/// Errors returned by [`Client`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server has shut down.
+    ServerStopped,
+    /// The engine rejected the operation.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::ServerStopped => write!(f, "server stopped"),
+            ClientError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<StoreError> for ClientError {
+    fn from(e: StoreError) -> Self {
+        ClientError::Store(e)
+    }
+}
+
+/// A handle for submitting requests; cheap to clone, usable from any thread.
+#[derive(Debug, Clone)]
+pub struct Client {
+    tx: Sender<Command>,
+    stopped: Arc<AtomicBool>,
+}
+
+impl Client {
+    /// Waits for a reply, giving up once the server flags shutdown —
+    /// commands queued behind the shutdown markers are never serviced, so
+    /// blocking forever on their replies would deadlock callers.
+    fn await_reply<T>(&self, rx: Receiver<T>) -> Result<T, ClientError> {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(v) => return Ok(v),
+                Err(RecvTimeoutError::Disconnected) => return Err(ClientError::ServerStopped),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.stopped.load(Ordering::Acquire) {
+                        return Err(ClientError::ServerStopped);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Client {
+    /// Reads a key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] if the server is gone.
+    pub fn read(&self, table: TableId, key: &[u8]) -> Result<Option<ObjectRecord>, ClientError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Read {
+                table,
+                key: key.to_vec(),
+                reply,
+            })
+            .map_err(|_| ClientError::ServerStopped)?;
+        self.await_reply(rx)
+    }
+
+    /// Writes a key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] or a propagated [`StoreError`].
+    pub fn write(
+        &self,
+        table: TableId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<WriteOutcome, ClientError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Write {
+                table,
+                key: key.to_vec(),
+                value: value.to_vec(),
+                reply,
+            })
+            .map_err(|_| ClientError::ServerStopped)?;
+        self.await_reply(rx)?.map_err(Into::into)
+    }
+
+    /// Deletes a key; returns the deleted version if present.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] or a propagated [`StoreError`].
+    pub fn delete(&self, table: TableId, key: &[u8]) -> Result<Option<Version>, ClientError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Delete {
+                table,
+                key: key.to_vec(),
+                reply,
+            })
+            .map_err(|_| ClientError::ServerStopped)?;
+        self.await_reply(rx)?.map_err(Into::into)
+    }
+}
+
+impl Client {
+    /// Scans up to `limit` objects of `table` starting at `start_key`, in
+    /// key order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`], or
+    /// [`rmc_logstore::StoreError::ScansDisabled`] when the server's engine
+    /// was built without an ordered index.
+    pub fn scan(
+        &self,
+        table: TableId,
+        start_key: &[u8],
+        limit: usize,
+    ) -> Result<Vec<ObjectRecord>, ClientError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Command::Scan {
+                table,
+                start_key: start_key.to_vec(),
+                limit,
+                reply,
+            })
+            .map_err(|_| ClientError::ServerStopped)?;
+        self.await_reply(rx)?.map_err(Into::into)
+    }
+}
+
+/// The running server: a worker pool over a sharded log-structured engine.
+#[derive(Debug)]
+pub struct StandaloneServer {
+    store: Arc<ShardedStore>,
+    tx: Option<Sender<Command>>,
+    workers: Vec<JoinHandle<u64>>,
+    ops_executed: Arc<AtomicU64>,
+    stopped: Arc<AtomicBool>,
+}
+
+impl StandaloneServer {
+    /// Starts the server with its worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.worker_threads` or `config.shards` is zero.
+    pub fn start(config: ServerConfig) -> Self {
+        assert!(config.worker_threads > 0, "need at least one worker");
+        let store = Arc::new(ShardedStore::new(config.shards, config.log.clone()));
+        let (tx, rx) = bounded::<Command>(config.queue_capacity);
+        let ops_executed = Arc::new(AtomicU64::new(0));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.worker_threads)
+            .map(|i| {
+                let rx: Receiver<Command> = rx.clone();
+                let store = Arc::clone(&store);
+                let counter = Arc::clone(&ops_executed);
+                std::thread::Builder::new()
+                    .name(format!("rmc-worker-{i}"))
+                    .spawn(move || {
+                        let mut served = 0u64;
+                        while let Ok(cmd) = rx.recv() {
+                            match cmd {
+                                Command::Shutdown => break,
+                                Command::Read { table, key, reply } => {
+                                    let _ = reply.send(store.read(table, &key));
+                                }
+                                Command::Write {
+                                    table,
+                                    key,
+                                    value,
+                                    reply,
+                                } => {
+                                    let _ = reply.send(store.write(table, &key, &value));
+                                }
+                                Command::Delete { table, key, reply } => {
+                                    let _ = reply.send(store.delete(table, &key));
+                                }
+                                Command::Scan {
+                                    table,
+                                    start_key,
+                                    limit,
+                                    reply,
+                                } => {
+                                    let _ = reply.send(store.scan(table, &start_key, limit));
+                                }
+                            }
+                            served += 1;
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        served
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        StandaloneServer {
+            store,
+            tx: Some(tx),
+            workers,
+            ops_executed,
+            stopped,
+        }
+    }
+
+    /// A new client handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`StandaloneServer::shutdown`].
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.as_ref().expect("server not shut down").clone(),
+            stopped: Arc::clone(&self.stopped),
+        }
+    }
+
+    /// The shared engine (e.g. for stats).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Operations executed so far.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the workers after draining everything already queued, and
+    /// joins them. Returns per-worker served-op counts.
+    ///
+    /// Outstanding [`Client`] handles keep working until the last worker
+    /// consumes its shutdown marker; afterwards they return
+    /// [`ClientError::ServerStopped`].
+    pub fn shutdown(mut self) -> Vec<u64> {
+        if let Some(tx) = self.tx.take() {
+            for _ in 0..self.workers.len() {
+                // Blocking send: queued work drains first, then each worker
+                // consumes exactly one marker and exits.
+                let _ = tx.send(Command::Shutdown);
+            }
+        }
+        let served = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        // Flag only after the join: requests queued ahead of the markers
+        // were still serviced; anything later now errors out promptly.
+        self.stopped.store(true, Ordering::Release);
+        served
+    }
+}
+
+impl Drop for StandaloneServer {
+    fn drop(&mut self) {
+        // Non-blocking teardown (C-DTOR-BLOCK): flag shutdown, post markers,
+        // and detach; workers drain and exit on their own. `shutdown` is the
+        // blocking, checked alternative.
+        self.stopped.store(true, Ordering::Release);
+        if let Some(tx) = self.tx.take() {
+            for _ in 0..self.workers.len() {
+                let _ = tx.try_send(Command::Shutdown);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(9);
+
+    fn server() -> StandaloneServer {
+        StandaloneServer::start(ServerConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_through_worker_pool() {
+        let srv = server();
+        let client = srv.client();
+        client.write(T, b"k", b"v").unwrap();
+        let got = client.read(T, b"k").unwrap().unwrap();
+        assert_eq!(&got.value[..], b"v");
+        assert_eq!(client.delete(T, b"k").unwrap(), Some(Version(1)));
+        assert_eq!(client.read(T, b"k").unwrap(), None);
+        let served: u64 = srv.shutdown().iter().sum();
+        assert_eq!(served, 4);
+    }
+
+    #[test]
+    fn many_threads_many_clients() {
+        let srv = server();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let client = srv.client();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("c{t}-{i}");
+                        client.write(T, key.as_bytes(), format!("{i}").as_bytes()).unwrap();
+                        let got = client.read(T, key.as_bytes()).unwrap().unwrap();
+                        assert_eq!(&got.value[..], format!("{i}").as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(srv.store().object_count(), 1600);
+        assert_eq!(srv.ops_executed(), 8 * 200 * 2);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn scan_through_worker_pool() {
+        let mut config = ServerConfig::default();
+        config.log.ordered_index = true;
+        let srv = StandaloneServer::start(config);
+        let client = srv.client();
+        for i in 0..20 {
+            client.write(T, format!("s{i:02}").as_bytes(), b"v").unwrap();
+        }
+        let got = client.scan(T, b"s05", 5).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(&got[0].key[..], b"s05");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn scan_disabled_by_default() {
+        let srv = StandaloneServer::start(ServerConfig::default());
+        let client = srv.client();
+        match client.scan(T, b"", 5) {
+            Err(ClientError::Store(StoreError::ScansDisabled)) => {}
+            other => panic!("expected ScansDisabled, got {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn clients_error_after_shutdown() {
+        let srv = server();
+        let client = srv.client();
+        client.write(T, b"k", b"v").unwrap();
+        srv.shutdown();
+        assert_eq!(client.read(T, b"k"), Err(ClientError::ServerStopped));
+    }
+
+    #[test]
+    fn store_errors_propagate() {
+        let srv = server();
+        let client = srv.client();
+        let huge = vec![0u8; rmc_logstore::MAX_VALUE_BYTES + 1];
+        match client.write(T, b"k", &huge) {
+            Err(ClientError::Store(StoreError::ValueTooLarge)) => {}
+            other => panic!("expected ValueTooLarge, got {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let client;
+        {
+            let srv = server();
+            client = srv.client();
+            client.write(T, b"k", b"v").unwrap();
+        }
+        // Workers drain and exit after drop; sends eventually fail.
+        let mut stopped = false;
+        for _ in 0..100 {
+            if client.read(T, b"k").is_err() {
+                stopped = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(stopped, "clients must observe server shutdown");
+    }
+}

@@ -1,0 +1,293 @@
+//! A sharded, thread-safe wrapper around the log-structured store.
+//!
+//! RAMCloud shards its hash table across threads; here the whole engine is
+//! sharded by key hash, each shard its own [`rmc_logstore::Store`] behind a
+//! `parking_lot::RwLock`. Reads take the shard read lock; writes, deletes,
+//! and cleaning take the write lock. Shards are independent, so operations
+//! on different shards run fully in parallel.
+
+use parking_lot::RwLock;
+use rmc_logstore::{
+    key_hash, CleanerConfig, LogConfig, ObjectRecord, Store, StoreError, StoreStats, TableId,
+    Version, WriteOutcome,
+};
+
+/// A thread-safe key-value store sharded over independent log-structured
+/// stores.
+///
+/// # Examples
+///
+/// ```
+/// use rmc_standalone::ShardedStore;
+/// use rmc_logstore::{LogConfig, TableId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let store = ShardedStore::new(4, LogConfig::default());
+/// store.write(TableId(1), b"k", b"v")?;
+/// assert_eq!(&store.read(TableId(1), b"k").expect("present").value[..], b"v");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<Store>>,
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` independent shards, each sized by
+    /// `config` (the memory budget is **per shard**).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, config: LogConfig) -> Self {
+        Self::with_cleaner(shards, config, CleanerConfig::default())
+    }
+
+    /// Creates a store with an explicit cleaner policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_cleaner(shards: usize, config: LogConfig, cleaner: CleanerConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedStore {
+            shards: (0..shards)
+                .map(|_| RwLock::new(Store::with_cleaner(config.clone(), cleaner)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, table: TableId, key: &[u8]) -> &RwLock<Store> {
+        // FNV's raw bits are weak for short keys; run an avalanche mix
+        // before picking the shard so the in-shard index (which uses the
+        // raw low bits) and the shard choice stay decorrelated.
+        let mut h = key_hash(table, key).0;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D049BB133111EB);
+        h ^= h >> 31;
+        let idx = (h as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Reads the current value of a key.
+    pub fn read(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+        // `Store::read` updates hit counters, hence the write lock would be
+        // needed; use the stat-free `peek` under the read lock instead.
+        self.shard_for(table, key).read().peek(table, key)
+    }
+
+    /// Writes (inserts or overwrites) a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the shard (size limits, out of
+    /// memory).
+    pub fn write(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<WriteOutcome, StoreError> {
+        self.shard_for(table, key).write().write(table, key, value)
+    }
+
+    /// Deletes a key; returns the deleted version if it existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the shard.
+    pub fn delete(&self, table: TableId, key: &[u8]) -> Result<Option<Version>, StoreError> {
+        self.shard_for(table, key).write().delete(table, key)
+    }
+
+    /// Scans up to `limit` objects of `table` with keys ≥ `start_key` in
+    /// key order, merging results across shards.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ScansDisabled`] unless built with
+    /// `LogConfig::ordered_index = true`.
+    pub fn scan(
+        &self,
+        table: TableId,
+        start_key: &[u8],
+        limit: usize,
+    ) -> Result<Vec<ObjectRecord>, StoreError> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.read().scan(table, start_key, limit)?);
+        }
+        all.sort_by(|a, b| a.key.cmp(&b.key));
+        all.truncate(limit);
+        Ok(all)
+    }
+
+    /// Total live objects across shards.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().object_count()).sum()
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.read().stats();
+            total.writes += s.writes;
+            total.overwrites += s.overwrites;
+            total.deletes += s.deletes;
+            total.read_hits += s.read_hits;
+            total.read_misses += s.read_misses;
+            total.cleanings += s.cleanings;
+            total.bytes_relocated += s.bytes_relocated;
+            total.segments_freed += s.segments_freed;
+            total.tombstones_dropped += s.tombstones_dropped;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T: TableId = TableId(1);
+
+    fn small() -> ShardedStore {
+        ShardedStore::new(
+            4,
+            LogConfig {
+                segment_bytes: 1024,
+                max_segments: 64,
+                ordered_index: false,
+            },
+        )
+    }
+
+    #[test]
+    fn basic_crud() {
+        let s = small();
+        assert!(s.read(T, b"a").is_none());
+        s.write(T, b"a", b"1").unwrap();
+        assert_eq!(&s.read(T, b"a").unwrap().value[..], b"1");
+        let out = s.write(T, b"a", b"2").unwrap();
+        assert_eq!(out.version, Version(2));
+        assert_eq!(s.delete(T, b"a").unwrap(), Some(Version(2)));
+        assert!(s.read(T, b"a").is_none());
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let s = small();
+        for i in 0..200 {
+            s.write(T, format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        let per_shard: Vec<usize> = s.shards.iter().map(|sh| sh.read().object_count()).collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 200);
+        assert!(
+            per_shard.iter().all(|&n| n > 10),
+            "poorly balanced: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn cross_shard_scan_merges_in_order() {
+        let s = ShardedStore::new(
+            4,
+            LogConfig {
+                segment_bytes: 4096,
+                max_segments: 64,
+                ordered_index: true,
+            },
+        );
+        for i in 0..50 {
+            s.write(T, format!("key{i:03}").as_bytes(), b"v").unwrap();
+        }
+        let got = s.scan(T, b"key010", 10).unwrap();
+        let keys: Vec<String> = got
+            .iter()
+            .map(|o| String::from_utf8(o.key.to_vec()).unwrap())
+            .collect();
+        let expect: Vec<String> = (10..20).map(|i| format!("key{i:03}")).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn parallel_writers_distinct_keys() {
+        let s = Arc::new(small());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        s.write(T, format!("t{t}-k{i}").as_bytes(), format!("{t}:{i}").as_bytes())
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.object_count(), 2000);
+        for t in 0..4 {
+            for i in (0..500).step_by(97) {
+                let got = s.read(T, format!("t{t}-k{i}").as_bytes()).unwrap();
+                assert_eq!(&got.value[..], format!("{t}:{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_overwrites_same_key_version_monotone() {
+        let s = Arc::new(small());
+        s.write(T, b"hot", b"0").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut last = Version(0);
+                    for _ in 0..250 {
+                        let out = s.write(T, b"hot", b"x").unwrap();
+                        assert!(out.version > last, "versions must increase");
+                        last = out.version;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 1 initial + 1000 overwrites.
+        assert_eq!(s.read(T, b"hot").unwrap().version, Version(1001));
+    }
+
+    #[test]
+    fn churn_triggers_cleaning_concurrently() {
+        let s = Arc::new(ShardedStore::new(
+            2,
+            LogConfig {
+                segment_bytes: 512,
+                max_segments: 16,
+                ordered_index: false,
+            },
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for round in 0..400 {
+                        let k = format!("k{}", (t * 3 + round) % 8);
+                        s.write(T, k.as_bytes(), format!("{round}").as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.stats().cleanings > 0, "cleaner must have run under churn");
+        assert!(s.object_count() <= 8);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rmc-ycsb — YCSB-style workload generation
+//!
+//! Reimplements the slice of the Yahoo! Cloud Serving Benchmark the paper
+//! uses to drive RAMCloud: the standard workload mixes
+//! ([A/B/C plus D and F](crate::StandardWorkload)), key-request
+//! [distributions](crate::Distribution) (uniform as in the paper, zipfian
+//! and latest as extensions), deterministic per-client
+//! [request streams](crate::RequestGenerator), client-side
+//! [throttling](crate::Throttle) (Fig 13), and measurement containers
+//! ([`ClientStats`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use rmc_ycsb::{RequestGenerator, StandardWorkload, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::standard(StandardWorkload::A).with_ops_per_client(10);
+//! let mut client = RequestGenerator::new(spec, /*seed=*/1);
+//! let mut ops = 0;
+//! while let Some(req) = client.next_request() {
+//!     let _key = client.key_for(req.key_index);
+//!     ops += 1;
+//! }
+//! assert_eq!(ops, 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod distribution;
+mod stats;
+mod workload;
+
+pub use client::{Request, RequestGenerator, Throttle};
+pub use distribution::{Distribution, KeyChooser};
+pub use stats::ClientStats;
+pub use workload::{Mix, OpKind, StandardWorkload, WorkloadSpec};

@@ -1,0 +1,52 @@
+//! The paper's §IX-A proposal, running: a coordinator that drains idle
+//! servers (suspend-to-RAM with tablet migration) and wakes them when load
+//! returns.
+//!
+//! ```sh
+//! cargo run --release --example elastic_sizing
+//! ```
+
+use rmc_core::{Cluster, ClusterConfig, ElasticPolicy};
+use rmc_ycsb::{StandardWorkload, WorkloadSpec};
+
+fn main() {
+    let workload = WorkloadSpec::standard(StandardWorkload::C)
+        .with_record_count(20_000)
+        .with_ops_per_client(30_000);
+    let run = |elastic: Option<ElasticPolicy>| {
+        // Throttled clients: a sustained light load (~60 s) — the scenario
+        // the paper's §IX-A targets.
+        let mut cfg = ClusterConfig::new(8, 2, workload.clone()).with_throttle(500.0);
+        cfg.elastic = elastic;
+        Cluster::new(cfg).run()
+    };
+
+    println!("8 servers, 2 throttled clients (read-only, ~60 s):\n");
+    let static_run = run(None);
+    let elastic_run = run(Some(ElasticPolicy::default()));
+
+    for (name, r) in [("static", &static_run), ("elastic", &elastic_run)] {
+        let min_active = r
+            .active_servers_timeline
+            .iter()
+            .map(|&(_, n)| n)
+            .min()
+            .unwrap_or(8);
+        println!(
+            "{name:>8}: {:>8.0} op/s | {:>7.2} KJ | ops/J {:>5.0} | min active servers {min_active}",
+            r.throughput_ops,
+            r.total_energy_kj(),
+            r.ops_per_joule,
+        );
+    }
+    let saved = 1.0 - elastic_run.energy.total_energy_joules / static_run.energy.total_energy_joules;
+    println!("\nenergy saved by elastic sizing: {:.1}%", saved * 100.0);
+    println!("\nactive-server timeline (elastic run):");
+    let mut last = usize::MAX;
+    for &(t, n) in &elastic_run.active_servers_timeline {
+        if n != last {
+            println!("  t={t:>5.0}s  {n} active");
+            last = n;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the RAMCloud-reproduction workspace.
+pub use rmc_core as core;
+pub use rmc_disk as disk;
+pub use rmc_energy as energy;
+pub use rmc_logstore as logstore;
+pub use rmc_net as net;
+pub use rmc_sim as sim;
+pub use rmc_standalone as standalone;
+pub use rmc_ycsb as ycsb;
