@@ -11,7 +11,7 @@ fn bench_distributions(c: &mut Criterion) {
         ("zipfian", Distribution::zipfian_default()),
         ("latest", Distribution::Latest),
     ] {
-        c.bench_function(&format!("ycsb/keychooser_{name}"), |b| {
+        c.bench_function(format!("ycsb/keychooser_{name}"), |b| {
             let mut kc = KeyChooser::new(dist, 1_000_000);
             let mut rng = SimRng::seed_from_u64(1);
             b.iter(|| black_box(kc.next(&mut rng)))

@@ -488,7 +488,7 @@ fn fig9(ctx: &ExpCtx) {
             .find(|(pt, _)| pt == t)
             .map(|(_, w)| *w)
             .unwrap_or(0.0);
-        if *t as u64 % 10 == 0 || (*t > 55.0 && *t < rec.finished_at_secs + 10.0) {
+        if (*t as u64).is_multiple_of(10) || (*t > 55.0 && *t < rec.finished_at_secs + 10.0) {
             println!("{t:>6.0} | {:>7.1}% {watts:>9.1}", cpu * 100.0);
         }
         rows.push(vec![format!("{t}"), format!("{:.4}", cpu * 100.0), format!("{watts:.2}")]);
@@ -528,7 +528,7 @@ fn fig10(ctx: &ExpCtx) {
         println!("{label}: {} timeline points", tl.len());
         // Print the interesting region.
         for (t, us) in tl.iter().filter(|(t, _)| (50.0..130.0).contains(t)) {
-            if *t as u64 % 5 == 0 {
+            if (*t as u64).is_multiple_of(5) {
                 println!("  t={t:>5.0}s  {us:>8.1} µs");
             }
             rows.push(vec![c.to_string(), format!("{t}"), format!("{us:.2}")]);

@@ -1,0 +1,360 @@
+//! YCSB-driven throughput harness for the standalone server.
+//!
+//! Binds the wall-clock YCSB runner (`rmc_ycsb::runner`) to
+//! `rmc_standalone` and sweeps worker counts × read/write mixes × dispatch
+//! architectures (shard affinity vs the seed's global queue) × batch sizes,
+//! emitting a machine-readable `BENCH_standalone.json` (schema validated by
+//! `rmc_bench::report`, which CI's smoke run re-checks).
+//!
+//! Usage:
+//!   standalone_ycsb [--smoke] [--out PATH]   run the sweep, write a report
+//!   standalone_ycsb --check PATH             validate an existing report
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rmc_bench::json::{self, Json};
+use rmc_bench::report::{validate_standalone_report, SCHEMA_VERSION};
+use rmc_bench::kops;
+use rmc_logstore::{LogConfig, TableId};
+use rmc_standalone::{Client, DispatchMode, ServerConfig, StandaloneServer};
+use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
+use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
+
+const TABLE: TableId = TableId(1);
+
+/// Adapts a standalone-server client to the runner's backend trait.
+struct StandaloneBackend {
+    client: Client,
+}
+
+impl KvBackend for StandaloneBackend {
+    fn read(&self, key: &[u8]) -> Result<bool, String> {
+        self.client
+            .read(TABLE, key)
+            .map(|r| r.is_some())
+            .map_err(|e| e.to_string())
+    }
+
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.client
+            .write(TABLE, key, value)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        self.client
+            .multiread(TABLE, &refs)
+            .map(|rs| rs.iter().filter(|r| r.is_some()).count())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiwrite(&self, ops: &[(Vec<u8>, Vec<u8>)]) -> Result<(), String> {
+        let refs: Vec<(&[u8], &[u8])> = ops
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        for outcome in self
+            .client
+            .multiwrite(TABLE, &refs)
+            .map_err(|e| e.to_string())?
+        {
+            outcome.map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Scale {
+    record_count: u64,
+    ops_per_client: u64,
+    clients: usize,
+    value_bytes: usize,
+    worker_counts: &'static [usize],
+    smoke: bool,
+}
+
+const FULL: Scale = Scale {
+    record_count: 10_000,
+    ops_per_client: 25_000,
+    clients: 4,
+    value_bytes: 256,
+    worker_counts: &[1, 2, 4],
+    smoke: false,
+};
+
+const SMOKE: Scale = Scale {
+    record_count: 512,
+    ops_per_client: 500,
+    clients: 2,
+    value_bytes: 64,
+    worker_counts: &[2],
+    smoke: true,
+};
+
+/// The read/write mixes swept (names are stable schema values).
+const MIXES: &[(&str, f64)] = &[("read50", 0.50), ("read95", 0.95), ("read100", 1.0)];
+const BATCH_SIZES: &[usize] = &[1, 16];
+/// The mix and batch size the acceptance comparison is quoted on.
+const COMPARISON_MIX: &str = "read95";
+
+fn spec_for(name: &str, read_fraction: f64, scale: Scale) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_owned(),
+        mix: Mix {
+            read: read_fraction,
+            update: 1.0 - read_fraction,
+            insert: 0.0,
+            rmw: 0.0,
+            scan: 0.0,
+        },
+        distribution: Distribution::Uniform,
+        record_count: scale.record_count,
+        value_bytes: scale.value_bytes,
+        ops_per_client: scale.ops_per_client,
+    }
+}
+
+fn dispatch_name(mode: DispatchMode) -> &'static str {
+    match mode {
+        DispatchMode::ShardAffinity => "shard_affinity",
+        DispatchMode::GlobalQueue => "global_queue",
+    }
+}
+
+fn latency_json(lat: &LatencySummary) -> Json {
+    Json::obj(vec![
+        ("count", lat.count.into()),
+        ("mean", lat.mean_us.into()),
+        ("p50", lat.p50_us.into()),
+        ("p90", lat.p90_us.into()),
+        ("p99", lat.p99_us.into()),
+        ("max", lat.max_us.into()),
+    ])
+}
+
+struct Measurement {
+    dispatch: DispatchMode,
+    workers: usize,
+    mix: &'static str,
+    read_fraction: f64,
+    batch_size: usize,
+    summary: RunSummary,
+}
+
+fn run_one(
+    dispatch: DispatchMode,
+    workers: usize,
+    mix: &'static str,
+    read_fraction: f64,
+    batch_size: usize,
+    scale: Scale,
+) -> Result<Measurement, String> {
+    let server = StandaloneServer::start(ServerConfig {
+        worker_threads: workers,
+        shards: 16,
+        log: LogConfig {
+            segment_bytes: 1 << 20,
+            max_segments: 256,
+            ordered_index: false,
+        },
+        queue_capacity: 1024,
+        dispatch,
+    });
+    let spec = spec_for(mix, read_fraction, scale);
+    let backend = Arc::new(StandaloneBackend {
+        client: server.client(),
+    });
+    runner::load(&*backend, &spec, 1)?;
+    let summary = runner::run(
+        &backend,
+        &spec,
+        &RunnerConfig {
+            clients: scale.clients,
+            batch_size,
+            seed: 42,
+        },
+    )?;
+    server.shutdown();
+    println!(
+        "  {:<14} workers={workers} mix={mix:<8} batch={batch_size:<3} {:>9} ops/s  read p99 {:>8.1} us",
+        dispatch_name(dispatch),
+        kops(summary.throughput_ops_per_sec),
+        summary.reads.p99_us,
+    );
+    Ok(Measurement {
+        dispatch,
+        workers,
+        mix,
+        read_fraction,
+        batch_size,
+        summary,
+    })
+}
+
+fn sweep(scale: Scale) -> Result<Vec<Measurement>, String> {
+    let mut all = Vec::new();
+    for &dispatch in &[DispatchMode::GlobalQueue, DispatchMode::ShardAffinity] {
+        for &workers in scale.worker_counts {
+            for &(mix, read_fraction) in MIXES {
+                for &batch_size in BATCH_SIZES {
+                    all.push(run_one(
+                        dispatch,
+                        workers,
+                        mix,
+                        read_fraction,
+                        batch_size,
+                        scale,
+                    )?);
+                }
+            }
+        }
+    }
+    Ok(all)
+}
+
+fn report(measurements: &[Measurement], scale: Scale) -> Result<Json, String> {
+    let results: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("dispatch", dispatch_name(m.dispatch).into()),
+                ("workers", m.workers.into()),
+                ("mix", m.mix.into()),
+                ("read_fraction", m.read_fraction.into()),
+                ("batch_size", m.batch_size.into()),
+                ("ops", m.summary.ops.into()),
+                ("elapsed_secs", m.summary.elapsed_secs.into()),
+                (
+                    "throughput_ops_per_sec",
+                    m.summary.throughput_ops_per_sec.into(),
+                ),
+                ("read_latency_us", latency_json(&m.summary.reads)),
+                ("write_latency_us", latency_json(&m.summary.writes)),
+            ])
+        })
+        .collect();
+
+    // The headline comparison: affinity vs the seed's global queue at the
+    // largest swept worker count, single ops, on the read-heavy mix.
+    let workers = *scale.worker_counts.iter().max().expect("non-empty sweep");
+    let pick = |dispatch: DispatchMode| {
+        measurements
+            .iter()
+            .find(|m| {
+                m.dispatch == dispatch
+                    && m.workers == workers
+                    && m.mix == COMPARISON_MIX
+                    && m.batch_size == 1
+            })
+            .map(|m| m.summary.throughput_ops_per_sec)
+            .ok_or_else(|| format!("missing {} comparison run", dispatch_name(dispatch)))
+    };
+    let baseline = pick(DispatchMode::GlobalQueue)?;
+    let affinity = pick(DispatchMode::ShardAffinity)?;
+    let speedup = affinity / baseline;
+    println!(
+        "\ncomparison ({COMPARISON_MIX}, {workers} workers, batch=1): \
+         {} -> {} ops/s = {speedup:.2}x",
+        kops(baseline),
+        kops(affinity),
+    );
+
+    Ok(Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("benchmark", "standalone_ycsb".into()),
+        (
+            "config",
+            Json::obj(vec![
+                ("record_count", scale.record_count.into()),
+                ("ops_per_client", scale.ops_per_client.into()),
+                ("clients", scale.clients.into()),
+                ("value_bytes", scale.value_bytes.into()),
+                ("smoke", scale.smoke.into()),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+        (
+            "comparison",
+            Json::obj(vec![
+                ("workers", workers.into()),
+                ("mix", COMPARISON_MIX.into()),
+                ("baseline_ops_per_sec", baseline.into()),
+                ("affinity_ops_per_sec", affinity.into()),
+                ("speedup", speedup.into()),
+            ]),
+        ),
+    ]))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text)?;
+    validate_standalone_report(&doc)?;
+    println!("{path}: valid standalone report");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = FULL;
+    let mut out = String::from("BENCH_standalone.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = SMOKE,
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" if i + 1 < args.len() => {
+                i += 1;
+                check_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: standalone_ycsb [--smoke] [--out PATH] | --check PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        return match check(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "standalone YCSB sweep ({}): {} records x {} B, {} clients x {} ops",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.record_count,
+        scale.value_bytes,
+        scale.clients,
+        scale.ops_per_client,
+    );
+    let outcome = sweep(scale).and_then(|measurements| {
+        let doc = report(&measurements, scale)?;
+        // Never emit a report CI's validator would reject.
+        validate_standalone_report(&doc)?;
+        std::fs::write(&out, format!("{doc}\n")).map_err(|e| format!("write {out}: {e}"))?;
+        println!("-> {out}");
+        Ok(())
+    });
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

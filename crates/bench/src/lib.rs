@@ -5,6 +5,8 @@
 //! output, and table-formatting helpers they share.
 
 pub mod chart;
+pub mod json;
+pub mod report;
 
 use std::fs;
 use std::path::PathBuf;

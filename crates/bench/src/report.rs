@@ -1,0 +1,155 @@
+//! Schema of the machine-readable standalone benchmark report
+//! (`BENCH_standalone.json`) and its validator.
+//!
+//! The emitter (`src/bin/standalone_ycsb.rs`) and CI's smoke check share
+//! this validator, so the schema can't silently drift from what downstream
+//! tooling parses.
+
+use crate::json::Json;
+
+/// Current schema version emitted and accepted.
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn field<'a>(obj: &'a Json, ctx: &str, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("{ctx}: missing \"{key}\""))
+}
+
+fn num(obj: &Json, ctx: &str, key: &str) -> Result<f64, String> {
+    field(obj, ctx, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a number"))
+}
+
+fn string<'a>(obj: &'a Json, ctx: &str, key: &str) -> Result<&'a str, String> {
+    field(obj, ctx, key)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" must be a string"))
+}
+
+fn latency(obj: &Json, ctx: &str, key: &str) -> Result<(), String> {
+    let lat = field(obj, ctx, key)?;
+    let ctx = format!("{ctx}.{key}");
+    let count = num(lat, &ctx, "count")?;
+    for stat in ["mean", "p50", "p90", "p99", "max"] {
+        let v = num(lat, &ctx, stat)?;
+        if count > 0.0 && v < 0.0 {
+            return Err(format!("{ctx}: \"{stat}\" must be non-negative"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed `BENCH_standalone.json` document.
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "standalone_ycsb" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in ["record_count", "ops_per_client", "clients", "value_bytes"] {
+        let v = num(config, "config", key)?;
+        if v <= 0.0 {
+            return Err(format!("config: \"{key}\" must be positive"));
+        }
+    }
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let dispatch = string(result, &ctx, "dispatch")?;
+        if !matches!(dispatch, "shard_affinity" | "global_queue") {
+            return Err(format!("{ctx}: unknown dispatch {dispatch:?}"));
+        }
+        string(result, &ctx, "mix")?;
+        let read_fraction = num(result, &ctx, "read_fraction")?;
+        if !(0.0..=1.0).contains(&read_fraction) {
+            return Err(format!("{ctx}: read_fraction out of range"));
+        }
+        for key in ["workers", "batch_size", "ops"] {
+            if num(result, &ctx, key)? < 1.0 {
+                return Err(format!("{ctx}: \"{key}\" must be >= 1"));
+            }
+        }
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(result, &ctx, key)? <= 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be positive"));
+            }
+        }
+        latency(result, &ctx, "read_latency_us")?;
+        latency(result, &ctx, "write_latency_us")?;
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    num(comparison, "comparison", "workers")?;
+    string(comparison, "comparison", "mix")?;
+    let baseline = num(comparison, "comparison", "baseline_ops_per_sec")?;
+    let affinity = num(comparison, "comparison", "affinity_ops_per_sec")?;
+    let speedup = num(comparison, "comparison", "speedup")?;
+    if baseline <= 0.0 || affinity <= 0.0 {
+        return Err("comparison: throughputs must be positive".into());
+    }
+    if (speedup - affinity / baseline).abs() > 1e-6 * speedup.max(1.0) {
+        return Err("comparison: speedup != affinity/baseline".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn minimal() -> String {
+        r#"{
+          "schema_version": 1,
+          "benchmark": "standalone_ycsb",
+          "config": {"record_count": 100, "ops_per_client": 50, "clients": 2, "value_bytes": 64},
+          "results": [{
+            "dispatch": "shard_affinity", "workers": 4, "mix": "read95",
+            "read_fraction": 0.95, "batch_size": 1, "ops": 100,
+            "elapsed_secs": 0.5, "throughput_ops_per_sec": 200.0,
+            "read_latency_us": {"count": 95, "mean": 2.0, "p50": 1.5, "p90": 3.0, "p99": 9.0, "max": 11.0},
+            "write_latency_us": {"count": 5, "mean": 5.0, "p50": 4.0, "p90": 8.0, "p99": 9.0, "max": 9.5}
+          }],
+          "comparison": {"workers": 4, "mix": "read95",
+            "baseline_ops_per_sec": 100.0, "affinity_ops_per_sec": 200.0, "speedup": 2.0}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accepts_minimal_valid_report() {
+        validate_standalone_report(&parse(&minimal()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_values() {
+        for (needle, replacement, expect) in [
+            ("\"schema_version\": 1", "\"schema_version\": 2", "schema_version"),
+            ("standalone_ycsb", "other_bench", "benchmark"),
+            ("\"results\": [{", "\"results\": [], \"ignored\": [{", "non-empty"),
+            ("shard_affinity", "mystery_mode", "dispatch"),
+            ("\"read_fraction\": 0.95", "\"read_fraction\": 1.5", "read_fraction"),
+            ("\"speedup\": 2.0", "\"speedup\": 3.0", "speedup"),
+            ("\"p99\": 9.0, \"max\": 11.0", "\"max\": 11.0", "p99"),
+        ] {
+            let doc = minimal().replace(needle, replacement);
+            let err = validate_standalone_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
+    }
+}

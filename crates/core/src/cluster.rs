@@ -715,7 +715,7 @@ impl Cluster {
         );
         let mut send_at = now;
         for b in live_backups {
-            send_at = send_at + send_cost;
+            send_at += send_cost;
             let stage_op = self.register_op(
                 b,
                 OpPayload::BackupStage {
@@ -1159,7 +1159,7 @@ impl Cluster {
                 rec.outstanding_chunks += chunks.len();
             }
             sched.schedule_at(arrival, move |cl: &mut Cluster, s| {
-                cl.replay_queues[owner].extend(chunks.drain(..));
+                cl.replay_queues[owner].append(&mut chunks);
                 cl.pump_replay(owner, s);
             });
         }
@@ -1249,7 +1249,7 @@ impl Cluster {
         let mut send_at = now;
         // One recovery staging "segment" per (recovery master, backup) pair.
         for b in live {
-            send_at = send_at + send_cost;
+            send_at += send_cost;
             let stage_op = self.register_op(
                 b,
                 OpPayload::BackupStage {

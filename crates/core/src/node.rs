@@ -297,10 +297,10 @@ impl ServerNode {
                 continue;
             }
             if worker.free_at <= ready {
-                if hottest_idle.map_or(true, |(_, f)| worker.free_at > f) {
+                if hottest_idle.is_none_or(|(_, f)| worker.free_at > f) {
                     hottest_idle = Some((w, worker.free_at));
                 }
-            } else if earliest_busy.map_or(true, |(_, f)| worker.free_at < f) {
+            } else if earliest_busy.is_none_or(|(_, f)| worker.free_at < f) {
                 earliest_busy = Some((w, worker.free_at));
             }
         }

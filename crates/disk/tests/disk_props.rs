@@ -33,7 +33,7 @@ proptest! {
                 IoKind::Read => profile.read_bytes_per_sec,
                 IoKind::Write => profile.write_bytes_per_sec,
             };
-            min_transfer = min_transfer + SimDuration::from_secs_f64(bytes as f64 / bw);
+            min_transfer += SimDuration::from_secs_f64(bytes as f64 / bw);
         }
         // The disk cannot finish faster than pure transfer time.
         prop_assert!(

@@ -172,7 +172,6 @@ mod tests {
             nic_gbps: 0.8,
             mem_write_gbps: 0.5,
             disk: 0.4,
-            ..NodeActivity::idle()
         };
         assert!(p.power(update_heavy) > p.power(read_only) + 2.0);
     }

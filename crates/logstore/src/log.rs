@@ -235,7 +235,7 @@ impl Log {
     pub fn segment_utilization(&self, id: SegmentId) -> Option<f64> {
         let seg = self.segments.get(&id)?;
         let stats = self.stats.get(&id)?;
-        if seg.len() == 0 {
+        if seg.is_empty() {
             return Some(1.0);
         }
         Some(stats.live_bytes as f64 / seg.len() as f64)

@@ -8,6 +8,8 @@
 use bytes::Bytes;
 
 use std::collections::BTreeMap;
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cleaner::CleanerConfig;
 use crate::entry::{
@@ -80,6 +82,75 @@ pub struct StoreStats {
     pub tombstones_dropped: u64,
 }
 
+impl AddAssign for StoreStats {
+    fn add_assign(&mut self, other: StoreStats) {
+        // Exhaustive destructuring (no `..`): adding a counter to StoreStats
+        // without aggregating it here is a compile error, so new counters
+        // can never silently vanish from merged totals.
+        let StoreStats {
+            writes,
+            overwrites,
+            deletes,
+            read_hits,
+            read_misses,
+            cleanings,
+            bytes_relocated,
+            segments_freed,
+            tombstones_dropped,
+        } = other;
+        self.writes += writes;
+        self.overwrites += overwrites;
+        self.deletes += deletes;
+        self.read_hits += read_hits;
+        self.read_misses += read_misses;
+        self.cleanings += cleanings;
+        self.bytes_relocated += bytes_relocated;
+        self.segments_freed += segments_freed;
+        self.tombstones_dropped += tombstones_dropped;
+    }
+}
+
+impl StoreStats {
+    /// Merges `other` into `self` (alias of `+=` for call sites that prefer
+    /// a named method).
+    pub fn merge(&mut self, other: &StoreStats) {
+        *self += *other;
+    }
+}
+
+/// Internal mutable counters. Mutation-path counters are plain `u64`s
+/// guarded by `&mut self`; the read counters are atomics so that
+/// [`Store::read`] — the hot path — works through `&self` and can run under
+/// a shared (read) lock from many threads at once.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) writes: u64,
+    pub(crate) overwrites: u64,
+    pub(crate) deletes: u64,
+    pub(crate) cleanings: u64,
+    pub(crate) bytes_relocated: u64,
+    pub(crate) segments_freed: u64,
+    pub(crate) tombstones_dropped: u64,
+    pub(crate) read_hits: AtomicU64,
+    pub(crate) read_misses: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            writes: self.writes,
+            overwrites: self.overwrites,
+            deletes: self.deletes,
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            read_misses: self.read_misses.load(Ordering::Relaxed),
+            cleanings: self.cleanings,
+            bytes_relocated: self.bytes_relocated,
+            segments_freed: self.segments_freed,
+            tombstones_dropped: self.tombstones_dropped,
+        }
+    }
+}
+
 /// A log-structured key-value store (one master's storage engine).
 ///
 /// # Examples
@@ -100,7 +171,7 @@ pub struct Store {
     pub(crate) log: Log,
     pub(crate) index: HashTable,
     pub(crate) cleaner: CleanerConfig,
-    pub(crate) stats: StoreStats,
+    pub(crate) stats: Counters,
     /// Ordered key directory for range scans; present only when
     /// `LogConfig::ordered_index` is set.
     pub(crate) ordered: Option<BTreeMap<(u64, Vec<u8>), ()>>,
@@ -122,7 +193,7 @@ impl Store {
             log: Log::new(config),
             index: HashTable::new(),
             cleaner,
-            stats: StoreStats::default(),
+            stats: Counters::default(),
             ordered,
             completions: BTreeMap::new(),
         }
@@ -135,7 +206,7 @@ impl Store {
 
     /// Counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of live objects.
@@ -157,32 +228,36 @@ impl Store {
         None
     }
 
-    /// Reads the current value of a key.
-    pub fn read(&mut self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+    /// Index + log lookup shared by [`Store::read`] and [`Store::peek`].
+    fn lookup(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
         let hash = key_hash(table, key);
         for pos in self.index.candidates(hash) {
             if let Some(LogEntry::Object(o)) = self.log.read(pos) {
                 if o.table == table && o.key.as_ref() == key {
-                    self.stats.read_hits += 1;
                     return Some(o);
                 }
             }
         }
-        self.stats.read_misses += 1;
         None
+    }
+
+    /// Reads the current value of a key.
+    ///
+    /// Takes `&self`: the hit/miss counters are atomics, so concurrent
+    /// readers can share the store under a read lock — the basis of the
+    /// standalone server's zero-queue read fast path.
+    pub fn read(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+        let got = self.lookup(table, key);
+        match got {
+            Some(_) => self.stats.read_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.read_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
     }
 
     /// Reads without touching statistics (for internal/verification use).
     pub fn peek(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
-        let hash = key_hash(table, key);
-        for pos in self.index.candidates(hash) {
-            if let Some(LogEntry::Object(o)) = self.log.read(pos) {
-                if o.table == table && o.key.as_ref() == key {
-                    return Some(o);
-                }
-            }
-        }
-        None
+        self.lookup(table, key)
     }
 
     /// Appends through the log, running the cleaner and retrying once when
@@ -528,7 +603,7 @@ mod tests {
 
     #[test]
     fn missing_key_is_none() {
-        let mut s = tiny_store();
+        let s = tiny_store();
         assert!(s.read(T, b"nope").is_none());
         assert_eq!(s.stats().read_misses, 1);
     }
@@ -733,6 +808,87 @@ mod tests {
         let dup = b.write_with(T, b"k", b"retry", Some(c)).unwrap();
         assert_eq!(dup.version, Version(1));
         assert_eq!(&b.read(T, b"k").unwrap().value[..], b"v");
+    }
+
+    #[test]
+    fn stats_add_assign_merges_every_counter() {
+        // One of each countable event…
+        let mut a = Store::new(LogConfig {
+            segment_bytes: 512,
+            max_segments: 64,
+            ordered_index: false,
+        });
+        a.write(T, b"k", b"v").unwrap();
+        a.write(T, b"k", b"v2").unwrap(); // overwrite
+        a.read(T, b"k"); // hit
+        a.read(T, b"nope"); // miss
+        a.delete(T, b"k").unwrap();
+        let s = a.stats();
+        assert_eq!(
+            (s.writes, s.overwrites, s.deletes, s.read_hits, s.read_misses),
+            (2, 1, 1, 1, 1)
+        );
+        // …merged twice must double every field.
+        let mut total = StoreStats::default();
+        total += s;
+        total += s;
+        assert_eq!(
+            total,
+            StoreStats {
+                writes: 4,
+                overwrites: 2,
+                deletes: 2,
+                read_hits: 2,
+                read_misses: 2,
+                cleanings: 2 * s.cleanings,
+                bytes_relocated: 2 * s.bytes_relocated,
+                segments_freed: 2 * s.segments_freed,
+                tombstones_dropped: 2 * s.tombstones_dropped,
+            }
+        );
+        // The named-method alias agrees with `+=`.
+        let mut via_merge = StoreStats::default();
+        via_merge.merge(&s);
+        via_merge.merge(&s);
+        assert_eq!(via_merge, total);
+    }
+
+    #[test]
+    fn concurrent_shared_reads_count_exactly() {
+        // `read(&self)` must be callable from many threads at once and lose
+        // no counter increments.
+        let mut s = tiny_store();
+        s.write(T, b"k", b"v").unwrap();
+        let s = std::sync::Arc::new(s);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        if (i + t) % 2 == 0 {
+                            assert!(s.read(T, b"k").is_some());
+                        } else {
+                            assert!(s.read(T, b"miss").is_none());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.stats().read_hits, 2000);
+        assert_eq!(s.stats().read_misses, 2000);
+    }
+
+    #[test]
+    fn read_and_peek_agree_but_only_read_counts() {
+        let mut s = tiny_store();
+        s.write(T, b"k", b"v").unwrap();
+        assert_eq!(s.peek(T, b"k"), s.read(T, b"k"));
+        assert_eq!(s.peek(T, b"gone"), s.read(T, b"gone"));
+        let st = s.stats();
+        assert_eq!((st.read_hits, st.read_misses), (1, 1));
     }
 
     #[test]

@@ -177,7 +177,7 @@ proptest! {
                 1 => {
                     let removed_model = model
                         .get_mut(&hash)
-                        .map_or(false, |s| s.remove(&(pos.segment.0, pos.offset)));
+                        .is_some_and(|s| s.remove(&(pos.segment.0, pos.offset)));
                     let removed = ht.remove(h, pos);
                     prop_assert_eq!(removed, removed_model);
                 }

@@ -547,7 +547,7 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!((4500..=5200).contains(&p50), "p50={p50}");
         assert!((9200..=10_000).contains(&p99), "p99={p99}");
-        assert_eq!(h.quantile(1.0) <= 10_000, true);
+        assert!(h.quantile(1.0) <= 10_000);
         assert_eq!(h.count(), 10_000);
         assert!((h.mean() - 5000.5).abs() < 1.0);
     }

@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod dispatch;
 mod repl;
 mod server;
 mod shard;
 
+pub use dispatch::DispatchMode;
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
 pub use server::{Client, ClientError, ServerConfig, StandaloneServer};
 pub use shard::ShardedStore;

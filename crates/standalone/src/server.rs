@@ -1,22 +1,41 @@
 //! A real multi-threaded single-node store.
 //!
 //! Mirrors the RAMCloud server architecture at miniature scale with actual
-//! threads: requests enter a crossbeam MPMC channel (the "dispatch" queue)
-//! and a pool of worker threads executes them against the sharded
-//! log-structured engine. This is the piece of the reproduction you can
-//! benchmark on real hardware (see the `standalone_store` Criterion bench)
-//! — it exhibits the same qualitative thread-contention behaviour the paper
-//! studies, for real.
+//! threads, in either of two dispatch architectures (see [`DispatchMode`]):
+//!
+//! - **Global queue** (the seed design, kept as the measurable baseline):
+//!   every operation crosses one MPMC channel and any worker executes it —
+//!   the dispatch-limited shape the paper characterizes.
+//! - **Shard affinity** (default): each worker owns a fixed subset of
+//!   shards and has a private queue carrying only mutations of those
+//!   shards, so writes to a shard are single-threaded and the per-shard
+//!   write lock is never contended by another worker. Reads skip dispatch
+//!   entirely: [`Client::read`] executes on the client thread against the
+//!   shard under its read lock (the engine's hit/miss counters are
+//!   atomics, so `&self` reads are safe to run concurrently).
+//!
+//! Batched operations ([`Client::multiread`] / [`Client::multiwrite`])
+//! mirror RAMCloud's multi-ops: keys are grouped by destination worker and
+//! cross a queue once per worker per batch, replying through one pooled
+//! [`BatchSlot`](crate::dispatch) instead of a channel per key.
+//!
+//! ## Consistency
+//!
+//! Writes to one key are serialized by that shard's single writer and
+//! committed under the shard's write lock before the reply is sent, so a
+//! client that has seen a write acknowledged will observe it in subsequent
+//! fast-path reads (the read lock orders after the write-lock release). A
+//! read racing an *unacknowledged* write may return the older value — the
+//! same guarantee RAMCloud offers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::AtomicBool;
-use std::time::Duration;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use rmc_logstore::{LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome};
 
+use crate::dispatch::{worker_for_shard, BatchGuard, BatchSlot, DispatchMode, StripedCounter};
 use crate::shard::ShardedStore;
 
 /// Configuration of a [`StandaloneServer`].
@@ -24,12 +43,14 @@ use crate::shard::ShardedStore;
 pub struct ServerConfig {
     /// Worker threads servicing requests (RAMCloud would use cores − 1).
     pub worker_threads: usize,
-    /// Engine shards (lock granularity).
+    /// Engine shards (lock granularity and dispatch-affinity granularity).
     pub shards: usize,
     /// Per-shard log sizing.
     pub log: LogConfig,
-    /// Dispatch queue depth before submitters block.
+    /// Per-queue depth before submitters block.
     pub queue_capacity: usize,
+    /// How requests reach workers.
+    pub dispatch: DispatchMode,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +64,7 @@ impl Default for ServerConfig {
                 ordered_index: false,
             },
             queue_capacity: 1024,
+            dispatch: DispatchMode::ShardAffinity,
         }
     }
 }
@@ -73,6 +95,35 @@ enum Command {
         limit: usize,
         reply: Sender<Result<Vec<ObjectRecord>, StoreError>>,
     },
+    /// One worker's share of a `multiread` batch (global-queue mode; under
+    /// shard affinity reads never enqueue). Indices are the caller's
+    /// original key positions.
+    MultiRead {
+        table: TableId,
+        keys: Vec<(usize, Vec<u8>)>,
+        guard: BatchGuard<Option<ObjectRecord>>,
+    },
+    /// One worker's share of a `multiwrite` batch.
+    MultiWrite {
+        table: TableId,
+        ops: Vec<(usize, Vec<u8>, Vec<u8>)>,
+        guard: BatchGuard<Result<WriteOutcome, StoreError>>,
+    },
+}
+
+impl Command {
+    /// Logical operations this command carries (for served-op accounting).
+    fn op_count(&self) -> u64 {
+        match self {
+            Command::Shutdown => 0,
+            Command::Read { .. }
+            | Command::Write { .. }
+            | Command::Delete { .. }
+            | Command::Scan { .. } => 1,
+            Command::MultiRead { keys, .. } => keys.len() as u64,
+            Command::MultiWrite { ops, .. } => ops.len() as u64,
+        }
+    }
 }
 
 impl std::fmt::Debug for Command {
@@ -83,6 +134,8 @@ impl std::fmt::Debug for Command {
             Command::Write { .. } => "Write",
             Command::Delete { .. } => "Delete",
             Command::Scan { .. } => "Scan",
+            Command::MultiRead { .. } => "MultiRead",
+            Command::MultiWrite { .. } => "MultiWrite",
         };
         write!(f, "Command::{name}")
     }
@@ -117,45 +170,63 @@ impl From<StoreError> for ClientError {
 /// A handle for submitting requests; cheap to clone, usable from any thread.
 #[derive(Debug, Clone)]
 pub struct Client {
-    tx: Sender<Command>,
+    senders: Vec<Sender<Command>>,
+    store: Arc<ShardedStore>,
     stopped: Arc<AtomicBool>,
+    mode: DispatchMode,
+    fast_reads: Arc<StripedCounter>,
 }
 
 impl Client {
-    /// Waits for a reply, giving up once the server flags shutdown —
-    /// commands queued behind the shutdown markers are never serviced, so
-    /// blocking forever on their replies would deadlock callers.
-    fn await_reply<T>(&self, rx: Receiver<T>) -> Result<T, ClientError> {
-        loop {
-            match rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(v) => return Ok(v),
-                Err(RecvTimeoutError::Disconnected) => return Err(ClientError::ServerStopped),
-                Err(RecvTimeoutError::Timeout) => {
-                    if self.stopped.load(Ordering::Acquire) {
-                        return Err(ClientError::ServerStopped);
-                    }
-                }
+    /// Blocks for a reply. No timeout polling: when the server shuts down,
+    /// unserviced commands are dropped with their reply senders, so the
+    /// receiver disconnects and this wakes immediately.
+    fn await_reply<T>(rx: Receiver<T>) -> Result<T, ClientError> {
+        rx.recv().map_err(|_| ClientError::ServerStopped)
+    }
+
+    /// The queue that owns mutations of `key` under the current mode.
+    fn sender_for(&self, table: TableId, key: &[u8]) -> &Sender<Command> {
+        match self.mode {
+            DispatchMode::GlobalQueue => &self.senders[0],
+            DispatchMode::ShardAffinity => {
+                let shard = self.store.shard_index(table, key);
+                &self.senders[worker_for_shard(shard, self.senders.len())]
             }
         }
     }
-}
 
-impl Client {
     /// Reads a key.
+    ///
+    /// Under [`DispatchMode::ShardAffinity`] this is the zero-queue fast
+    /// path: it executes directly against the shard on the calling thread.
     ///
     /// # Errors
     ///
     /// [`ClientError::ServerStopped`] if the server is gone.
     pub fn read(&self, table: TableId, key: &[u8]) -> Result<Option<ObjectRecord>, ClientError> {
-        let (reply, rx) = bounded(1);
-        self.tx
-            .send(Command::Read {
-                table,
-                key: key.to_vec(),
-                reply,
-            })
-            .map_err(|_| ClientError::ServerStopped)?;
-        self.await_reply(rx)
+        match self.mode {
+            DispatchMode::ShardAffinity => {
+                if self.stopped.load(Ordering::Acquire) {
+                    return Err(ClientError::ServerStopped);
+                }
+                let shard = self.store.shard_index(table, key);
+                let got = self.store.read(table, key);
+                self.fast_reads.add(shard);
+                Ok(got)
+            }
+            DispatchMode::GlobalQueue => {
+                let (reply, rx) = bounded(1);
+                self.senders[0]
+                    .send(Command::Read {
+                        table,
+                        key: key.to_vec(),
+                        reply,
+                    })
+                    .map_err(|_| ClientError::ServerStopped)?;
+                Self::await_reply(rx)
+            }
+        }
     }
 
     /// Writes a key.
@@ -170,7 +241,7 @@ impl Client {
         value: &[u8],
     ) -> Result<WriteOutcome, ClientError> {
         let (reply, rx) = bounded(1);
-        self.tx
+        self.sender_for(table, key)
             .send(Command::Write {
                 table,
                 key: key.to_vec(),
@@ -178,7 +249,7 @@ impl Client {
                 reply,
             })
             .map_err(|_| ClientError::ServerStopped)?;
-        self.await_reply(rx)?.map_err(Into::into)
+        Self::await_reply(rx)?.map_err(Into::into)
     }
 
     /// Deletes a key; returns the deleted version if present.
@@ -188,18 +259,16 @@ impl Client {
     /// [`ClientError::ServerStopped`] or a propagated [`StoreError`].
     pub fn delete(&self, table: TableId, key: &[u8]) -> Result<Option<Version>, ClientError> {
         let (reply, rx) = bounded(1);
-        self.tx
+        self.sender_for(table, key)
             .send(Command::Delete {
                 table,
                 key: key.to_vec(),
                 reply,
             })
             .map_err(|_| ClientError::ServerStopped)?;
-        self.await_reply(rx)?.map_err(Into::into)
+        Self::await_reply(rx)?.map_err(Into::into)
     }
-}
 
-impl Client {
     /// Scans up to `limit` objects of `table` starting at `start_key`, in
     /// key order.
     ///
@@ -215,7 +284,7 @@ impl Client {
         limit: usize,
     ) -> Result<Vec<ObjectRecord>, ClientError> {
         let (reply, rx) = bounded(1);
-        self.tx
+        self.senders[0]
             .send(Command::Scan {
                 table,
                 start_key: start_key.to_vec(),
@@ -223,7 +292,107 @@ impl Client {
                 reply,
             })
             .map_err(|_| ClientError::ServerStopped)?;
-        self.await_reply(rx)?.map_err(Into::into)
+        Self::await_reply(rx)?.map_err(Into::into)
+    }
+
+    /// Reads many keys at once (RAMCloud's multi-read). Results come back
+    /// in `keys` order.
+    ///
+    /// Under shard affinity this executes entirely on the calling thread
+    /// (reads never enqueue); under the global queue the whole batch
+    /// crosses the queue once instead of once per key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] if the server is gone. Per-key misses
+    /// are `None` entries, not errors.
+    pub fn multiread(
+        &self,
+        table: TableId,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<ObjectRecord>>, ClientError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.mode {
+            DispatchMode::ShardAffinity => {
+                if self.stopped.load(Ordering::Acquire) {
+                    return Err(ClientError::ServerStopped);
+                }
+                Ok(keys
+                    .iter()
+                    .map(|key| {
+                        let shard = self.store.shard_index(table, key);
+                        let got = self.store.read(table, key);
+                        self.fast_reads.add(shard);
+                        got
+                    })
+                    .collect())
+            }
+            DispatchMode::GlobalQueue => {
+                let slot = BatchSlot::new(keys.len());
+                let guard = BatchGuard::new(Arc::clone(&slot), keys.len());
+                let cmd = Command::MultiRead {
+                    table,
+                    keys: keys.iter().enumerate().map(|(i, k)| (i, k.to_vec())).collect(),
+                    guard,
+                };
+                // A failed send drops the command, whose guard aborts the
+                // slot — wait() below then reports the stop; same for a
+                // command dropped unexecuted during shutdown.
+                let _ = self.senders[0].send(cmd);
+                slot.wait().map_err(|()| ClientError::ServerStopped)
+            }
+        }
+    }
+
+    /// Writes many key/value pairs at once (RAMCloud's multi-write). Keys
+    /// are grouped by destination worker; each group crosses its queue once
+    /// and replies through one pooled slot. Per-key outcomes (including
+    /// per-key errors such as [`StoreError::ValueTooLarge`]) come back in
+    /// `ops` order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] if any part of the batch was dropped
+    /// by a shutdown before executing.
+    pub fn multiwrite(
+        &self,
+        table: TableId,
+        ops: &[(&[u8], &[u8])],
+    ) -> Result<Vec<Result<WriteOutcome, StoreError>>, ClientError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slot = BatchSlot::new(ops.len());
+        // Group by destination queue, remembering original positions.
+        type IndexedWrite = (usize, Vec<u8>, Vec<u8>);
+        let mut groups: Vec<Vec<IndexedWrite>> =
+            (0..self.senders.len()).map(|_| Vec::new()).collect();
+        for (i, (key, value)) in ops.iter().enumerate() {
+            let queue = match self.mode {
+                DispatchMode::GlobalQueue => 0,
+                DispatchMode::ShardAffinity => worker_for_shard(
+                    self.store.shard_index(table, key),
+                    self.senders.len(),
+                ),
+            };
+            groups[queue].push((i, key.to_vec(), value.to_vec()));
+        }
+        for (queue, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let guard = BatchGuard::new(Arc::clone(&slot), group.len());
+            // On send failure the dropped command's guard aborts the slot;
+            // wait() reports the stop once every group resolves.
+            let _ = self.senders[queue].send(Command::MultiWrite {
+                table,
+                ops: group,
+                guard,
+            });
+        }
+        slot.wait().map_err(|()| ClientError::ServerStopped)
     }
 }
 
@@ -231,9 +400,11 @@ impl Client {
 #[derive(Debug)]
 pub struct StandaloneServer {
     store: Arc<ShardedStore>,
-    tx: Option<Sender<Command>>,
+    senders: Option<Vec<Sender<Command>>>,
     workers: Vec<JoinHandle<u64>>,
-    ops_executed: Arc<AtomicU64>,
+    mode: DispatchMode,
+    queued_ops: Arc<AtomicU64>,
+    fast_reads: Arc<StripedCounter>,
     stopped: Arc<AtomicBool>,
 }
 
@@ -246,57 +417,43 @@ impl StandaloneServer {
     pub fn start(config: ServerConfig) -> Self {
         assert!(config.worker_threads > 0, "need at least one worker");
         let store = Arc::new(ShardedStore::new(config.shards, config.log.clone()));
-        let (tx, rx) = bounded::<Command>(config.queue_capacity);
-        let ops_executed = Arc::new(AtomicU64::new(0));
+        let queued_ops = Arc::new(AtomicU64::new(0));
+        let fast_reads = Arc::new(StripedCounter::new(config.shards));
         let stopped = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.worker_threads)
-            .map(|i| {
-                let rx: Receiver<Command> = rx.clone();
+
+        // Global mode: one shared MPMC queue. Affinity mode: a private
+        // queue per worker, so a shard's mutations form a single stream.
+        let (senders, receivers): (Vec<Sender<Command>>, Vec<Receiver<Command>>) =
+            match config.dispatch {
+                DispatchMode::GlobalQueue => {
+                    let (tx, rx) = bounded::<Command>(config.queue_capacity);
+                    (vec![tx], (0..config.worker_threads).map(|_| rx.clone()).collect())
+                }
+                DispatchMode::ShardAffinity => (0..config.worker_threads)
+                    .map(|_| bounded::<Command>(config.queue_capacity))
+                    .unzip(),
+            };
+
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
                 let store = Arc::clone(&store);
-                let counter = Arc::clone(&ops_executed);
+                let counter = Arc::clone(&queued_ops);
                 std::thread::Builder::new()
                     .name(format!("rmc-worker-{i}"))
-                    .spawn(move || {
-                        let mut served = 0u64;
-                        while let Ok(cmd) = rx.recv() {
-                            match cmd {
-                                Command::Shutdown => break,
-                                Command::Read { table, key, reply } => {
-                                    let _ = reply.send(store.read(table, &key));
-                                }
-                                Command::Write {
-                                    table,
-                                    key,
-                                    value,
-                                    reply,
-                                } => {
-                                    let _ = reply.send(store.write(table, &key, &value));
-                                }
-                                Command::Delete { table, key, reply } => {
-                                    let _ = reply.send(store.delete(table, &key));
-                                }
-                                Command::Scan {
-                                    table,
-                                    start_key,
-                                    limit,
-                                    reply,
-                                } => {
-                                    let _ = reply.send(store.scan(table, &start_key, limit));
-                                }
-                            }
-                            served += 1;
-                            counter.fetch_add(1, Ordering::Relaxed);
-                        }
-                        served
-                    })
+                    .spawn(move || worker_loop(&rx, &store, &counter))
                     .expect("spawn worker")
             })
             .collect();
+
         StandaloneServer {
             store,
-            tx: Some(tx),
+            senders: Some(senders),
             workers,
-            ops_executed,
+            mode: config.dispatch,
+            queued_ops,
+            fast_reads,
             stopped,
         }
     }
@@ -308,8 +465,15 @@ impl StandaloneServer {
     /// Panics if called after [`StandaloneServer::shutdown`].
     pub fn client(&self) -> Client {
         Client {
-            tx: self.tx.as_ref().expect("server not shut down").clone(),
+            senders: self
+                .senders
+                .as_ref()
+                .expect("server not shut down")
+                .clone(),
+            store: Arc::clone(&self.store),
             stopped: Arc::clone(&self.stopped),
+            mode: self.mode,
+            fast_reads: Arc::clone(&self.fast_reads),
         }
     }
 
@@ -318,32 +482,51 @@ impl StandaloneServer {
         &self.store
     }
 
-    /// Operations executed so far.
+    /// The dispatch architecture this server runs.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Operations executed so far (queued ops plus fast-path reads).
     pub fn ops_executed(&self) -> u64 {
-        self.ops_executed.load(Ordering::Relaxed)
+        self.queued_ops.load(Ordering::Relaxed) + self.fast_reads.sum()
     }
 
     /// Stops the workers after draining everything already queued, and
-    /// joins them. Returns per-worker served-op counts.
+    /// joins them. Returns per-worker served-op counts (fast-path reads are
+    /// not attributed to any worker; see [`StandaloneServer::ops_executed`]).
     ///
     /// Outstanding [`Client`] handles keep working until the last worker
-    /// consumes its shutdown marker; afterwards they return
-    /// [`ClientError::ServerStopped`].
+    /// consumes its shutdown marker. Afterwards their calls return
+    /// [`ClientError::ServerStopped`]: new sends fail, and requests that
+    /// were queued behind a marker are dropped when the worker's receiver
+    /// goes away — which disconnects their reply channels and wakes the
+    /// blocked callers (no timeout polling anywhere).
     pub fn shutdown(mut self) -> Vec<u64> {
-        if let Some(tx) = self.tx.take() {
-            for _ in 0..self.workers.len() {
-                // Blocking send: queued work drains first, then each worker
-                // consumes exactly one marker and exits.
-                let _ = tx.send(Command::Shutdown);
+        if let Some(senders) = self.senders.take() {
+            // Blocking send: queued work drains first, then each worker
+            // consumes exactly one marker and exits.
+            match self.mode {
+                DispatchMode::GlobalQueue => {
+                    for _ in 0..self.workers.len() {
+                        let _ = senders[0].send(Command::Shutdown);
+                    }
+                }
+                DispatchMode::ShardAffinity => {
+                    for tx in &senders {
+                        let _ = tx.send(Command::Shutdown);
+                    }
+                }
             }
         }
-        let served = self
+        let served: Vec<u64> = self
             .workers
             .drain(..)
             .map(|h| h.join().expect("worker panicked"))
             .collect();
         // Flag only after the join: requests queued ahead of the markers
-        // were still serviced; anything later now errors out promptly.
+        // were still serviced; anything later now errors out promptly
+        // (including fast-path reads, which check this flag).
         self.stopped.store(true, Ordering::Release);
         served
     }
@@ -355,12 +538,78 @@ impl Drop for StandaloneServer {
         // and detach; workers drain and exit on their own. `shutdown` is the
         // blocking, checked alternative.
         self.stopped.store(true, Ordering::Release);
-        if let Some(tx) = self.tx.take() {
-            for _ in 0..self.workers.len() {
-                let _ = tx.try_send(Command::Shutdown);
+        if let Some(senders) = self.senders.take() {
+            match self.mode {
+                DispatchMode::GlobalQueue => {
+                    for _ in 0..self.workers.len() {
+                        let _ = senders[0].try_send(Command::Shutdown);
+                    }
+                }
+                DispatchMode::ShardAffinity => {
+                    for tx in &senders {
+                        let _ = tx.try_send(Command::Shutdown);
+                    }
+                }
             }
         }
     }
+}
+
+/// One worker: drains its queue until it sees a shutdown marker or the
+/// queue disconnects. Returns the number of logical ops it served.
+fn worker_loop(rx: &Receiver<Command>, store: &ShardedStore, counter: &AtomicU64) -> u64 {
+    let mut served = 0u64;
+    while let Ok(cmd) = rx.recv() {
+        // Count before replying so a client that saw its reply also sees
+        // the op counted.
+        let ops = cmd.op_count();
+        served += ops;
+        counter.fetch_add(ops, Ordering::Relaxed);
+        match cmd {
+            Command::Shutdown => break,
+            Command::Read { table, key, reply } => {
+                let _ = reply.send(store.read(table, &key));
+            }
+            Command::Write {
+                table,
+                key,
+                value,
+                reply,
+            } => {
+                let _ = reply.send(store.write(table, &key, &value));
+            }
+            Command::Delete { table, key, reply } => {
+                let _ = reply.send(store.delete(table, &key));
+            }
+            Command::Scan {
+                table,
+                start_key,
+                limit,
+                reply,
+            } => {
+                let _ = reply.send(store.scan(table, &start_key, limit));
+            }
+            Command::MultiRead {
+                table,
+                keys,
+                mut guard,
+            } => {
+                for (index, key) in keys {
+                    guard.complete(index, store.read(table, &key));
+                }
+            }
+            Command::MultiWrite {
+                table,
+                ops,
+                mut guard,
+            } => {
+                for (index, key, value) in ops {
+                    guard.complete(index, store.write(table, &key, &value));
+                }
+            }
+        }
+    }
+    served
 }
 
 #[cfg(test)]
@@ -373,6 +622,13 @@ mod tests {
         StandaloneServer::start(ServerConfig::default())
     }
 
+    fn server_with(dispatch: DispatchMode) -> StandaloneServer {
+        StandaloneServer::start(ServerConfig {
+            dispatch,
+            ..ServerConfig::default()
+        })
+    }
+
     #[test]
     fn roundtrip_through_worker_pool() {
         let srv = server();
@@ -382,32 +638,51 @@ mod tests {
         assert_eq!(&got.value[..], b"v");
         assert_eq!(client.delete(T, b"k").unwrap(), Some(Version(1)));
         assert_eq!(client.read(T, b"k").unwrap(), None);
+        // All four ops counted; the two reads took the fast path and are
+        // not attributed to a worker.
+        assert_eq!(srv.ops_executed(), 4);
+        let served: u64 = srv.shutdown().iter().sum();
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn roundtrip_through_global_queue() {
+        let srv = server_with(DispatchMode::GlobalQueue);
+        let client = srv.client();
+        client.write(T, b"k", b"v").unwrap();
+        let got = client.read(T, b"k").unwrap().unwrap();
+        assert_eq!(&got.value[..], b"v");
+        assert_eq!(client.delete(T, b"k").unwrap(), Some(Version(1)));
+        assert_eq!(client.read(T, b"k").unwrap(), None);
+        // In the baseline every op crosses the queue.
         let served: u64 = srv.shutdown().iter().sum();
         assert_eq!(served, 4);
     }
 
     #[test]
     fn many_threads_many_clients() {
-        let srv = server();
-        let handles: Vec<_> = (0..8)
-            .map(|t| {
-                let client = srv.client();
-                std::thread::spawn(move || {
-                    for i in 0..200 {
-                        let key = format!("c{t}-{i}");
-                        client.write(T, key.as_bytes(), format!("{i}").as_bytes()).unwrap();
-                        let got = client.read(T, key.as_bytes()).unwrap().unwrap();
-                        assert_eq!(&got.value[..], format!("{i}").as_bytes());
-                    }
+        for mode in [DispatchMode::ShardAffinity, DispatchMode::GlobalQueue] {
+            let srv = server_with(mode);
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let client = srv.client();
+                    std::thread::spawn(move || {
+                        for i in 0..200 {
+                            let key = format!("c{t}-{i}");
+                            client.write(T, key.as_bytes(), format!("{i}").as_bytes()).unwrap();
+                            let got = client.read(T, key.as_bytes()).unwrap().unwrap();
+                            assert_eq!(&got.value[..], format!("{i}").as_bytes());
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(srv.store().object_count(), 1600);
+            assert_eq!(srv.ops_executed(), 8 * 200 * 2);
+            srv.shutdown();
         }
-        assert_eq!(srv.store().object_count(), 1600);
-        assert_eq!(srv.ops_executed(), 8 * 200 * 2);
-        srv.shutdown();
     }
 
     #[test]
@@ -438,11 +713,22 @@ mod tests {
 
     #[test]
     fn clients_error_after_shutdown() {
-        let srv = server();
-        let client = srv.client();
-        client.write(T, b"k", b"v").unwrap();
-        srv.shutdown();
-        assert_eq!(client.read(T, b"k"), Err(ClientError::ServerStopped));
+        for mode in [DispatchMode::ShardAffinity, DispatchMode::GlobalQueue] {
+            let srv = server_with(mode);
+            let client = srv.client();
+            client.write(T, b"k", b"v").unwrap();
+            srv.shutdown();
+            assert_eq!(client.read(T, b"k"), Err(ClientError::ServerStopped));
+            assert_eq!(client.write(T, b"k", b"v"), Err(ClientError::ServerStopped));
+            assert_eq!(
+                client.multiread(T, &[b"k"]),
+                Err(ClientError::ServerStopped)
+            );
+            assert_eq!(
+                client.multiwrite(T, &[(b"k".as_slice(), b"v".as_slice())]),
+                Err(ClientError::ServerStopped)
+            );
+        }
     }
 
     #[test]
@@ -465,7 +751,8 @@ mod tests {
             client = srv.client();
             client.write(T, b"k", b"v").unwrap();
         }
-        // Workers drain and exit after drop; sends eventually fail.
+        // Workers drain and exit after drop; fast-path reads observe the
+        // stop flag, queued ops observe dead queues.
         let mut stopped = false;
         for _ in 0..100 {
             if client.read(T, b"k").is_err() {
@@ -475,5 +762,81 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert!(stopped, "clients must observe server shutdown");
+        assert_eq!(client.write(T, b"x", b"y"), Err(ClientError::ServerStopped));
+    }
+
+    #[test]
+    fn multiread_returns_results_in_key_order() {
+        for mode in [DispatchMode::ShardAffinity, DispatchMode::GlobalQueue] {
+            let srv = server_with(mode);
+            let client = srv.client();
+            for i in 0..32 {
+                client
+                    .write(T, format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            // Present and missing keys interleaved, order must be preserved.
+            let keys: Vec<Vec<u8>> = (0..40)
+                .map(|i| format!("k{}", 39 - i).into_bytes())
+                .collect();
+            let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let got = client.multiread(T, &refs).unwrap();
+            assert_eq!(got.len(), 40);
+            for (i, entry) in got.iter().enumerate() {
+                let idx = 39 - i;
+                if idx < 32 {
+                    let rec = entry.as_ref().expect("present key");
+                    assert_eq!(&rec.value[..], format!("v{idx}").as_bytes());
+                } else {
+                    assert!(entry.is_none(), "key k{idx} must be a miss");
+                }
+            }
+            assert!(client.multiread(T, &[]).unwrap().is_empty());
+            srv.shutdown();
+        }
+    }
+
+    #[test]
+    fn multiwrite_reports_per_key_outcomes_in_order() {
+        for mode in [DispatchMode::ShardAffinity, DispatchMode::GlobalQueue] {
+            let srv = server_with(mode);
+            let client = srv.client();
+            let huge = vec![0u8; rmc_logstore::MAX_VALUE_BYTES + 1];
+            let ops: Vec<(&[u8], &[u8])> = vec![
+                (b"a", b"1"),
+                (b"b", &huge), // per-key failure, not a batch failure
+                (b"c", b"3"),
+                (b"a", b"4"), // overwrite in the same batch
+            ];
+            let got = client.multiwrite(T, &ops).unwrap();
+            assert_eq!(got.len(), 4);
+            assert!(got[0].is_ok());
+            assert_eq!(got[1], Err(StoreError::ValueTooLarge));
+            assert!(got[2].is_ok());
+            // Same key twice in one batch: versions must be monotone and
+            // the final value must be the later op's.
+            assert_eq!(got[3].as_ref().unwrap().version, Version(2));
+            assert_eq!(&client.read(T, b"a").unwrap().unwrap().value[..], b"4");
+            assert!(client.multiwrite(T, &[]).unwrap().is_empty());
+            srv.shutdown();
+        }
+    }
+
+    #[test]
+    fn multiwrite_spreads_across_workers() {
+        let srv = server();
+        let client = srv.client();
+        let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("key{i}").into_bytes()).collect();
+        let ops: Vec<(&[u8], &[u8])> =
+            keys.iter().map(|k| (k.as_slice(), b"v".as_slice())).collect();
+        let got = client.multiwrite(T, &ops).unwrap();
+        assert!(got.iter().all(Result::is_ok));
+        assert_eq!(srv.store().object_count(), 64);
+        // Every worker that owns a touched shard served part of the batch.
+        let served = srv.shutdown();
+        assert!(
+            served.iter().filter(|&&n| n > 0).count() > 1,
+            "batch must fan out across workers: {served:?}"
+        );
     }
 }

@@ -63,7 +63,9 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    fn shard_for(&self, table: TableId, key: &[u8]) -> &RwLock<Store> {
+    /// The shard a key hashes to — the unit of dispatch affinity: the
+    /// standalone server routes all writes for one shard to one worker.
+    pub fn shard_index(&self, table: TableId, key: &[u8]) -> usize {
         // FNV's raw bits are weak for short keys; run an avalanche mix
         // before picking the shard so the in-shard index (which uses the
         // raw low bits) and the shard choice stay decorrelated.
@@ -71,15 +73,18 @@ impl ShardedStore {
         h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         h = (h ^ (h >> 27)).wrapping_mul(0x94D049BB133111EB);
         h ^= h >> 31;
-        let idx = (h as usize) % self.shards.len();
-        &self.shards[idx]
+        (h as usize) % self.shards.len()
+    }
+
+    fn shard_for(&self, table: TableId, key: &[u8]) -> &RwLock<Store> {
+        &self.shards[self.shard_index(table, key)]
     }
 
     /// Reads the current value of a key.
     pub fn read(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
-        // `Store::read` updates hit counters, hence the write lock would be
-        // needed; use the stat-free `peek` under the read lock instead.
-        self.shard_for(table, key).read().peek(table, key)
+        // `Store::read` takes `&self` (atomic hit/miss counters), so the
+        // shared read lock suffices and reads on one shard run in parallel.
+        self.shard_for(table, key).read().read(table, key)
     }
 
     /// Writes (inserts or overwrites) a key.
@@ -129,19 +134,13 @@ impl ShardedStore {
     }
 
     /// Aggregated statistics across shards.
+    ///
+    /// Uses `StoreStats`'s exhaustive `+=`, so a counter added to the engine
+    /// can never be silently dropped from the aggregate.
     pub fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for shard in &self.shards {
-            let s = shard.read().stats();
-            total.writes += s.writes;
-            total.overwrites += s.overwrites;
-            total.deletes += s.deletes;
-            total.read_hits += s.read_hits;
-            total.read_misses += s.read_misses;
-            total.cleanings += s.cleanings;
-            total.bytes_relocated += s.bytes_relocated;
-            total.segments_freed += s.segments_freed;
-            total.tombstones_dropped += s.tombstones_dropped;
+            total += shard.read().stats();
         }
         total
     }

@@ -29,10 +29,12 @@
 
 mod client;
 mod distribution;
+pub mod runner;
 mod stats;
 mod workload;
 
 pub use client::{Request, RequestGenerator, Throttle};
 pub use distribution::{Distribution, KeyChooser};
+pub use runner::{KvBackend, LatencySummary, RunSummary, RunnerConfig};
 pub use stats::ClientStats;
 pub use workload::{Mix, OpKind, StandardWorkload, WorkloadSpec};

@@ -40,7 +40,7 @@ fn main() {
             .find(|(pt, _)| pt == t)
             .map(|(_, w)| *w)
             .unwrap_or(0.0);
-        if *t as u64 % 2 == 0 {
+        if (*t as u64).is_multiple_of(2) {
             println!("  {t:>4.0} | {:>4.0}% | {watts:>6.1} W", cpu * 100.0);
         }
     }

@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never feeds them to a serializer (benchmark output is hand-written JSON),
+//! so the derives only need to *compile*: they accept the usual syntax —
+//! including `#[serde(...)]` field attributes — and emit nothing. The marker
+//! traits in the `serde` shim are implemented for all types via a blanket
+//! impl, so `T: Serialize` bounds keep working too.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
