@@ -3,7 +3,9 @@
 //! churn with cleaning, index probes).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use rmc_logstore::{key_hash, HashTable, KeyHash, LogConfig, LogPosition, SegmentId, Store, TableId};
+use rmc_logstore::{
+    key_hash, HashTable, KeyHash, LogConfig, LogPosition, SegmentId, Store, TableId,
+};
 
 const T: TableId = TableId(1);
 
@@ -11,8 +13,8 @@ fn store(max_segments: usize) -> Store {
     Store::new(LogConfig {
         segment_bytes: 1 << 20,
         max_segments,
-                ordered_index: false,
-            })
+        ordered_index: false,
+    })
 }
 
 fn bench_append(c: &mut Criterion) {
@@ -76,7 +78,10 @@ fn bench_hashtable(c: &mut Criterion) {
             i += 1;
             ht.insert(
                 KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)),
-                LogPosition { segment: SegmentId(i >> 12), offset: (i & 0xfff) as u32 },
+                LogPosition {
+                    segment: SegmentId(i >> 12),
+                    offset: (i & 0xfff) as u32,
+                },
             );
         });
     });
@@ -84,7 +89,10 @@ fn bench_hashtable(c: &mut Criterion) {
     for i in 0..1_000_000u64 {
         ht.insert(
             KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)),
-            LogPosition { segment: SegmentId(i >> 12), offset: (i & 0xfff) as u32 },
+            LogPosition {
+                segment: SegmentId(i >> 12),
+                offset: (i & 0xfff) as u32,
+            },
         );
     }
     c.bench_function("hashtable/lookup_1M", |b| {
@@ -106,5 +114,11 @@ fn bench_hashtable(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_append, bench_read, bench_overwrite_churn, bench_hashtable);
+criterion_group!(
+    benches,
+    bench_append,
+    bench_read,
+    bench_overwrite_churn,
+    bench_hashtable
+);
 criterion_main!(benches);

@@ -30,7 +30,10 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_cluster_sim_rate(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/cluster");
     g.sample_size(10);
-    for (name, w) in [("read_only", StandardWorkload::C), ("update_heavy", StandardWorkload::A)] {
+    for (name, w) in [
+        ("read_only", StandardWorkload::C),
+        ("update_heavy", StandardWorkload::A),
+    ] {
         let ops = 20_000u64;
         g.throughput(Throughput::Elements(ops * 4));
         g.bench_function(format!("{name}_4srv_4cli"), |b| {

@@ -26,7 +26,11 @@ fn bench_sharded_direct(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            black_box(store.write(T, &(i % 100_000).to_le_bytes(), &[6u8; 256]).unwrap());
+            black_box(
+                store
+                    .write(T, &(i % 100_000).to_le_bytes(), &[6u8; 256])
+                    .unwrap(),
+            );
         })
     });
     g.finish();

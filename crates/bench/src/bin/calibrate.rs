@@ -6,7 +6,13 @@ use rmc_core::{Cluster, ClusterConfig};
 use rmc_sim::{SimDuration, SimTime};
 use rmc_ycsb::{StandardWorkload, WorkloadSpec};
 
-fn run(servers: usize, clients: usize, w: StandardWorkload, repl: u32, ops: u64) -> rmc_core::RunReport {
+fn run(
+    servers: usize,
+    clients: usize,
+    w: StandardWorkload,
+    repl: u32,
+    ops: u64,
+) -> rmc_core::RunReport {
     let workload = WorkloadSpec::standard(w)
         .with_record_count(20_000)
         .with_ops_per_client(ops);
@@ -16,31 +22,65 @@ fn run(servers: usize, clients: usize, w: StandardWorkload, repl: u32, ops: u64)
 
 fn main() {
     println!("== Fig 1a anchors (read-only, no replication) ==");
-    for (s, c, target) in [(1usize, 1usize, 25_000.0), (1, 10, 300_000.0), (1, 30, 372_000.0), (5, 30, 900_000.0), (10, 30, 950_000.0)] {
+    for (s, c, target) in [
+        (1usize, 1usize, 25_000.0),
+        (1, 10, 300_000.0),
+        (1, 30, 372_000.0),
+        (5, 30, 900_000.0),
+        (10, 30, 950_000.0),
+    ] {
         let r = run(s, c, StandardWorkload::C, 0, 20_000);
-        println!("  {s} srv {c} cli: {:>9.0} op/s (paper ~{target:>9.0})  power {:>6.1} W  cpu {:?}",
-            r.throughput_ops, r.avg_node_watts(), r.cpu_min_max_pct());
+        println!(
+            "  {s} srv {c} cli: {:>9.0} op/s (paper ~{target:>9.0})  power {:>6.1} W  cpu {:?}",
+            r.throughput_ops,
+            r.avg_node_watts(),
+            r.cpu_min_max_pct()
+        );
     }
     println!("== Table I CPU anchors (1 server) ==");
-    for (c, target) in [(1usize, 49.8), (2, 74.2), (3, 79.7), (4, 89.8), (5, 94.3), (10, 98.4)] {
+    for (c, target) in [
+        (1usize, 49.8),
+        (2, 74.2),
+        (3, 79.7),
+        (4, 89.8),
+        (5, 94.3),
+        (10, 98.4),
+    ] {
         let r = run(1, c, StandardWorkload::C, 0, 10_000);
         let (lo, hi) = r.cpu_min_max_pct();
         println!("  {c} cli: cpu {lo:.1}-{hi:.1}% (paper {target}%)");
     }
     println!("== Table II anchors (10 servers, no replication) ==");
     for (w, c, target) in [
-        (StandardWorkload::A, 10usize, 98_000.0), (StandardWorkload::A, 20, 106_000.0),
-        (StandardWorkload::A, 30, 64_000.0), (StandardWorkload::A, 90, 64_000.0),
-        (StandardWorkload::B, 10, 236_000.0), (StandardWorkload::B, 30, 622_000.0), (StandardWorkload::B, 90, 844_000.0),
-        (StandardWorkload::C, 10, 236_000.0), (StandardWorkload::C, 90, 2_004_000.0),
+        (StandardWorkload::A, 10usize, 98_000.0),
+        (StandardWorkload::A, 20, 106_000.0),
+        (StandardWorkload::A, 30, 64_000.0),
+        (StandardWorkload::A, 90, 64_000.0),
+        (StandardWorkload::B, 10, 236_000.0),
+        (StandardWorkload::B, 30, 622_000.0),
+        (StandardWorkload::B, 90, 844_000.0),
+        (StandardWorkload::C, 10, 236_000.0),
+        (StandardWorkload::C, 90, 2_004_000.0),
     ] {
         let r = run(10, c, w, 0, 10_000);
-        println!("  {w:?} {c:>2} cli: {:>9.0} op/s (paper ~{target:>9.0})", r.throughput_ops);
+        println!(
+            "  {w:?} {c:>2} cli: {:>9.0} op/s (paper ~{target:>9.0})",
+            r.throughput_ops
+        );
     }
     println!("== Fig 5 anchors (20 servers, workload A, 10 clients) ==");
-    for (repl, target) in [(1u32, 78_000.0), (2, 60_000.0), (3, 50_000.0), (4, 43_000.0)] {
+    for (repl, target) in [
+        (1u32, 78_000.0),
+        (2, 60_000.0),
+        (3, 50_000.0),
+        (4, 43_000.0),
+    ] {
         let r = run(20, 10, StandardWorkload::A, repl, 10_000);
-        println!("  R={repl}: {:>8.0} op/s (paper ~{target:>8.0})  power {:>6.1} W", r.throughput_ops, r.avg_node_watts());
+        println!(
+            "  R={repl}: {:>8.0} op/s (paper ~{target:>8.0})  power {:>6.1} W",
+            r.throughput_ops,
+            r.avg_node_watts()
+        );
     }
     println!("== Fig 11 anchor (9 servers, recovery, ~1.085 GB/server) ==");
     for repl in [1u32, 2, 3, 4] {
@@ -54,8 +94,12 @@ fn main() {
         cl.plan_kill(SimTime::from_secs(60), Some(0));
         let r = cl.run_with_min_duration(SimDuration::from_secs(130));
         if let Some(rec) = &r.recovery {
-            println!("  R={repl}: recovery {:>6.1}s for {:.2} GB (paper ~{}s for 1.085GB)",
-                rec.duration_secs, rec.replayed_gb, 10 * repl);
+            println!(
+                "  R={repl}: recovery {:>6.1}s for {:.2} GB (paper ~{}s for 1.085GB)",
+                rec.duration_secs,
+                rec.replayed_gb,
+                10 * repl
+            );
         } else {
             println!("  R={repl}: NO RECOVERY REPORT");
         }

@@ -17,7 +17,9 @@
 
 use rmc_bench::chart::{bar_chart, line_chart, Series};
 use rmc_bench::{kops, mean_err, ExpCtx};
-use rmc_core::{ClientAffinity, Cluster, ClusterConfig, Consistency, ElasticPolicy, Placement, RunReport};
+use rmc_core::{
+    ClientAffinity, Cluster, ClusterConfig, Consistency, ElasticPolicy, Placement, RunReport,
+};
 use rmc_sim::{SimDuration, SimTime};
 use rmc_ycsb::{StandardWorkload, WorkloadSpec};
 
@@ -113,15 +115,24 @@ fn averaged<F: Fn(u64) -> RunReport>(ctx: &ExpCtx, f: F) -> Vec<RunReport> {
 // ---------------------------------------------------------------------
 fn fig1(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>8} {:>8} | {:>12} | {:>10}", "servers", "clients", "throughput", "power/node");
+    println!(
+        "{:>8} {:>8} | {:>12} | {:>10}",
+        "servers", "clients", "throughput", "power/node"
+    );
     for servers in [1usize, 5, 10] {
         for clients in [1usize, 10, 30] {
             let reports = averaged(ctx, |seed| {
                 let cfg = ClusterConfig::new(servers, clients, peak_workload(ctx)).with_seed(seed);
                 Cluster::new(cfg).run()
             });
-            let (thr, thr_e) = mean_err(&reports.iter().map(|r| r.throughput_ops).collect::<Vec<_>>());
-            let (pw, _) = mean_err(&reports.iter().map(|r| r.avg_node_watts()).collect::<Vec<_>>());
+            let (thr, thr_e) =
+                mean_err(&reports.iter().map(|r| r.throughput_ops).collect::<Vec<_>>());
+            let (pw, _) = mean_err(
+                &reports
+                    .iter()
+                    .map(|r| r.avg_node_watts())
+                    .collect::<Vec<_>>(),
+            );
             println!(
                 "{servers:>8} {clients:>8} | {:>9} ±{:>4.0}K | {pw:>8.1} W",
                 kops(thr),
@@ -135,7 +146,11 @@ fn fig1(ctx: &ExpCtx) {
             ]);
         }
     }
-    ctx.write_csv("fig1", "servers,clients,throughput_ops,avg_node_watts", &rows);
+    ctx.write_csv(
+        "fig1",
+        "servers,clients,throughput_ops,avg_node_watts",
+        &rows,
+    );
     let series: Vec<Series> = [1usize, 5, 10]
         .iter()
         .map(|&srv| {
@@ -148,7 +163,10 @@ fn fig1(ctx: &ExpCtx) {
             )
         })
         .collect();
-    println!("{}", line_chart("Fig 1a — throughput vs clients", &series, 48, 12));
+    println!(
+        "{}",
+        line_chart("Fig 1a — throughput vs clients", &series, 48, 12)
+    );
     println!("paper: 1 srv saturates ~372K at 30 clients; 5 and 10 srv plateau together (client-limited); power ~92 W at 1 client vs 122-127 W loaded at every size");
 }
 
@@ -157,7 +175,10 @@ fn fig1(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn table1(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>8} | {:>16} {:>16} {:>16}", "clients", "1 server", "5 servers", "10 servers");
+    println!(
+        "{:>8} | {:>16} {:>16} {:>16}",
+        "clients", "1 server", "5 servers", "10 servers"
+    );
     for clients in [0usize, 1, 2, 3, 4, 5, 10, 30] {
         let mut cells = Vec::new();
         let mut csv = vec![clients.to_string()];
@@ -167,8 +188,7 @@ fn table1(ctx: &ExpCtx) {
             } else {
                 peak_workload(ctx)
             };
-            let cfg =
-                ClusterConfig::new(servers, clients.max(1), workload).with_seed(ctx.seed);
+            let cfg = ClusterConfig::new(servers, clients.max(1), workload).with_seed(ctx.seed);
             let report = Cluster::new(cfg)
                 .run_with_min_duration(SimDuration::from_secs(if clients == 0 { 5 } else { 0 }));
             let (lo, hi) = report.cpu_min_max_pct();
@@ -176,7 +196,10 @@ fn table1(ctx: &ExpCtx) {
             csv.push(format!("{lo:.2}"));
             csv.push(format!("{hi:.2}"));
         }
-        println!("{clients:>8} | {:>16} {:>16} {:>16}", cells[0], cells[1], cells[2]);
+        println!(
+            "{clients:>8} | {:>16} {:>16} {:>16}",
+            cells[0], cells[1], cells[2]
+        );
         rows.push(csv);
     }
     ctx.write_csv(
@@ -214,13 +237,21 @@ fn fig2(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn table2(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>8} | {:>14} {:>14} {:>14}", "clients", "A (50/50)", "B (95/5)", "C (read)");
+    println!(
+        "{:>8} | {:>14} {:>14} {:>14}",
+        "clients", "A (50/50)", "B (95/5)", "C (read)"
+    );
     for clients in [10usize, 20, 30, 60, 90] {
         let mut cells = Vec::new();
         let mut csv = vec![clients.to_string()];
-        for w in [StandardWorkload::A, StandardWorkload::B, StandardWorkload::C] {
+        for w in [
+            StandardWorkload::A,
+            StandardWorkload::B,
+            StandardWorkload::C,
+        ] {
             let reports = averaged(ctx, |seed| {
-                let cfg = ClusterConfig::new(10, clients, section_v_workload(ctx, w)).with_seed(seed);
+                let cfg =
+                    ClusterConfig::new(10, clients, section_v_workload(ctx, w)).with_seed(seed);
                 Cluster::new(cfg).run()
             });
             let (thr, err) =
@@ -228,7 +259,10 @@ fn table2(ctx: &ExpCtx) {
             cells.push(format!("{} ±{}", kops(thr), kops(err)));
             csv.push(format!("{thr:.0}"));
         }
-        println!("{clients:>8} | {:>14} {:>14} {:>14}", cells[0], cells[1], cells[2]);
+        println!(
+            "{clients:>8} | {:>14} {:>14} {:>14}",
+            cells[0], cells[1], cells[2]
+        );
         rows.push(csv);
     }
     ctx.write_csv("table2", "clients,A_ops,B_ops,C_ops", &rows);
@@ -244,7 +278,15 @@ fn table2(ctx: &ExpCtx) {
             )
         })
         .collect();
-    println!("{}", line_chart("Table II — throughput vs clients (10 servers)", &series, 48, 12));
+    println!(
+        "{}",
+        line_chart(
+            "Table II — throughput vs clients (10 servers)",
+            &series,
+            48,
+            12
+        )
+    );
     println!("paper: A peaks 106K @20 then falls to 64K; B saturates ~844K; C scales to 2004K");
 }
 
@@ -254,15 +296,23 @@ fn table2(ctx: &ExpCtx) {
 fn fig3(ctx: &ExpCtx) {
     let mut base: Vec<f64> = Vec::new();
     let mut rows = Vec::new();
-    println!("{:>8} | {:>12} {:>12} {:>12} {:>10}", "clients", "read-only", "read-heavy", "update-heavy", "perfect");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>12} {:>10}",
+        "clients", "read-only", "read-heavy", "update-heavy", "perfect"
+    );
     for (ci, clients) in [10usize, 20, 30, 60, 90].iter().enumerate() {
         let mut factors = Vec::new();
         let mut csv = vec![clients.to_string()];
-        for (wi, w) in [StandardWorkload::C, StandardWorkload::B, StandardWorkload::A]
-            .iter()
-            .enumerate()
+        for (wi, w) in [
+            StandardWorkload::C,
+            StandardWorkload::B,
+            StandardWorkload::A,
+        ]
+        .iter()
+        .enumerate()
         {
-            let cfg = ClusterConfig::new(10, *clients, section_v_workload(ctx, *w)).with_seed(ctx.seed);
+            let cfg =
+                ClusterConfig::new(10, *clients, section_v_workload(ctx, *w)).with_seed(ctx.seed);
             let thr = Cluster::new(cfg).run().throughput_ops;
             if ci == 0 {
                 base.push(thr);
@@ -279,7 +329,11 @@ fn fig3(ctx: &ExpCtx) {
         );
         rows.push(csv);
     }
-    ctx.write_csv("fig3", "clients,read_only_factor,read_heavy_factor,update_heavy_factor,perfect", &rows);
+    ctx.write_csv(
+        "fig3",
+        "clients,read_only_factor,read_heavy_factor,update_heavy_factor,perfect",
+        &rows,
+    );
     println!("paper: read-only tracks perfect; read-heavy collapses between 30 and 60; update-heavy degrades below 1");
 }
 
@@ -289,13 +343,21 @@ fn fig3(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig4(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>8} | {:>12} {:>12} {:>12}   (avg W/node, 20 servers)", "clients", "read-only", "read-heavy", "update-heavy");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>12}   (avg W/node, 20 servers)",
+        "clients", "read-only", "read-heavy", "update-heavy"
+    );
     let mut energy90 = Vec::new();
     for clients in [10usize, 20, 30, 60, 90] {
         let mut cells = Vec::new();
         let mut csv = vec![clients.to_string()];
-        for w in [StandardWorkload::C, StandardWorkload::B, StandardWorkload::A] {
-            let cfg = ClusterConfig::new(20, clients, section_v_workload(ctx, w)).with_seed(ctx.seed);
+        for w in [
+            StandardWorkload::C,
+            StandardWorkload::B,
+            StandardWorkload::A,
+        ] {
+            let cfg =
+                ClusterConfig::new(20, clients, section_v_workload(ctx, w)).with_seed(ctx.seed);
             let report = Cluster::new(cfg).run();
             cells.push(report.avg_node_watts());
             csv.push(format!("{:.2}", report.avg_node_watts()));
@@ -310,7 +372,10 @@ fn fig4(ctx: &ExpCtx) {
         rows.push(csv);
     }
     ctx.write_csv("fig4a", "clients,C_watts,B_watts,A_watts", &rows);
-    println!("\nFig 4b — total energy at 90 clients (KJ, rescaled ×{} to paper request counts):", ctx.scale);
+    println!(
+        "\nFig 4b — total energy at 90 clients (KJ, rescaled ×{} to paper request counts):",
+        ctx.scale
+    );
     let mut rows_b = Vec::new();
     for (w, kj) in &energy90 {
         println!("  workload {w}: {kj:>8.1} KJ");
@@ -329,7 +394,10 @@ fn fig4(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig5(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>6} | {:>12} {:>12} {:>12}", "R", "10 clients", "30 clients", "60 clients");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12}",
+        "R", "10 clients", "30 clients", "60 clients"
+    );
     for r in 1u32..=4 {
         let mut cells = Vec::new();
         let mut csv = vec![r.to_string()];
@@ -341,10 +409,19 @@ fn fig5(ctx: &ExpCtx) {
             cells.push(thr);
             csv.push(format!("{thr:.0}"));
         }
-        println!("{r:>6} | {:>12} {:>12} {:>12}", kops(cells[0]), kops(cells[1]), kops(cells[2]));
+        println!(
+            "{r:>6} | {:>12} {:>12} {:>12}",
+            kops(cells[0]),
+            kops(cells[1]),
+            kops(cells[2])
+        );
         rows.push(csv);
     }
-    ctx.write_csv("fig5", "replication,clients10_ops,clients30_ops,clients60_ops", &rows);
+    ctx.write_csv(
+        "fig5",
+        "replication,clients10_ops,clients30_ops,clients60_ops",
+        &rows,
+    );
     let series: Vec<Series> = ["10 clients", "30 clients", "60 clients"]
         .iter()
         .enumerate()
@@ -357,7 +434,15 @@ fn fig5(ctx: &ExpCtx) {
             )
         })
         .collect();
-    println!("{}", line_chart("Fig 5 — throughput vs replication factor (20 servers)", &series, 44, 10));
+    println!(
+        "{}",
+        line_chart(
+            "Fig 5 — throughput vs replication factor (20 servers)",
+            &series,
+            44,
+            10
+        )
+    );
     println!("paper: 10 clients: 78K@R1 → 43K@R4 (−45%); saturation at higher client counts");
 }
 
@@ -367,7 +452,10 @@ fn fig5(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig6(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>6} | {:>14} {:>14} {:>14} {:>14}", "R", "10 srv", "20 srv", "30 srv", "40 srv");
+    println!(
+        "{:>6} | {:>14} {:>14} {:>14} {:>14}",
+        "R", "10 srv", "20 srv", "30 srv", "40 srv"
+    );
     for r in 1u32..=4 {
         let mut line = Vec::new();
         let mut csv = vec![r.to_string()];
@@ -383,9 +471,15 @@ fn fig6(ctx: &ExpCtx) {
                 if crashed { "*" } else { "" }
             ));
             csv.push(format!("{:.0}", report.throughput_ops));
-            csv.push(format!("{:.2}", report.total_energy_kj() * ctx.scale as f64));
+            csv.push(format!(
+                "{:.2}",
+                report.total_energy_kj() * ctx.scale as f64
+            ));
         }
-        println!("{r:>6} | {:>14} {:>14} {:>14} {:>14}   (* = timeout-crashed)", line[0], line[1], line[2], line[3]);
+        println!(
+            "{r:>6} | {:>14} {:>14} {:>14} {:>14}   (* = timeout-crashed)",
+            line[0], line[1], line[2], line[3]
+        );
         rows.push(csv);
     }
     ctx.write_csv(
@@ -409,7 +503,10 @@ fn fig7(ctx: &ExpCtx) {
             .with_seed(ctx.seed);
         let report = Cluster::new(cfg).run();
         println!("{r:>6} | {:>10.1} W", report.avg_node_watts());
-        rows.push(vec![r.to_string(), format!("{:.2}", report.avg_node_watts())]);
+        rows.push(vec![
+            r.to_string(),
+            format!("{:.2}", report.avg_node_watts()),
+        ]);
     }
     ctx.write_csv("fig7", "replication,avg_node_watts", &rows);
     println!("paper: 103 W at R1 rising to ~115 W at R4");
@@ -420,7 +517,10 @@ fn fig7(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig8(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>6} | {:>12} {:>12} {:>12}   (Kop/joule)", "R", "20 srv", "30 srv", "40 srv");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12}   (Kop/joule)",
+        "R", "20 srv", "30 srv", "40 srv"
+    );
     for r in 1u32..=4 {
         let mut cells = Vec::new();
         let mut csv = vec![r.to_string()];
@@ -432,10 +532,17 @@ fn fig8(ctx: &ExpCtx) {
             cells.push(report.ops_per_joule / 1e3);
             csv.push(format!("{:.4}", report.ops_per_joule / 1e3));
         }
-        println!("{r:>6} | {:>12.2} {:>12.2} {:>12.2}", cells[0], cells[1], cells[2]);
+        println!(
+            "{r:>6} | {:>12.2} {:>12.2} {:>12.2}",
+            cells[0], cells[1], cells[2]
+        );
         rows.push(csv);
     }
-    ctx.write_csv("fig8", "replication,srv20_kop_per_j,srv30_kop_per_j,srv40_kop_per_j", &rows);
+    ctx.write_csv(
+        "fig8",
+        "replication,srv20_kop_per_j,srv30_kop_per_j,srv40_kop_per_j",
+        &rows,
+    );
     println!("paper: with replication, MORE servers are more efficient: 1.5/1.9/2.3 Kop/J at R1 for 20/30/40; gap narrows as R grows");
 }
 
@@ -477,7 +584,11 @@ fn fig9(ctx: &ExpCtx) {
     let rec = report.recovery.as_ref().expect("recovery must run");
     println!(
         "killed at {:.0}s, detected {:.2}s, finished {:.1}s (recovery {:.1}s, {:.2} GB replayed)",
-        rec.killed_at_secs, rec.detected_at_secs, rec.finished_at_secs, rec.duration_secs, rec.replayed_gb
+        rec.killed_at_secs,
+        rec.detected_at_secs,
+        rec.finished_at_secs,
+        rec.duration_secs,
+        rec.replayed_gb
     );
     println!("{:>6} | {:>8} {:>10}", "t(s)", "cpu %", "W/node");
     let mut rows = Vec::new();
@@ -491,14 +602,25 @@ fn fig9(ctx: &ExpCtx) {
         if (*t as u64).is_multiple_of(10) || (*t > 55.0 && *t < rec.finished_at_secs + 10.0) {
             println!("{t:>6.0} | {:>7.1}% {watts:>9.1}", cpu * 100.0);
         }
-        rows.push(vec![format!("{t}"), format!("{:.4}", cpu * 100.0), format!("{watts:.2}")]);
+        rows.push(vec![
+            format!("{t}"),
+            format!("{:.4}", cpu * 100.0),
+            format!("{watts:.2}"),
+        ]);
     }
     ctx.write_csv("fig9", "t_s,cpu_pct,watts_per_node", &rows);
     let cpu_series = Series::new(
         "cpu %",
-        report.cpu_timeline.iter().map(|&(t, c)| (t, c * 100.0)).collect(),
+        report
+            .cpu_timeline
+            .iter()
+            .map(|&(t, c)| (t, c * 100.0))
+            .collect(),
     );
-    println!("{}", line_chart("Fig 9a — cluster CPU % over time", &[cpu_series], 64, 10));
+    println!(
+        "{}",
+        line_chart("Fig 9a — cluster CPU % over time", &[cpu_series], 64, 10)
+    );
     println!("paper: 25% CPU idle → 92% spike at crash, decaying over recovery; power ~→119 W");
 }
 
@@ -513,7 +635,10 @@ fn fig10(ctx: &ExpCtx) {
     let ops = 4_000_000;
     let template = recovery_cluster(ctx, 10, 9.7, 4, 2, ops);
     let mut cfg = template.config().clone();
-    cfg.client_affinity = Some(vec![ClientAffinity::On(victim), ClientAffinity::NotOn(victim)]);
+    cfg.client_affinity = Some(vec![
+        ClientAffinity::On(victim),
+        ClientAffinity::NotOn(victim),
+    ]);
     let mut cluster = Cluster::new(cfg);
     cluster.plan_kill(SimTime::from_secs(60), Some(victim));
     let report = cluster.run_with_min_duration(SimDuration::from_secs(140));
@@ -524,7 +649,11 @@ fn fig10(ctx: &ExpCtx) {
     );
     let mut rows = Vec::new();
     for (c, tl) in report.per_client_latency_timelines.iter().enumerate() {
-        let label = if c == 0 { "client 1 (lost data)" } else { "client 2 (live data)" };
+        let label = if c == 0 {
+            "client 1 (lost data)"
+        } else {
+            "client 2 (live data)"
+        };
         println!("{label}: {} timeline points", tl.len());
         // Print the interesting region.
         for (t, us) in tl.iter().filter(|(t, _)| (50.0..130.0).contains(t)) {
@@ -540,11 +669,16 @@ fn fig10(ctx: &ExpCtx) {
             .filter(|t| (rec.detected_at_secs + 1.0..rec.finished_at_secs - 1.0).contains(t))
             .collect();
         if c == 0 {
-            println!("  completions during recovery window: {} (paper: blocked, 0)", gap.len());
+            println!(
+                "  completions during recovery window: {} (paper: blocked, 0)",
+                gap.len()
+            );
         }
     }
     ctx.write_csv("fig10", "client,t_s,mean_latency_us", &rows);
-    println!("paper: lost-data client blocked ~40 s; live-data client latency 15 → 35 µs (1.4-2.4x)");
+    println!(
+        "paper: lost-data client blocked ~40 s; live-data client latency 15 → 35 µs (1.4-2.4x)"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -553,7 +687,10 @@ fn fig10(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig11(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>6} | {:>12} | {:>14} | {:>10}", "R", "recovery s", "node energy KJ", "GB");
+    println!(
+        "{:>6} | {:>12} | {:>14} | {:>10}",
+        "R", "recovery s", "node energy KJ", "GB"
+    );
     for r in 1u32..=5 {
         let cluster = recovery_cluster(ctx, 9, 9.765, r, 1, 0);
         let report = cluster.run_with_min_duration(SimDuration::from_secs(150));
@@ -580,7 +717,11 @@ fn fig11(ctx: &ExpCtx) {
             format!("{avg_w:.1}"),
         ]);
     }
-    ctx.write_csv("fig11", "replication,recovery_s,node_energy_kj,avg_node_watts", &rows);
+    ctx.write_csv(
+        "fig11",
+        "replication,recovery_s,node_energy_kj,avg_node_watts",
+        &rows,
+    );
     let bars: Vec<(String, f64)> = rows
         .iter()
         .map(|r| (format!("R={}", r[0]), r[1].parse().unwrap()))
@@ -596,7 +737,10 @@ fn fig12(ctx: &ExpCtx) {
     let cluster = recovery_cluster(ctx, 9, 9.765, 4, 1, 0);
     let report = cluster.run_with_min_duration(SimDuration::from_secs(150));
     let rec = report.recovery.as_ref().expect("recovery must run");
-    println!("recovery window: {:.1}s → {:.1}s", rec.detected_at_secs, rec.finished_at_secs);
+    println!(
+        "recovery window: {:.1}s → {:.1}s",
+        rec.detected_at_secs, rec.finished_at_secs
+    );
     println!("{:>6} | {:>10} {:>10}", "t(s)", "read MB/s", "write MB/s");
     let mut rows = Vec::new();
     for (t, r, w) in &report.disk_timeline {
@@ -614,15 +758,17 @@ fn fig12(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn fig13(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>8} | {:>14} {:>14}", "clients", "rate 200 r/s", "rate 500 r/s");
+    println!(
+        "{:>8} | {:>14} {:>14}",
+        "clients", "rate 200 r/s", "rate 500 r/s"
+    );
     for clients in [10usize, 30, 60] {
         let mut cells = Vec::new();
         let mut csv = vec![clients.to_string()];
         for rate in [200.0f64, 500.0] {
             // Bound ops so each run covers ~20 s of paced traffic.
             let ops = (rate as u64) * 20;
-            let workload =
-                WorkloadSpec::standard(StandardWorkload::A).with_ops_per_client(ops);
+            let workload = WorkloadSpec::standard(StandardWorkload::A).with_ops_per_client(ops);
             let cfg = ClusterConfig::new(10, clients, workload)
                 .with_replication(2)
                 .with_throttle(rate)
@@ -635,7 +781,9 @@ fn fig13(ctx: &ExpCtx) {
         rows.push(csv);
     }
     ctx.write_csv("fig13", "clients,rate200_ops,rate500_ops", &rows);
-    println!("paper: linear scaling (clients × rate), no crashes, even at 10 servers with replication");
+    println!(
+        "paper: linear scaling (clients × rate), no crashes, even at 10 servers with replication"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -644,7 +792,10 @@ fn fig13(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn ablation_segment(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>10} | {:>12} {:>12}   (recovery seconds, R3)", "segment", "HDD", "SSD");
+    println!(
+        "{:>10} | {:>12} {:>12}   (recovery seconds, R3)",
+        "segment", "HDD", "SSD"
+    );
     for mb in [1usize, 2, 4, 8, 16, 32] {
         let mut cells = Vec::new();
         let mut csv = vec![format!("{mb}")];
@@ -665,7 +816,11 @@ fn ablation_segment(ctx: &ExpCtx) {
         println!("{:>8}MB | {:>10.1} s {:>10.1} s", mb, cells[0], cells[1]);
         rows.push(csv);
     }
-    ctx.write_csv("ablation_segment", "segment_mb,hdd_recovery_s,ssd_recovery_s", &rows);
+    ctx.write_csv(
+        "ablation_segment",
+        "segment_mb,hdd_recovery_s,ssd_recovery_s",
+        &rows,
+    );
     println!("paper (§IX): 8 MB gave the best recovery times on their HDDs; smaller segments pay off only with SSDs");
 }
 
@@ -674,7 +829,10 @@ fn ablation_segment(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn ablation_consistency(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>6} | {:>12} {:>12} | {:>10} {:>10}  (20 servers, 10 clients, A)", "R", "strong", "relaxed", "str W/node", "rlx W/node");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>10} {:>10}  (20 servers, 10 clients, A)",
+        "R", "strong", "relaxed", "str W/node", "rlx W/node"
+    );
     for r in 1u32..=4 {
         let mut thr = Vec::new();
         let mut pw = Vec::new();
@@ -707,7 +865,9 @@ fn ablation_consistency(ctx: &ExpCtx) {
         "replication,strong_ops,relaxed_ops,strong_watts,relaxed_watts",
         &rows,
     );
-    println!("§IX-B hypothesis: answering before backup acks removes most of the replication penalty");
+    println!(
+        "§IX-B hypothesis: answering before backup acks removes most of the replication penalty"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -716,11 +876,18 @@ fn ablation_consistency(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn ablation_cleaner(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>14} | {:>12} | {:>16}", "memory budget", "throughput", "cleanings/node");
+    println!(
+        "{:>14} | {:>12} | {:>16}",
+        "memory budget", "throughput", "cleanings/node"
+    );
     // Per-node volume here is tiny (≈25 MB appended nominal), so "tight"
     // budgets are a few segments — enough to force cleaning into the write
     // path without changing the workload.
-    for (label, memory_gb) in [("ample (10GB)", 10.0f64), ("tight (40MB)", 0.040), ("very tight (32MB)", 0.032)] {
+    for (label, memory_gb) in [
+        ("ample (10GB)", 10.0f64),
+        ("tight (40MB)", 0.040),
+        ("very tight (32MB)", 0.032),
+    ] {
         let workload = WorkloadSpec::standard(StandardWorkload::A)
             .with_record_count(100_000)
             .with_ops_per_client(ctx.ops(100_000));
@@ -728,7 +895,9 @@ fn ablation_cleaner(ctx: &ExpCtx) {
         cfg.memory_bytes = (memory_gb * (1u64 << 30) as f64) as u64;
         let mut cluster = Cluster::new(cfg);
         cluster.preload();
-        let cleanings_before: u64 = (0..10).map(|n| cluster.node(n).store.stats().cleanings).sum();
+        let cleanings_before: u64 = (0..10)
+            .map(|n| cluster.node(n).store.stats().cleanings)
+            .sum();
         let report = cluster.run();
         println!(
             "{label:>14} | {:>12} | (pre-run: {cleanings_before})",
@@ -753,7 +922,10 @@ fn ablation_copyset(ctx: &ExpCtx) {
     let r = 3u32;
     let trials = 200u64;
     let mut rows = Vec::new();
-    println!("{:>10} | {:>14} {:>14}   ({} servers, R={r}, {} trials)", "dead", "random", "copyset", servers, trials);
+    println!(
+        "{:>10} | {:>14} {:>14}   ({} servers, R={r}, {} trials)",
+        "dead", "random", "copyset", servers, trials
+    );
     for dead_count in [3usize, 4, 5] {
         let mut csv = vec![dead_count.to_string()];
         let mut cells = Vec::new();
@@ -786,10 +958,18 @@ fn ablation_copyset(ctx: &ExpCtx) {
             cells.push(losses as f64 / trials as f64);
             csv.push(format!("{:.4}", losses as f64 / trials as f64));
         }
-        println!("{dead_count:>10} | {:>13.1}% {:>13.1}%", cells[0] * 100.0, cells[1] * 100.0);
+        println!(
+            "{dead_count:>10} | {:>13.1}% {:>13.1}%",
+            cells[0] * 100.0,
+            cells[1] * 100.0
+        );
         rows.push(csv);
     }
-    ctx.write_csv("ablation_copyset", "simultaneous_failures,random_loss_prob,copyset_loss_prob", &rows);
+    ctx.write_csv(
+        "ablation_copyset",
+        "simultaneous_failures,random_loss_prob,copyset_loss_prob",
+        &rows,
+    );
     println!("expected: copyset placement loses data in far fewer failure combinations (Cidon et al., cited as [28])");
 }
 
@@ -799,7 +979,10 @@ fn ablation_copyset(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn ablation_elastic(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>9}", "clients", "static op/s", "elast op/s", "static KJ", "elast KJ", "saved");
+    println!(
+        "{:>10} | {:>12} {:>12} | {:>12} {:>12} | {:>9}",
+        "clients", "static op/s", "elast op/s", "static KJ", "elast KJ", "saved"
+    );
     for clients in [1usize, 2, 6] {
         // Sustained light load: throttled clients for a ~60 s window (the
         // Sierra-style "low I/O activity period" the paper's §IX-A cites).
@@ -847,7 +1030,10 @@ fn ablation_elastic(ctx: &ExpCtx) {
 // ---------------------------------------------------------------------
 fn extra_workloads(ctx: &ExpCtx) {
     let mut rows = Vec::new();
-    println!("{:>10} | {:>12} | {:>10} | {:>10}   (10 servers, 30 clients)", "workload", "throughput", "W/node", "op/J");
+    println!(
+        "{:>10} | {:>12} | {:>10} | {:>10}   (10 servers, 30 clients)",
+        "workload", "throughput", "W/node", "op/J"
+    );
     for w in [
         StandardWorkload::A,
         StandardWorkload::B,
@@ -871,6 +1057,10 @@ fn extra_workloads(ctx: &ExpCtx) {
             format!("{:.1}", report.ops_per_joule),
         ]);
     }
-    ctx.write_csv("extra_workloads", "workload,throughput_ops,avg_node_watts,ops_per_joule", &rows);
+    ctx.write_csv(
+        "extra_workloads",
+        "workload,throughput_ops,avg_node_watts,ops_per_joule",
+        &rows,
+    );
     println!("expectation: D behaves like B (reads dominate; inserts are writes); F behaves like A (RMW pays the update path)");
 }

@@ -6,6 +6,13 @@
 //! emitting a machine-readable `BENCH_standalone.json` (schema validated by
 //! `rmc_bench::report`, which CI's smoke run re-checks).
 //!
+//! A second backend drives the same workloads through the replicated
+//! mini-cluster (`rmc_standalone::MiniCluster`): coordinator + masters +
+//! backups as real threads, every write paying the primary-backup
+//! replication round trip. Its numbers land in the report's
+//! `mini_cluster` section — the wall-clock cost of durability next to the
+//! unreplicated single-server rows.
+//!
 //! Usage:
 //!   standalone_ycsb [--smoke] [--out PATH]   run the sweep, write a report
 //!   standalone_ycsb --check PATH             validate an existing report
@@ -13,11 +20,16 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use crossbeam::channel::{Receiver, Sender};
 use rmc_bench::json::{self, Json};
-use rmc_bench::report::{validate_standalone_report, SCHEMA_VERSION};
 use rmc_bench::kops;
+use rmc_bench::report::{validate_standalone_report, SCHEMA_VERSION};
+use rmc_core::protocol::ProtocolConfig;
 use rmc_logstore::{LogConfig, TableId};
-use rmc_standalone::{Client, DispatchMode, ServerConfig, StandaloneServer};
+use rmc_runtime::SimDuration;
+use rmc_standalone::{
+    Client, DispatchMode, MiniClient, MiniCluster, ServerConfig, StandaloneServer,
+};
 use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
 use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
 
@@ -64,6 +76,71 @@ impl KvBackend for StandaloneBackend {
             outcome.map_err(|e| e.to_string())?;
         }
         Ok(())
+    }
+}
+
+/// Adapts the replicated mini-cluster to the runner's backend trait.
+///
+/// `MiniClient` ops take `&mut self` (they own a reply channel), so the
+/// backend keeps a pool of clients in a channel: each op checks one out,
+/// runs against it, and returns it. Pool size matches the runner's thread
+/// count, so checkout never blocks in steady state.
+struct MiniClusterBackend {
+    ret: Sender<MiniClient>,
+    pool: Receiver<MiniClient>,
+}
+
+impl MiniClusterBackend {
+    fn new(clients: Vec<MiniClient>) -> Self {
+        let (ret, pool) = crossbeam::channel::unbounded();
+        for c in clients {
+            ret.send(c).expect("pool channel open");
+        }
+        MiniClusterBackend { ret, pool }
+    }
+
+    fn with_client<T>(
+        &self,
+        f: impl FnOnce(&mut MiniClient) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let mut client = self
+            .pool
+            .recv()
+            .map_err(|_| "mini-cluster client pool closed".to_string())?;
+        let result = f(&mut client);
+        let _ = self.ret.send(client);
+        result
+    }
+}
+
+impl KvBackend for MiniClusterBackend {
+    fn read(&self, key: &[u8]) -> Result<bool, String> {
+        self.with_client(|c| c.get(key).map(|r| r.is_some()))
+    }
+
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.with_client(|c| c.put(key, value))
+    }
+
+    fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
+        self.with_client(|c| {
+            let mut found = 0;
+            for key in keys {
+                if c.get(key)?.is_some() {
+                    found += 1;
+                }
+            }
+            Ok(found)
+        })
+    }
+
+    fn multiwrite(&self, ops: &[(Vec<u8>, Vec<u8>)]) -> Result<(), String> {
+        self.with_client(|c| {
+            for (key, value) in ops {
+                c.put(key, value)?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -195,6 +272,65 @@ fn run_one(
     })
 }
 
+/// Mini-cluster shape: small enough that the channel-bound replicated
+/// path finishes promptly, big enough to exercise bucket spread.
+const MINI_SERVERS: usize = 4;
+const MINI_REPLICATION: usize = 2;
+
+/// Runs the comparison mix through the replicated mini-cluster: real
+/// coordinator/master/backup threads, every write acked only after its
+/// replicas are staged. Returns the report's `mini_cluster` section.
+fn run_mini(scale: Scale) -> Result<Json, String> {
+    let pool = scale.clients;
+    let mut cfg = ProtocolConfig::new(MINI_SERVERS, pool, MINI_REPLICATION);
+    // Wall-clock-safe control-plane timings (scheduler jitter must not
+    // masquerade as a missed heartbeat).
+    cfg.heartbeat_interval = SimDuration::from_millis(15);
+    cfg.failure_timeout = SimDuration::from_millis(150);
+    cfg.retry_timeout = SimDuration::from_millis(50);
+
+    let mut spec = spec_for(COMPARISON_MIX, 0.95, scale);
+    // Every op is a cross-thread RPC (writes add a replication round
+    // trip), so run a slice of the single-server volume.
+    spec.record_count = (scale.record_count / 4).max(64);
+    spec.ops_per_client = (scale.ops_per_client / 10).max(100);
+
+    let (cluster, clients) = MiniCluster::start(cfg);
+    let backend = Arc::new(MiniClusterBackend::new(clients));
+    runner::load(&*backend, &spec, 1)?;
+    let summary = runner::run(
+        &backend,
+        &spec,
+        &RunnerConfig {
+            clients: pool,
+            batch_size: 1,
+            seed: 42,
+        },
+    )?;
+    drop(backend);
+    cluster.shutdown();
+    println!(
+        "  {:<14} servers={MINI_SERVERS} r={MINI_REPLICATION} mix={COMPARISON_MIX:<8} {:>9} ops/s  write p99 {:>8.1} us",
+        "mini_cluster",
+        kops(summary.throughput_ops_per_sec),
+        summary.writes.p99_us,
+    );
+    Ok(Json::obj(vec![
+        ("servers", MINI_SERVERS.into()),
+        ("replication", MINI_REPLICATION.into()),
+        ("mix", COMPARISON_MIX.into()),
+        ("record_count", spec.record_count.into()),
+        ("ops", summary.ops.into()),
+        ("elapsed_secs", summary.elapsed_secs.into()),
+        (
+            "throughput_ops_per_sec",
+            summary.throughput_ops_per_sec.into(),
+        ),
+        ("read_latency_us", latency_json(&summary.reads)),
+        ("write_latency_us", latency_json(&summary.writes)),
+    ]))
+}
+
 fn sweep(scale: Scale) -> Result<Vec<Measurement>, String> {
     let mut all = Vec::new();
     for &dispatch in &[DispatchMode::GlobalQueue, DispatchMode::ShardAffinity] {
@@ -216,7 +352,7 @@ fn sweep(scale: Scale) -> Result<Vec<Measurement>, String> {
     Ok(all)
 }
 
-fn report(measurements: &[Measurement], scale: Scale) -> Result<Json, String> {
+fn report(measurements: &[Measurement], mini: Json, scale: Scale) -> Result<Json, String> {
     let results: Vec<Json> = measurements
         .iter()
         .map(|m| {
@@ -287,6 +423,7 @@ fn report(measurements: &[Measurement], scale: Scale) -> Result<Json, String> {
                 ("speedup", speedup.into()),
             ]),
         ),
+        ("mini_cluster", mini),
     ]))
 }
 
@@ -343,7 +480,8 @@ fn main() -> ExitCode {
         scale.ops_per_client,
     );
     let outcome = sweep(scale).and_then(|measurements| {
-        let doc = report(&measurements, scale)?;
+        let mini = run_mini(scale)?;
+        let doc = report(&measurements, mini, scale)?;
         // Never emit a report CI's validator would reject.
         validate_standalone_report(&doc)?;
         std::fs::write(&out, format!("{doc}\n")).map_err(|e| format!("write {out}: {e}"))?;

@@ -38,7 +38,10 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         out.push_str("  (no data)\n");
         return out;
@@ -79,11 +82,7 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>10}{}\n",
-        "+",
-        "-".repeat(width)
-    ));
+    out.push_str(&format!("{:>10}{}\n", "+", "-".repeat(width)));
     out.push_str(&format!(
         "{:>10}{:<w$}{}\n",
         "",
@@ -194,8 +193,18 @@ mod tests {
             ("A".to_owned(), 148.0),
         ];
         let chart = bar_chart("Fig 4b", &bars, 30);
-        let a_len = chart.lines().find(|l| l.contains("A |")).unwrap().matches('█').count();
-        let c_len = chart.lines().find(|l| l.contains("C |")).unwrap().matches('█').count();
+        let a_len = chart
+            .lines()
+            .find(|l| l.contains("A |"))
+            .unwrap()
+            .matches('█')
+            .count();
+        let c_len = chart
+            .lines()
+            .find(|l| l.contains("C |"))
+            .unwrap()
+            .matches('█')
+            .count();
         assert!(a_len > c_len * 3, "{chart}");
         assert_eq!(a_len, 30);
     }

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn ops_scaling_floors() {
-        let ctx = ExpCtx { scale: 10, ..ExpCtx::default() };
+        let ctx = ExpCtx {
+            scale: 10,
+            ..ExpCtx::default()
+        };
         assert_eq!(ctx.ops(100_000), 10_000);
         assert_eq!(ctx.ops(500), 200, "floor keeps runs meaningful");
     }

@@ -11,7 +11,8 @@ use crate::json::Json;
 pub const SCHEMA_VERSION: u64 = 1;
 
 fn field<'a>(obj: &'a Json, ctx: &str, key: &str) -> Result<&'a Json, String> {
-    obj.get(key).ok_or_else(|| format!("{ctx}: missing \"{key}\""))
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing \"{key}\""))
 }
 
 fn num(obj: &Json, ctx: &str, key: &str) -> Result<f64, String> {
@@ -105,6 +106,27 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
     if (speedup - affinity / baseline).abs() > 1e-6 * speedup.max(1.0) {
         return Err("comparison: speedup != affinity/baseline".into());
     }
+
+    // The replicated mini-cluster section is optional (older reports
+    // predate it), but when present it must be coherent.
+    if let Some(mini) = doc.get("mini_cluster") {
+        for key in ["servers", "replication", "record_count", "ops"] {
+            if num(mini, "mini_cluster", key)? < 1.0 {
+                return Err(format!("mini_cluster: \"{key}\" must be >= 1"));
+            }
+        }
+        if num(mini, "mini_cluster", "replication")? >= num(mini, "mini_cluster", "servers")? {
+            return Err("mini_cluster: replication must be < servers".into());
+        }
+        string(mini, "mini_cluster", "mix")?;
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(mini, "mini_cluster", key)? <= 0.0 {
+                return Err(format!("mini_cluster: \"{key}\" must be positive"));
+            }
+        }
+        latency(mini, "mini_cluster", "read_latency_us")?;
+        latency(mini, "mini_cluster", "write_latency_us")?;
+    }
     Ok(())
 }
 
@@ -136,14 +158,53 @@ mod tests {
         validate_standalone_report(&parse(&minimal()).unwrap()).unwrap();
     }
 
+    fn with_mini(mini: &str) -> String {
+        minimal().replace(
+            "\"comparison\": {",
+            &format!("\"mini_cluster\": {mini}, \"comparison\": {{"),
+        )
+    }
+
+    const MINI_OK: &str = r#"{
+        "servers": 4, "replication": 2, "mix": "read95",
+        "record_count": 128, "ops": 400,
+        "elapsed_secs": 0.2, "throughput_ops_per_sec": 2000.0,
+        "read_latency_us": {"count": 380, "mean": 40.0, "p50": 35.0, "p90": 60.0, "p99": 90.0, "max": 120.0},
+        "write_latency_us": {"count": 20, "mean": 80.0, "p50": 70.0, "p90": 110.0, "p99": 150.0, "max": 180.0}
+    }"#;
+
+    #[test]
+    fn accepts_report_with_mini_cluster_section() {
+        validate_standalone_report(&parse(&with_mini(MINI_OK)).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_incoherent_mini_cluster_section() {
+        let bad = MINI_OK.replace("\"replication\": 2", "\"replication\": 4");
+        let err = validate_standalone_report(&parse(&with_mini(&bad)).unwrap()).unwrap_err();
+        assert!(err.contains("replication"), "got {err}");
+    }
+
     #[test]
     fn rejects_missing_fields_and_bad_values() {
         for (needle, replacement, expect) in [
-            ("\"schema_version\": 1", "\"schema_version\": 2", "schema_version"),
+            (
+                "\"schema_version\": 1",
+                "\"schema_version\": 2",
+                "schema_version",
+            ),
             ("standalone_ycsb", "other_bench", "benchmark"),
-            ("\"results\": [{", "\"results\": [], \"ignored\": [{", "non-empty"),
+            (
+                "\"results\": [{",
+                "\"results\": [], \"ignored\": [{",
+                "non-empty",
+            ),
             ("shard_affinity", "mystery_mode", "dispatch"),
-            ("\"read_fraction\": 0.95", "\"read_fraction\": 1.5", "read_fraction"),
+            (
+                "\"read_fraction\": 0.95",
+                "\"read_fraction\": 1.5",
+                "read_fraction",
+            ),
             ("\"speedup\": 2.0", "\"speedup\": 3.0", "speedup"),
             ("\"p99\": 9.0, \"max\": 11.0", "\"max\": 11.0", "p99"),
         ] {

@@ -1,8 +1,10 @@
 //! The simulated RAMCloud cluster: clients, masters, backups, coordinator,
 //! network, disks, and the experiment driver.
 //!
-//! One [`Cluster`] value is the state `S` of an `rmc_sim::Simulation`;
-//! events are closures calling back into `Cluster` methods. The data plane
+//! One [`Cluster`] value is the state `S` of a discrete-event run driven
+//! through [`crate::sim_runtime::SimRuntime`] (the only module that touches
+//! the engine); events are closures calling back into `Cluster` methods.
+//! The data plane
 //! is real (`rmc_logstore`): every write stores actual bytes, every
 //! replication message carries the serialized entry, and crash recovery
 //! replays real segment replicas — so correctness is testable end to end
@@ -16,7 +18,7 @@ use rmc_logstore::{
     CleanerConfig, CompletionId, LogConfig, LogEntry, ObjectRecord, Store, TableId,
 };
 use rmc_net::Network;
-use rmc_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulation};
+use rmc_runtime::{SimDuration, SimRng, SimTime};
 use rmc_ycsb::{ClientStats, OpKind, RequestGenerator, Throttle};
 
 use crate::config::{ClientAffinity, ClusterConfig, Consistency, Placement};
@@ -24,11 +26,12 @@ use crate::coordinator::{Coordinator, RecoveryState};
 use crate::ids::OpId;
 use crate::node::{QueuedWork, SegMeta, ServerNode};
 use crate::report::{RecoveryReport, RunReport};
+use crate::sim_runtime::{self, SimRuntime};
 
 /// The single table used by the benchmark (the paper loads one YCSB table).
 pub const BENCH_TABLE: TableId = TableId(1);
 
-type Sched<'a> = &'a mut Scheduler<Cluster>;
+type Sched<'a, 'b> = &'a mut SimRuntime<'b, Cluster>;
 
 /// A client machine running one closed-loop YCSB client.
 #[derive(Debug)]
@@ -76,7 +79,11 @@ enum OpPayload {
         recovery: bool,
     },
     /// A batch of entries being replayed on a recovery master.
-    ReplayChunk { bytes: Vec<u8>, entries: u64, nominal: u64 },
+    ReplayChunk {
+        bytes: Vec<u8>,
+        entries: u64,
+        nominal: u64,
+    },
 }
 
 /// An in-flight operation.
@@ -136,8 +143,8 @@ impl Cluster {
                     LogConfig {
                         segment_bytes: cfg.stored_segment_bytes(),
                         max_segments: cfg.max_segments(),
-                ordered_index: false,
-            },
+                        ordered_index: false,
+                    },
                     CleanerConfig::default(),
                 );
                 ServerNode::new(id, store, DiskModel::new(cfg.disk.clone()), &cfg.calib)
@@ -261,7 +268,10 @@ impl Cluster {
                 let nominal = entries * nominal_entry;
                 for &b in &backups {
                     if sealed {
-                        self.nodes[b].backup.flushed.insert((master, sid.0), bytes.clone());
+                        self.nodes[b]
+                            .backup
+                            .flushed
+                            .insert((master, sid.0), bytes.clone());
                     } else {
                         self.nodes[b].backup.stage(master, sid.0, &bytes, nominal);
                     }
@@ -425,7 +435,10 @@ impl Cluster {
             return;
         }
         let server = self.coord.owner_of_bucket(bucket);
-        let is_write = matches!(kind, OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite);
+        let is_write = matches!(
+            kind,
+            OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite
+        );
         let overhead_us = if is_write {
             self.cfg.calib.client_write_overhead_us
         } else {
@@ -462,13 +475,24 @@ impl Cluster {
     }
 
     fn client_receive(&mut self, op: OpId, sched: Sched) {
-        let Some(state) = self.ops.remove(&op) else { return };
-        let OpPayload::Client { client, kind, sent_at, .. } = state.payload else {
+        let Some(state) = self.ops.remove(&op) else {
+            return;
+        };
+        let OpPayload::Client {
+            client,
+            kind,
+            sent_at,
+            ..
+        } = state.payload
+        else {
             return;
         };
         let now = sched.now();
         let latency = now.saturating_since(sent_at);
-        let is_write = matches!(kind, OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite);
+        let is_write = matches!(
+            kind,
+            OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite
+        );
         self.clients[client].stats.record(now, latency, is_write);
         self.completed_ops += 1;
         self.last_completion = now;
@@ -484,7 +508,9 @@ impl Cluster {
 
     fn op_arrive(&mut self, op: OpId, sched: Sched) {
         let now = sched.now();
-        let Some(state) = self.ops.get(&op) else { return };
+        let Some(state) = self.ops.get(&op) else {
+            return;
+        };
         let node_id = state.node;
         if !self.nodes[node_id].alive {
             self.fail_op_dead_server(op);
@@ -497,9 +523,8 @@ impl Cluster {
                 // deadlock the worker pool.
                 let entries = *entries;
                 let node = &mut self.nodes[node_id];
-                let per = SimDuration::from_micros_f64(
-                    self.cfg.calib.backup_write_us * entries as f64,
-                );
+                let per =
+                    SimDuration::from_micros_f64(self.cfg.calib.backup_write_us * entries as f64);
                 let start = now.max(node.dispatch_free);
                 let done = start + SimDuration::from_micros_f64(self.cfg.calib.dispatch_us) + per;
                 node.dispatch_free = done;
@@ -529,10 +554,15 @@ impl Cluster {
 
     fn try_assign(&mut self, node_id: usize, op: OpId, ready: SimTime, sched: Sched) {
         let calib = self.cfg.calib.clone();
-        let Some(state) = self.ops.get(&op) else { return };
+        let Some(state) = self.ops.get(&op) else {
+            return;
+        };
         let is_client_write = matches!(
             state.payload,
-            OpPayload::Client { kind: OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite, .. }
+            OpPayload::Client {
+                kind: OpKind::Update | OpKind::Insert | OpKind::ReadModifyWrite,
+                ..
+            }
         );
         let is_replay = matches!(state.payload, OpPayload::ReplayChunk { .. });
         let replay_entries = match &state.payload {
@@ -541,7 +571,10 @@ impl Cluster {
         };
         let node = &mut self.nodes[node_id];
         let Some(w) = node.pick_worker(ready) else {
-            node.pending.push_back(QueuedWork { op, ready_at: ready });
+            node.pending.push_back(QueuedWork {
+                op,
+                ready_at: ready,
+            });
             return;
         };
         let idle_since = node.workers[w].free_at;
@@ -570,11 +603,15 @@ impl Cluster {
         if let Some(state) = self.ops.get_mut(&op) {
             state.worker = Some(w);
         }
-        sched.schedule_at(local_done, move |cl: &mut Cluster, s| cl.op_local_done(op, s));
+        sched.schedule_at(local_done, move |cl: &mut Cluster, s| {
+            cl.op_local_done(op, s)
+        });
     }
 
     fn op_local_done(&mut self, op: OpId, sched: Sched) {
-        let Some(state) = self.ops.get(&op) else { return };
+        let Some(state) = self.ops.get(&op) else {
+            return;
+        };
         let node_id = state.node;
         if !self.nodes[node_id].alive {
             self.fail_op_dead_server(op);
@@ -608,8 +645,12 @@ impl Cluster {
     }
 
     fn execute_read(&mut self, node_id: usize, op: OpId) {
-        let Some(state) = self.ops.get(&op) else { return };
-        let OpPayload::Client { key_index, .. } = state.payload else { return };
+        let Some(state) = self.ops.get(&op) else {
+            return;
+        };
+        let OpPayload::Client { key_index, .. } = state.payload else {
+            return;
+        };
         let key = self.cfg.workload.key_for(key_index);
         // Real data-plane read; misses only for not-yet-inserted keys.
         let _ = self.nodes[node_id].store.read(BENCH_TABLE, &key);
@@ -618,9 +659,12 @@ impl Cluster {
     fn execute_write_and_replicate(&mut self, node_id: usize, op: OpId, sched: Sched) {
         let now = sched.now();
         let (key_index, client, seq) = match self.ops.get(&op).map(|s| &s.payload) {
-            Some(OpPayload::Client { key_index, client, seq, .. }) => {
-                (*key_index, *client, *seq)
-            }
+            Some(OpPayload::Client {
+                key_index,
+                client,
+                seq,
+                ..
+            }) => (*key_index, *client, *seq),
             _ => return,
         };
         let completion = CompletionId {
@@ -669,7 +713,10 @@ impl Cluster {
                 },
             );
         }
-        let meta = self.nodes[node_id].segments.get_mut(&head_seg).expect("just ensured");
+        let meta = self.nodes[node_id]
+            .segments
+            .get_mut(&head_seg)
+            .expect("just ensured");
         meta.nominal_bytes += nominal_entry;
         meta.entries += 1;
         let backups: Vec<usize> = meta.backups.clone();
@@ -731,7 +778,9 @@ impl Cluster {
             let bytes = nominal_entry + 40;
             sched.schedule_at(send_at, move |cl: &mut Cluster, s| {
                 let arrival = cl.net.transfer(s.now(), node_id, b, bytes);
-                s.schedule_at(arrival, move |cl: &mut Cluster, s| cl.op_arrive(stage_op, s));
+                s.schedule_at(arrival, move |cl: &mut Cluster, s| {
+                    cl.op_arrive(stage_op, s)
+                });
             });
         }
         if strong {
@@ -742,7 +791,9 @@ impl Cluster {
 
     fn seal_segment(&mut self, master: usize, segment: u64, sched: Sched) {
         let now = sched.now();
-        let Some(meta) = self.nodes[master].segments.get_mut(&segment) else { return };
+        let Some(meta) = self.nodes[master].segments.get_mut(&segment) else {
+            return;
+        };
         if meta.sealed {
             return;
         }
@@ -764,7 +815,9 @@ impl Cluster {
 
     fn finish_backup_stage(&mut self, op: OpId, sched: Sched) {
         let now = sched.now();
-        let Some(state) = self.ops.get_mut(&op) else { return };
+        let Some(state) = self.ops.get_mut(&op) else {
+            return;
+        };
         let node_id = state.node;
         let (master, segment, bytes, nominal, reply_to, recovery) = match &mut state.payload {
             OpPayload::BackupStage {
@@ -786,7 +839,9 @@ impl Cluster {
             _ => return,
         };
         self.ops.remove(&op);
-        self.nodes[node_id].backup.stage(master, segment, &bytes, nominal);
+        self.nodes[node_id]
+            .backup
+            .stage(master, segment, &bytes, nominal);
         self.nodes[node_id].mem_write.add(now, nominal as f64);
 
         let mut ack_at = now;
@@ -809,14 +864,18 @@ impl Cluster {
         if let Some(master_op) = reply_to {
             sched.schedule_at(ack_at, move |cl: &mut Cluster, s| {
                 let arrival = cl.net.transfer(s.now(), node_id, master, 32);
-                s.schedule_at(arrival, move |cl: &mut Cluster, s| cl.ack_arrive(master_op, s));
+                s.schedule_at(arrival, move |cl: &mut Cluster, s| {
+                    cl.ack_arrive(master_op, s)
+                });
             });
         }
     }
 
     fn ack_arrive(&mut self, master_op: OpId, sched: Sched) {
         let now = sched.now();
-        let Some(state) = self.ops.get_mut(&master_op) else { return };
+        let Some(state) = self.ops.get_mut(&master_op) else {
+            return;
+        };
         if state.acks_remaining > 0 {
             state.acks_remaining -= 1;
         }
@@ -875,7 +934,9 @@ impl Cluster {
 
     fn respond_to_client(&mut self, op: OpId, sched: Sched) {
         let now = sched.now();
-        let Some(state) = self.ops.get(&op) else { return };
+        let Some(state) = self.ops.get(&op) else {
+            return;
+        };
         let node_id = state.node;
         let OpPayload::Client { client, kind, .. } = &state.payload else {
             self.ops.remove(&op);
@@ -892,9 +953,17 @@ impl Cluster {
     }
 
     fn fail_op_dead_server(&mut self, op: OpId) {
-        let Some(state) = self.ops.remove(&op) else { return };
+        let Some(state) = self.ops.remove(&op) else {
+            return;
+        };
         match state.payload {
-            OpPayload::Client { client, kind, key_index, sent_at, seq } => {
+            OpPayload::Client {
+                client,
+                kind,
+                key_index,
+                sent_at,
+                seq,
+            } => {
                 self.blocked.push(BlockedOp {
                     client,
                     kind,
@@ -918,7 +987,8 @@ impl Cluster {
     }
 
     /// Starts client `c`'s closed loop (for tests and custom drivers that
-    /// build their own `Simulation` instead of using [`Cluster::run`]).
+    /// drive their own event loop via [`crate::sim_runtime`] instead of
+    /// using [`Cluster::run`]).
     pub fn start_client(&mut self, c: usize, sched: Sched) {
         self.client_issue(c, sched);
     }
@@ -963,7 +1033,10 @@ impl Cluster {
     pub fn test_block_retry(&mut self, client: usize, key: &[u8], seq: u64) {
         // Reverse-map the key to its record index via the workload format.
         let key_str = String::from_utf8_lossy(key);
-        let idx: u64 = key_str.trim_start_matches("user").parse().expect("workload key");
+        let idx: u64 = key_str
+            .trim_start_matches("user")
+            .parse()
+            .expect("workload key");
         self.blocked.push(BlockedOp {
             client,
             kind: OpKind::Update,
@@ -990,7 +1063,9 @@ impl Cluster {
         let op_ids: Vec<OpId> = self.ops.keys().copied().collect();
         let penalty = SimDuration::from_micros_f64(self.cfg.calib.rereplication_penalty_ms * 1e3);
         for id in op_ids {
-            let Some(state) = self.ops.get(&id) else { continue };
+            let Some(state) = self.ops.get(&id) else {
+                continue;
+            };
             if state.node == victim {
                 let reply_to = match &state.payload {
                     OpPayload::BackupStage { reply_to, .. } => *reply_to,
@@ -1042,11 +1117,9 @@ impl Cluster {
         // re-replication writes on the same spindles — the Fig 12 overlap.
         let mut by_source: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
         for (seg, meta) in segments {
-            let source = meta
-                .backups
-                .iter()
-                .copied()
-                .find(|&b| self.nodes[b].alive && self.nodes[b].backup.replica(victim, seg).is_some());
+            let source = meta.backups.iter().copied().find(|&b| {
+                self.nodes[b].alive && self.nodes[b].backup.replica(victim, seg).is_some()
+            });
             let Some(src) = source else {
                 // All replicas lost; the paper never hits this case.
                 continue;
@@ -1080,7 +1153,9 @@ impl Cluster {
         sched: Sched,
     ) {
         let now = sched.now();
-        let Some((seg, nominal)) = segs.pop() else { return };
+        let Some((seg, nominal)) = segs.pop() else {
+            return;
+        };
         let on_disk = self.nodes[src]
             .backup
             .replica(victim, seg)
@@ -1118,7 +1193,9 @@ impl Cluster {
         let mut groups: BTreeMap<usize, (Vec<u8>, u64)> = BTreeMap::new();
         let mut off = 0usize;
         while off < bytes.len() {
-            let Ok((entry, len)) = LogEntry::parse(&bytes[off..]) else { break };
+            let Ok((entry, len)) = LogEntry::parse(&bytes[off..]) else {
+                break;
+            };
             let bucket = self.coord.bucket_of(entry.table(), entry.key());
             if let Some(&owner) = bucket_owner.get(&bucket) {
                 let slot = groups.entry(owner).or_default();
@@ -1140,7 +1217,9 @@ impl Cluster {
             let mut cur: Vec<u8> = Vec::new();
             let mut cur_entries = 0u64;
             while !remaining.is_empty() {
-                let Ok((_, len)) = LogEntry::parse(remaining) else { break };
+                let Ok((_, len)) = LogEntry::parse(remaining) else {
+                    break;
+                };
                 cur.extend_from_slice(&remaining[..len]);
                 cur_entries += 1;
                 remaining = &remaining[len..];
@@ -1198,15 +1277,19 @@ impl Cluster {
         // a 1.4-2.4x latency rise on recovery masters, not a stall.
         self.nodes[node_id].in_service = self.nodes[node_id].in_service.saturating_sub(1);
         let (bytes, entries, nominal) = match self.ops.get_mut(&op).map(|s| &mut s.payload) {
-            Some(OpPayload::ReplayChunk { bytes, entries, nominal }) => {
-                (std::mem::take(bytes), *entries, *nominal)
-            }
+            Some(OpPayload::ReplayChunk {
+                bytes,
+                entries,
+                nominal,
+            }) => (std::mem::take(bytes), *entries, *nominal),
             _ => return,
         };
         // Real replay into the recovery master's store.
         let mut off = 0usize;
         while off < bytes.len() {
-            let Ok((entry, len)) = LogEntry::parse(&bytes[off..]) else { break };
+            let Ok((entry, len)) = LogEntry::parse(&bytes[off..]) else {
+                break;
+            };
             match entry {
                 LogEntry::Object(o) => {
                     let _ = self.nodes[node_id].store.replay_object(&o);
@@ -1232,7 +1315,10 @@ impl Cluster {
             return;
         }
         let backups = self.choose_backups(node_id);
-        let live: Vec<usize> = backups.into_iter().filter(|&b| self.nodes[b].alive).collect();
+        let live: Vec<usize> = backups
+            .into_iter()
+            .filter(|&b| self.nodes[b].alive)
+            .collect();
         if live.is_empty() {
             self.ops.remove(&op);
             self.replay_chunk_complete(node_id, sched);
@@ -1265,7 +1351,9 @@ impl Cluster {
             let bytes = nominal + 64;
             sched.schedule_at(send_at, move |cl: &mut Cluster, s| {
                 let arrival = cl.net.transfer(s.now(), node_id, b, bytes);
-                s.schedule_at(arrival, move |cl: &mut Cluster, s| cl.op_arrive(stage_op, s));
+                s.schedule_at(arrival, move |cl: &mut Cluster, s| {
+                    cl.op_arrive(stage_op, s)
+                });
             });
         }
         self.nodes[node_id].cpu.add_span(now, send_at, 1.0);
@@ -1296,7 +1384,9 @@ impl Cluster {
 
     fn finish_recovery(&mut self, sched: Sched) {
         let now = sched.now();
-        let Some(rec) = self.coord.recovery.take() else { return };
+        let Some(rec) = self.coord.recovery.take() else {
+            return;
+        };
         self.coord.reassign(&rec.new_owners);
         self.coord
             .completed_recoveries
@@ -1359,7 +1449,10 @@ impl Cluster {
                 let nominal = entries * nominal_entry;
                 for &b in &backups {
                     if sealed {
-                        self.nodes[b].backup.flushed.insert((master, sid.0), bytes.clone());
+                        self.nodes[b]
+                            .backup
+                            .flushed
+                            .insert((master, sid.0), bytes.clone());
                     } else {
                         self.nodes[b].backup.stage(master, sid.0, &bytes, nominal);
                     }
@@ -1392,7 +1485,10 @@ impl Cluster {
                         if !self.nodes[b].alive {
                             continue;
                         }
-                        self.nodes[b].backup.staged.insert((master, head.0), bytes.clone());
+                        self.nodes[b]
+                            .backup
+                            .staged
+                            .insert((master, head.0), bytes.clone());
                     }
                     if let Some(m) = self.nodes[master].segments.get_mut(&head.0) {
                         m.entries = entries;
@@ -1429,7 +1525,9 @@ impl Cluster {
     /// under-utilized, wake one when it saturates. Reschedules itself until
     /// the workload completes.
     fn elastic_check(&mut self, sched: Sched) {
-        let Some(policy) = self.cfg.elastic else { return };
+        let Some(policy) = self.cfg.elastic else {
+            return;
+        };
         let now = sched.now();
         if self.done_clients >= self.clients.len() {
             return; // workload over; let the simulation drain
@@ -1574,40 +1672,33 @@ impl Cluster {
     pub fn run_with_min_duration(mut self, min_duration: SimDuration) -> RunReport {
         self.preload();
         let kill = self.kill_plan;
-        let mut sim = Simulation::new(self);
-        {
-            let sched = sim.scheduler_mut();
-            let clients = sched.now(); // zero
-            let _ = clients;
-            sched.schedule_at(SimTime::ZERO, move |cl: &mut Cluster, s| {
+        let elastic = self.cfg.elastic;
+        let (cluster, sim_end) = sim_runtime::drive(self, |rt| {
+            rt.schedule_at(SimTime::ZERO, move |cl: &mut Cluster, s| {
                 for c in 0..cl.clients.len() {
                     cl.client_issue(c, s);
                 }
             });
             if let Some((at, victim)) = kill {
-                sched.schedule_at(at, move |cl: &mut Cluster, s| cl.kill_server(victim, s));
+                rt.schedule_at(at, move |cl: &mut Cluster, s| cl.kill_server(victim, s));
             }
-        }
-        if let Some(policy) = sim.state().cfg.elastic {
-            let interval = SimDuration::from_secs_f64(policy.check_interval_secs);
-            sim.scheduler_mut()
-                .schedule_after(interval, move |cl: &mut Cluster, s| cl.elastic_check(s));
-        }
-        sim.run();
+            if let Some(policy) = elastic {
+                let interval = SimDuration::from_secs_f64(policy.check_interval_secs);
+                rt.schedule_after(interval, move |cl: &mut Cluster, s| cl.elastic_check(s));
+            }
+        });
         // Measure to the end of *useful* activity: the last client
         // completion or recovery finish. Housekeeping events (elastic
         // checks, trailing disk flushes) must not pad the energy window.
-        let cluster_ref = sim.state();
-        let end_activity = cluster_ref
+        let end_activity = cluster
             .last_completion
-            .max(cluster_ref.recovery_finished_at.unwrap_or(SimTime::ZERO));
+            .max(cluster.recovery_finished_at.unwrap_or(SimTime::ZERO));
         let end_activity = if end_activity == SimTime::ZERO {
-            sim.now()
+            sim_end
         } else {
             end_activity
         };
         let end = end_activity.max(SimTime::ZERO + min_duration);
-        let cluster = sim.into_state();
         cluster.build_report(end)
     }
 

@@ -251,7 +251,10 @@ impl ClusterConfig {
             self.replication,
             self.servers
         );
-        assert!(self.hash_buckets >= self.servers, "need ≥1 bucket per server");
+        assert!(
+            self.hash_buckets >= self.servers,
+            "need ≥1 bucket per server"
+        );
         assert!(self.segment_bytes > 0 && self.memory_bytes > 0);
         assert!(
             self.elastic.is_none() || self.replication == 0,

@@ -7,7 +7,15 @@
 //! effect).
 
 use rmc_logstore::{key_hash, TableId};
-use rmc_sim::SimTime;
+use rmc_runtime::SimTime;
+
+/// The hash bucket `key` falls into among `buckets` tablets.
+///
+/// Free function so every routing decision — coordinator, masters, and
+/// clients, under either engine — shares one hash.
+pub fn bucket_for(table: TableId, key: &[u8], buckets: usize) -> usize {
+    (key_hash(table, key).0 % buckets as u64) as usize
+}
 
 /// Ongoing recovery bookkeeping.
 #[derive(Debug, Clone)]
@@ -64,7 +72,13 @@ impl Coordinator {
 
     /// The bucket a key falls into.
     pub fn bucket_of(&self, table: TableId, key: &[u8]) -> usize {
-        (key_hash(table, key).0 % self.tablet_owner.len() as u64) as usize
+        bucket_for(table, key, self.tablet_owner.len())
+    }
+
+    /// Snapshot of the tablet map as `bucket -> owner` (broadcast to nodes
+    /// by the runtime-based protocol after recovery reassignments).
+    pub fn owners_snapshot(&self) -> Vec<usize> {
+        self.tablet_owner.clone()
     }
 
     /// The master owning a bucket.

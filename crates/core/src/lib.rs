@@ -45,12 +45,18 @@ pub mod config;
 pub mod coordinator;
 pub mod ids;
 pub mod node;
+pub mod proto_sim;
+pub mod protocol;
 pub mod report;
+pub mod sim_runtime;
 
 pub use calib::Calibration;
 pub use cluster::{Cluster, BENCH_TABLE};
-pub use config::{ClientAffinity, ClusterConfig, Consistency, ElasticPolicy, PayloadScale, Placement};
+pub use config::{
+    ClientAffinity, ClusterConfig, Consistency, ElasticPolicy, PayloadScale, Placement,
+};
 pub use coordinator::{Coordinator, RecoveryState};
 pub use ids::{ClientId, OpId};
 pub use node::{BackupService, ByteBins, SegMeta, ServerNode};
 pub use report::{RecoveryReport, RunReport};
+pub use sim_runtime::SimRuntime;

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rmc_disk::DiskModel;
 use rmc_logstore::Store;
-use rmc_sim::{BinnedUsage, SimDuration, SimTime};
+use rmc_runtime::{BinnedUsage, SimDuration, SimTime};
 
 use crate::calib::Calibration;
 use crate::ids::OpId;
@@ -101,7 +101,9 @@ impl BackupService {
         if let Some(b) = self.flushed.get(&(master, segment)) {
             return Some((b, true));
         }
-        self.staged.get(&(master, segment)).map(|b| (b.as_slice(), false))
+        self.staged
+            .get(&(master, segment))
+            .map(|b| (b.as_slice(), false))
     }
 
     /// Drops every replica belonging to `master` (post-recovery cleanup).
@@ -188,7 +190,12 @@ impl ServerNode {
             disk,
             segments: BTreeMap::new(),
             dispatch_free: SimTime::ZERO,
-            workers: vec![Worker { free_at: SimTime::ZERO }; calib.worker_threads],
+            workers: vec![
+                Worker {
+                    free_at: SimTime::ZERO
+                };
+                calib.worker_threads
+            ],
             pending: VecDeque::new(),
             in_service: 0,
             waiting_writers: 0,
@@ -226,9 +233,7 @@ impl ServerNode {
                 return true;
             }
         }
-        self.standby_intervals
-            .iter()
-            .any(|&(a, b)| t >= a && t < b)
+        self.standby_intervals.iter().any(|&(a, b)| t >= a && t < b)
     }
 
     /// Runs the dispatch stage for a request arriving at `now`; returns when
@@ -256,7 +261,9 @@ impl ServerNode {
         while now >= self.writers_window_start + WINDOW {
             let window_end = self.writers_window_start + WINDOW;
             self.writers_integral += self.waiting_writers as f64
-                * window_end.saturating_since(self.writers_last_change).as_secs_f64();
+                * window_end
+                    .saturating_since(self.writers_last_change)
+                    .as_secs_f64();
             self.writers_ewma += ALPHA * (self.writers_integral / w - self.writers_ewma);
             self.writers_integral = 0.0;
             self.writers_window_start = window_end;
@@ -470,7 +477,10 @@ mod tests {
         let mid = n.write_inflation(&calib);
         n.writers_ewma = 9.0;
         let high = n.write_inflation(&calib);
-        assert!((base - 1.0).abs() < 0.05, "no inflation at light writers: {base}");
+        assert!(
+            (base - 1.0).abs() < 0.05,
+            "no inflation at light writers: {base}"
+        );
         assert!(mid > 1.8, "mid={mid}");
         // Saturating: the factor approaches a ceiling instead of running
         // away (the paper's A throughput is flat from 30 to 90 clients).

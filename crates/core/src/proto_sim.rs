@@ -1,0 +1,268 @@
+//! The simulated engine for the shared protocol: runs
+//! [`crate::protocol`]'s node state machines on the deterministic
+//! `rmc_sim` event queue (through [`crate::sim_runtime`], never directly).
+//!
+//! Each `send` becomes a delivery event after a fixed latency; each
+//! `set_timer` becomes a timer event. Handlers execute against a
+//! `QueuedRuntime` that buffers their effects, which are then scheduled
+//! in emission order — so a given config, script, and kill plan replays
+//! bit-identically. Crashed nodes are `None` slots: messages and timers
+//! addressed to them are dropped, exactly like the threaded engine's dead
+//! threads.
+
+use std::collections::BTreeMap;
+
+use rmc_runtime::{NodeId, Runtime, SimDuration, SimTime};
+
+use crate::protocol::{AnyNode, ClientOp, Msg, ProtocolConfig, ScriptClient, Server};
+use crate::sim_runtime::{drive_until, SimRuntime};
+
+/// Buffered effects of one handler invocation under the simulated engine.
+#[derive(Debug)]
+struct QueuedRuntime {
+    me: NodeId,
+    now: SimTime,
+    out: Vec<(NodeId, Msg)>,
+    timers: Vec<SimDuration>,
+}
+
+impl QueuedRuntime {
+    fn new(me: NodeId, now: SimTime) -> Self {
+        QueuedRuntime {
+            me,
+            now,
+            out: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+}
+
+impl Runtime for QueuedRuntime {
+    type Msg = Msg;
+
+    fn node(&self) -> NodeId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        self.out.push((to, msg));
+    }
+
+    fn set_timer(&mut self, after: SimDuration) {
+        self.timers.push(after);
+    }
+}
+
+/// The simulated protocol cluster: one slot per node id; `None` marks a
+/// crashed node.
+#[derive(Debug)]
+pub struct SimNet {
+    /// All nodes, indexed by [`NodeId`]. Killed nodes become `None`.
+    pub nodes: Vec<Option<AnyNode>>,
+    latency: SimDuration,
+}
+
+impl SimNet {
+    /// Builds the cluster for `cfg` with per-client op scripts and a fixed
+    /// one-way message latency.
+    pub fn new(cfg: &ProtocolConfig, scripts: Vec<Vec<ClientOp>>, latency: SimDuration) -> Self {
+        SimNet {
+            nodes: AnyNode::build_cluster(cfg, scripts)
+                .into_iter()
+                .map(Some)
+                .collect(),
+            latency,
+        }
+    }
+
+    /// The scripted client `c` (panics if killed or out of range).
+    pub fn client(&self, cfg: &ProtocolConfig, c: usize) -> &ScriptClient {
+        match self.nodes[crate::protocol::client_id(cfg.servers, c).0].as_ref() {
+            Some(AnyNode::Client(cl)) => cl,
+            _ => panic!("client {c} is not alive"),
+        }
+    }
+
+    /// Surviving servers.
+    pub fn servers(&self) -> impl Iterator<Item = &Server> {
+        self.nodes.iter().filter_map(|n| match n {
+            Some(AnyNode::Server(s)) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The coordinator's current `bucket -> owner` map.
+    pub fn owners(&self) -> Vec<usize> {
+        match self.nodes[crate::protocol::coordinator_id().0].as_ref() {
+            Some(AnyNode::Coordinator(c)) => c.coord.owners_snapshot(),
+            _ => panic!("coordinator is not alive"),
+        }
+    }
+
+    /// The live `key -> value` set served by the surviving cluster — the
+    /// cross-engine comparison artifact.
+    pub fn live_map(&self) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        crate::protocol::live_map(self.servers(), &self.owners())
+    }
+}
+
+/// Schedules the buffered effects of one handler invocation: each emitted
+/// message becomes a delivery event one `latency` later; each armed timer
+/// becomes a timer event. Scheduling in emission order inherits the
+/// engine's `(time, seq)` ordering, so runs are deterministic.
+fn dispatch(rt: &mut SimRuntime<'_, SimNet>, node: NodeId, q: QueuedRuntime, latency: SimDuration) {
+    for (to, msg) in q.out {
+        let from = node;
+        rt.schedule_after(latency, move |net, rt| deliver(net, rt, from, to, msg));
+    }
+    for after in q.timers {
+        rt.schedule_after(after, move |net, rt| fire_timer(net, rt, node));
+    }
+}
+
+fn deliver(net: &mut SimNet, rt: &mut SimRuntime<'_, SimNet>, from: NodeId, to: NodeId, msg: Msg) {
+    let latency = net.latency;
+    let Some(node) = net.nodes.get_mut(to.0).and_then(|n| n.as_mut()) else {
+        return; // dead or unknown: the NIC drops it
+    };
+    let mut q = QueuedRuntime::new(to, rt.now());
+    node.on_message(from, msg, &mut q);
+    dispatch(rt, to, q, latency);
+}
+
+fn fire_timer(net: &mut SimNet, rt: &mut SimRuntime<'_, SimNet>, node: NodeId) {
+    let latency = net.latency;
+    let Some(n) = net.nodes.get_mut(node.0).and_then(|n| n.as_mut()) else {
+        return;
+    };
+    let mut q = QueuedRuntime::new(node, rt.now());
+    n.on_timer(&mut q);
+    dispatch(rt, node, q, latency);
+}
+
+fn start_node(net: &mut SimNet, rt: &mut SimRuntime<'_, SimNet>, node: NodeId) {
+    let latency = net.latency;
+    let Some(n) = net.nodes.get_mut(node.0).and_then(|n| n.as_mut()) else {
+        return;
+    };
+    let mut q = QueuedRuntime::new(node, rt.now());
+    n.on_start(&mut q);
+    dispatch(rt, node, q, latency);
+}
+
+/// Runs the scripted protocol cluster under simulated time.
+///
+/// `kills` crash servers at the given instants (their node slot becomes
+/// `None`; in-flight messages to them are dropped). The run stops at
+/// `horizon` — self-re-arming heartbeat timers never drain the queue.
+pub fn run_script(
+    cfg: &ProtocolConfig,
+    scripts: Vec<Vec<ClientOp>>,
+    kills: Vec<(SimTime, usize)>,
+    horizon: SimTime,
+) -> SimNet {
+    let net = SimNet::new(cfg, scripts, SimDuration::from_micros(100));
+    let total = 1 + cfg.servers + cfg.clients;
+    drive_until(net, horizon, |rt| {
+        for i in 0..total {
+            rt.schedule_at(SimTime::ZERO, move |net, rt| start_node(net, rt, NodeId(i)));
+        }
+        for (at, victim) in kills {
+            let id = crate::protocol::server_id(victim);
+            rt.schedule_at(at, move |net: &mut SimNet, _| {
+                net.nodes[id.0] = None;
+            });
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Reply;
+
+    fn key(i: usize) -> Vec<u8> {
+        format!("key{i:04}").into_bytes()
+    }
+
+    fn script(ops: usize) -> Vec<ClientOp> {
+        let mut s = Vec::new();
+        for i in 0..ops {
+            s.push(ClientOp::Put {
+                key: key(i),
+                value: format!("v{i}").into_bytes(),
+            });
+        }
+        // Overwrite a few and delete a few so versions and tombstones are
+        // exercised.
+        for i in 0..ops / 4 {
+            s.push(ClientOp::Put {
+                key: key(i),
+                value: format!("v{i}b").into_bytes(),
+            });
+        }
+        for i in (0..ops).step_by(7) {
+            s.push(ClientOp::Del { key: key(i) });
+        }
+        s
+    }
+
+    fn expected(ops: usize) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut m = std::collections::BTreeMap::new();
+        for i in 0..ops {
+            m.insert(key(i), format!("v{i}").into_bytes());
+        }
+        for i in 0..ops / 4 {
+            m.insert(key(i), format!("v{i}b").into_bytes());
+        }
+        for i in (0..ops).step_by(7) {
+            m.remove(&key(i));
+        }
+        m
+    }
+
+    #[test]
+    fn script_without_crash_serves_expected_map() {
+        let cfg = ProtocolConfig::new(3, 1, 1);
+        let net = run_script(&cfg, vec![script(40)], vec![], SimTime::from_secs(5));
+        let client = net.client(&cfg, 0);
+        assert!(client.done, "client finished its script");
+        assert!(client.results.iter().all(|r| *r != Reply::WrongOwner));
+        assert_eq!(net.live_map(), expected(40));
+    }
+
+    #[test]
+    fn mid_script_crash_recovers_and_client_completes() {
+        let cfg = ProtocolConfig::new(3, 1, 2);
+        let net = run_script(
+            &cfg,
+            vec![script(60)],
+            vec![(SimTime::from_millis(5), 1)],
+            SimTime::from_secs(10),
+        );
+        let client = net.client(&cfg, 0);
+        assert!(client.done, "client must not hang across the crash");
+        assert_eq!(net.live_map(), expected(60));
+        // The victim's buckets moved to survivors.
+        assert!(net.owners().iter().all(|&o| o != 1));
+    }
+
+    #[test]
+    fn same_seed_same_script_is_deterministic() {
+        let cfg = ProtocolConfig::new(4, 2, 2);
+        let run = || {
+            run_script(
+                &cfg,
+                vec![script(30), script(25)],
+                vec![(SimTime::from_millis(4), 2)],
+                SimTime::from_secs(10),
+            )
+            .live_map()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,1049 @@
+//! One replication/recovery protocol, two engines.
+//!
+//! The node state machines in this module — [`CoordinatorNode`],
+//! [`Server`], [`ScriptClient`] — implement RAMCloud's client/master/backup
+//! protocol (bucket routing, primary-backup replication with ack-gated
+//! responses, RIFL exactly-once retries, heartbeat failure detection, and
+//! will-based crash recovery) as message handlers that are generic over
+//! [`rmc_runtime::Runtime`]. They never see a scheduler, a channel, or a
+//! thread; everything they may do to the outside world is `rt.now()`,
+//! `rt.send(..)`, and `rt.set_timer(..)`.
+//!
+//! Two engines run them:
+//!
+//! - [`crate::proto_sim`] delivers messages through the deterministic
+//!   `rmc_sim` event queue (via [`crate::sim_runtime::SimRuntime`]), and
+//! - `ThreadRuntime` in `rmc-standalone` delivers them over crossbeam
+//!   channels between real threads on the wall clock (the *mini-cluster*).
+//!
+//! The cross-engine equivalence test drives the same scripted op/crash
+//! sequence through both and asserts the surviving key/value sets match.
+//!
+//! ## Protocol sketch
+//!
+//! Writes: the owning master applies the op to its real log-structured
+//! [`Store`] (RIFL-deduplicated by `(client, seq)`), serializes the log
+//! entry, and sends the bytes to `R` ring-placement backups; the client
+//! response is withheld until every backup acks. Clients retry timed-out
+//! ops with the *same* sequence number, so a crash between apply and
+//! response cannot double-apply.
+//!
+//! Recovery: the coordinator declares a master dead after
+//! `failure_timeout` without heartbeats, partitions the will over the
+//! survivors, and sends each recovery master a `TakeOver`. A recovery
+//! master fetches the crashed master's staged segment replicas from every
+//! survivor, replays the entries that hash into its assigned buckets
+//! (version-guarded, so duplicate replicas are harmless), re-replicates the
+//! recovered entries for durability, and reports `TakeOverDone`. When all
+//! recovery masters finish, the coordinator reassigns the buckets and
+//! broadcasts the new tablet map; blocked clients retry into it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rmc_logstore::{
+    CompletionId, LogConfig, LogEntry, ObjectRecord, SegmentId, Store, TableId, TombstoneRecord,
+};
+use rmc_runtime::{NodeId, Runtime, SimDuration, SimTime};
+
+use crate::coordinator::{bucket_for, Coordinator};
+
+/// The single table the protocol serves (mirrors [`crate::BENCH_TABLE`]).
+pub const PROTO_TABLE: TableId = TableId(1);
+
+// ---------------------------------------------------------------------
+// Addressing
+// ---------------------------------------------------------------------
+
+/// The coordinator's node id.
+pub fn coordinator_id() -> NodeId {
+    NodeId(0)
+}
+
+/// The node id of server `i` (each server is master + backup).
+pub fn server_id(i: usize) -> NodeId {
+    NodeId(1 + i)
+}
+
+/// The node id of client `c` in a cluster of `servers` servers.
+pub fn client_id(servers: usize, c: usize) -> NodeId {
+    NodeId(1 + servers + c)
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Shape and timing knobs for one protocol cluster.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Number of servers (each is master + backup).
+    pub servers: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Replication factor `R`: backups per segment.
+    pub replication: usize,
+    /// Hash buckets (tablets) over the key space.
+    pub buckets: usize,
+    /// How often servers heartbeat the coordinator.
+    pub heartbeat_interval: SimDuration,
+    /// Silence after which the coordinator declares a server dead.
+    pub failure_timeout: SimDuration,
+    /// Client retry timeout for unanswered requests.
+    pub retry_timeout: SimDuration,
+    /// Master log sizing.
+    pub log: LogConfig,
+}
+
+impl ProtocolConfig {
+    /// A small cluster with timing defaults that work under both engines
+    /// (coarse enough for real threads, deterministic under simulation).
+    pub fn new(servers: usize, clients: usize, replication: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(
+            replication < servers,
+            "replication factor must leave at least one non-replica server"
+        );
+        ProtocolConfig {
+            servers,
+            clients,
+            replication,
+            buckets: 64,
+            heartbeat_interval: SimDuration::from_millis(10),
+            failure_timeout: SimDuration::from_millis(50),
+            retry_timeout: SimDuration::from_millis(40),
+            log: LogConfig {
+                segment_bytes: 1 << 16,
+                max_segments: 1024,
+                ordered_index: false,
+            },
+        }
+    }
+}
+
+/// Ring placement: the `replication` alive servers after `master`,
+/// wrapping, excluding `master` itself. Pure and engine-independent, so
+/// both engines place replicas identically.
+pub fn replica_targets(
+    master: usize,
+    servers: usize,
+    replication: usize,
+    alive: &[bool],
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(replication);
+    let mut i = (master + 1) % servers;
+    while out.len() < replication && i != master {
+        if alive[i] {
+            out.push(i);
+        }
+        i = (i + 1) % servers;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// A client-visible operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Write `key = value`.
+    Put {
+        /// Record key.
+        key: Vec<u8>,
+        /// Record value.
+        value: Vec<u8>,
+    },
+    /// Read `key`.
+    Get {
+        /// Record key.
+        key: Vec<u8>,
+    },
+    /// Delete `key`.
+    Del {
+        /// Record key.
+        key: Vec<u8>,
+    },
+}
+
+impl ClientOp {
+    /// The key this op addresses.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            ClientOp::Put { key, .. } | ClientOp::Get { key } | ClientOp::Del { key } => key,
+        }
+    }
+}
+
+/// A master's answer to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Write or delete applied (and, for writes, fully replicated).
+    Done,
+    /// Read result; `None` when the key does not exist.
+    Value(Option<Vec<u8>>),
+    /// The receiving server does not own the key's bucket; retry after the
+    /// next map update.
+    WrongOwner,
+}
+
+/// Everything nodes say to each other. One enum for the whole cluster so a
+/// single `Runtime<Msg = Msg>` transport carries it all.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client → master: perform `op`; `seq` is the client's RIFL sequence
+    /// (retries reuse it).
+    Request {
+        /// Client-chosen sequence number, monotone per client.
+        seq: u64,
+        /// The operation.
+        op: ClientOp,
+    },
+    /// Master → client: answer to the request with the same `seq`.
+    Response {
+        /// Echo of the request sequence.
+        seq: u64,
+        /// The outcome.
+        reply: Reply,
+    },
+    /// Master → backup: stage these serialized log-entry bytes for
+    /// (sending master, `segment`).
+    Replicate {
+        /// The master's segment the bytes belong to.
+        segment: u64,
+        /// Serialized [`LogEntry`] bytes (real wire format, CRC-checked on
+        /// replay).
+        bytes: Vec<u8>,
+        /// `(client, seq)` the master is waiting to answer —
+        /// `REPLICA_RESEED` for fire-and-forget re-replication.
+        token: (u64, u64),
+    },
+    /// Backup → master: the bytes for `token` are staged.
+    ReplicateAck {
+        /// Echo of the replicate token.
+        token: (u64, u64),
+    },
+    /// Server → coordinator: liveness beacon.
+    Heartbeat,
+    /// Coordinator → recovery master: recover `buckets` of `crashed` using
+    /// replicas held by `survivors`.
+    TakeOver {
+        /// The dead master.
+        crashed: usize,
+        /// Buckets this recovery master must restore.
+        buckets: Vec<usize>,
+        /// Alive servers to fetch segment replicas from.
+        survivors: Vec<usize>,
+    },
+    /// Recovery master → survivors: send me your staged segments of
+    /// `crashed`.
+    FetchSegments {
+        /// The dead master whose replicas are wanted.
+        crashed: usize,
+    },
+    /// Survivor → recovery master: staged `(segment, bytes)` replicas of
+    /// `crashed` (empty if it held none).
+    SegmentData {
+        /// The dead master the segments belong to.
+        crashed: usize,
+        /// Replica buffers, one per staged segment.
+        segments: Vec<(u64, Vec<u8>)>,
+    },
+    /// Recovery master → coordinator: `buckets` of `crashed` are replayed
+    /// and re-replicated.
+    TakeOverDone {
+        /// The dead master.
+        crashed: usize,
+        /// The buckets now live on the sender.
+        buckets: Vec<usize>,
+    },
+    /// Coordinator → everyone: the tablet map changed.
+    MapUpdate {
+        /// Monotone map version.
+        version: u64,
+        /// `bucket -> owner` table.
+        owners: Vec<usize>,
+        /// Per-server liveness.
+        alive: Vec<bool>,
+    },
+}
+
+/// Replicate token used for recovery re-replication (no client waits on
+/// these, so acks are ignored).
+pub const REPLICA_RESEED: (u64, u64) = (u64::MAX, u64::MAX);
+
+// ---------------------------------------------------------------------
+// Coordinator node
+// ---------------------------------------------------------------------
+
+/// The coordinator state machine: tablet map, failure detection, recovery
+/// orchestration. Wraps the same [`Coordinator`] the simulated cluster
+/// uses.
+#[derive(Debug)]
+pub struct CoordinatorNode {
+    cfg: ProtocolConfig,
+    /// Tablet map + wills (shared with the simulated cluster model).
+    pub coord: Coordinator,
+    last_heartbeat: Vec<SimTime>,
+    map_version: u64,
+    /// crashed server -> recovery masters still working.
+    pending: BTreeMap<usize, usize>,
+    /// crashed server -> reassignments to apply when all finish.
+    moves: BTreeMap<usize, Vec<(usize, usize)>>,
+    started: bool,
+}
+
+impl CoordinatorNode {
+    /// Creates the coordinator for `cfg`'s cluster shape.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        let coord = Coordinator::new(cfg.servers, cfg.buckets);
+        let hb = vec![SimTime::ZERO; cfg.servers];
+        CoordinatorNode {
+            cfg,
+            coord,
+            last_heartbeat: hb,
+            map_version: 0,
+            pending: BTreeMap::new(),
+            moves: BTreeMap::new(),
+            started: false,
+        }
+    }
+
+    /// Starts failure detection (called once by the engine).
+    pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        let now = rt.now();
+        for hb in &mut self.last_heartbeat {
+            *hb = now;
+        }
+        self.started = true;
+        rt.set_timer(self.cfg.heartbeat_interval);
+    }
+
+    /// Handles one message.
+    pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, from: NodeId, msg: Msg, rt: &mut R) {
+        match msg {
+            Msg::Heartbeat => {
+                let server = from.0 - 1;
+                if server < self.last_heartbeat.len() {
+                    self.last_heartbeat[server] = rt.now();
+                }
+            }
+            Msg::TakeOverDone { crashed, buckets } => {
+                let _ = buckets;
+                let left = self.pending.entry(crashed).or_insert(1);
+                *left -= 1;
+                if *left == 0 {
+                    self.pending.remove(&crashed);
+                    if let Some(moves) = self.moves.remove(&crashed) {
+                        self.coord.reassign(&moves);
+                    }
+                    self.broadcast_map(rt);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Periodic failure check; re-arms itself.
+    pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        if !self.started {
+            return;
+        }
+        let now = rt.now();
+        for s in 0..self.cfg.servers {
+            if !self.coord.is_alive(s) || self.pending.contains_key(&s) {
+                continue;
+            }
+            if now - self.last_heartbeat[s] >= self.cfg.failure_timeout {
+                self.declare_dead(s, rt);
+            }
+        }
+        rt.set_timer(self.cfg.heartbeat_interval);
+    }
+
+    fn declare_dead<R: Runtime<Msg = Msg>>(&mut self, victim: usize, rt: &mut R) {
+        self.coord.mark_dead(victim);
+        let will = self.coord.partition_will(victim);
+        let survivors = self.coord.alive_servers();
+        let mut per_owner: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(bucket, owner) in &will {
+            per_owner.entry(owner).or_default().push(bucket);
+        }
+        if per_owner.is_empty() {
+            // The victim owned nothing; just publish its death.
+            self.broadcast_map(rt);
+            return;
+        }
+        self.pending.insert(victim, per_owner.len());
+        self.moves.insert(victim, will);
+        // Tell everyone the victim is dead (clients stop sending to it)
+        // before recovery masters start fetching.
+        self.broadcast_map(rt);
+        for (owner, buckets) in per_owner {
+            rt.send(
+                server_id(owner),
+                Msg::TakeOver {
+                    crashed: victim,
+                    buckets,
+                    survivors: survivors.clone(),
+                },
+            );
+        }
+    }
+
+    fn broadcast_map<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        self.map_version += 1;
+        let owners = self.coord.owners_snapshot();
+        let alive: Vec<bool> = (0..self.cfg.servers)
+            .map(|s| self.coord.is_alive(s))
+            .collect();
+        for s in 0..self.cfg.servers {
+            if self.coord.is_alive(s) {
+                rt.send(
+                    server_id(s),
+                    Msg::MapUpdate {
+                        version: self.map_version,
+                        owners: owners.clone(),
+                        alive: alive.clone(),
+                    },
+                );
+            }
+        }
+        for c in 0..self.cfg.clients {
+            rt.send(
+                client_id(self.cfg.servers, c),
+                Msg::MapUpdate {
+                    version: self.map_version,
+                    owners: owners.clone(),
+                    alive: alive.clone(),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server node (master + backup + recovery master)
+// ---------------------------------------------------------------------
+
+/// A write applied locally, waiting on backup acks before answering.
+#[derive(Debug)]
+struct PendingWrite {
+    client: NodeId,
+    seq: u64,
+    waiting: BTreeSet<usize>,
+}
+
+/// An in-progress recovery fetch on a recovery master.
+#[derive(Debug)]
+struct RecoveryFetch {
+    crashed: usize,
+    buckets: Vec<usize>,
+    awaiting: BTreeSet<usize>,
+    collected: Vec<(u64, Vec<u8>)>,
+}
+
+/// A server state machine: master for its buckets, backup for its ring
+/// neighbours, recovery master when the coordinator says so.
+#[derive(Debug)]
+pub struct Server {
+    /// This server's index (node id is `server_id(index)`).
+    pub index: usize,
+    cfg: ProtocolConfig,
+    /// The master's real log-structured store.
+    pub store: Store,
+    owners: Vec<usize>,
+    alive: Vec<bool>,
+    map_version: u64,
+    cur_segment: u64,
+    cur_segment_bytes: usize,
+    pending: BTreeMap<(u64, u64), PendingWrite>,
+    /// Backup role: staged replica bytes keyed by (master, segment).
+    staged: BTreeMap<(usize, u64), Vec<u8>>,
+    recovery: Option<RecoveryFetch>,
+}
+
+impl Server {
+    /// Creates server `index` with the initial round-robin tablet map.
+    pub fn new(index: usize, cfg: ProtocolConfig) -> Self {
+        let owners: Vec<usize> = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        let alive = vec![true; cfg.servers];
+        let store = Store::new(cfg.log.clone());
+        Server {
+            index,
+            cfg,
+            store,
+            owners,
+            alive,
+            map_version: 0,
+            cur_segment: 0,
+            cur_segment_bytes: 0,
+            pending: BTreeMap::new(),
+            staged: BTreeMap::new(),
+            recovery: None,
+        }
+    }
+
+    /// Starts heartbeating (called once by the engine).
+    pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        rt.send(coordinator_id(), Msg::Heartbeat);
+        rt.set_timer(self.cfg.heartbeat_interval);
+    }
+
+    /// Heartbeat tick; re-arms itself.
+    pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        rt.send(coordinator_id(), Msg::Heartbeat);
+        rt.set_timer(self.cfg.heartbeat_interval);
+    }
+
+    /// Handles one message.
+    pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, from: NodeId, msg: Msg, rt: &mut R) {
+        match msg {
+            Msg::Request { seq, op } => self.handle_request(from, seq, op, rt),
+            Msg::Replicate {
+                segment,
+                bytes,
+                token,
+            } => {
+                let master = from.0 - 1;
+                self.staged
+                    .entry((master, segment))
+                    .or_default()
+                    .extend_from_slice(&bytes);
+                if token != REPLICA_RESEED {
+                    rt.send(from, Msg::ReplicateAck { token });
+                }
+            }
+            Msg::ReplicateAck { token } => {
+                let backup = from.0 - 1;
+                if let Some(p) = self.pending.get_mut(&token) {
+                    p.waiting.remove(&backup);
+                    if p.waiting.is_empty() {
+                        let p = self.pending.remove(&token).expect("present");
+                        rt.send(
+                            p.client,
+                            Msg::Response {
+                                seq: p.seq,
+                                reply: Reply::Done,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::TakeOver {
+                crashed,
+                buckets,
+                survivors,
+            } => self.begin_takeover(crashed, buckets, survivors, rt),
+            Msg::FetchSegments { crashed } => {
+                let segments: Vec<(u64, Vec<u8>)> = self
+                    .staged
+                    .iter()
+                    .filter(|((m, _), _)| *m == crashed)
+                    .map(|((_, seg), bytes)| (*seg, bytes.clone()))
+                    .collect();
+                rt.send(from, Msg::SegmentData { crashed, segments });
+            }
+            Msg::SegmentData { crashed, segments } => {
+                self.absorb_segments(crashed, from, segments, rt)
+            }
+            Msg::MapUpdate {
+                version,
+                owners,
+                alive,
+            } => {
+                if version > self.map_version {
+                    self.map_version = version;
+                    self.owners = owners;
+                    self.alive = alive;
+                }
+            }
+            Msg::Response { .. } | Msg::Heartbeat | Msg::TakeOverDone { .. } => {}
+        }
+    }
+
+    fn handle_request<R: Runtime<Msg = Msg>>(
+        &mut self,
+        client: NodeId,
+        seq: u64,
+        op: ClientOp,
+        rt: &mut R,
+    ) {
+        let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
+        if self.owners[bucket] != self.index {
+            rt.send(
+                client,
+                Msg::Response {
+                    seq,
+                    reply: Reply::WrongOwner,
+                },
+            );
+            return;
+        }
+        match op {
+            ClientOp::Get { key } => {
+                let value = self.store.read(PROTO_TABLE, &key).map(|o| o.value.to_vec());
+                rt.send(
+                    client,
+                    Msg::Response {
+                        seq,
+                        reply: Reply::Value(value),
+                    },
+                );
+            }
+            ClientOp::Put { key, value } => {
+                let completion = CompletionId {
+                    client: client.0 as u64,
+                    seq,
+                };
+                let outcome = self
+                    .store
+                    .write_with(PROTO_TABLE, &key, &value, Some(completion))
+                    .expect("mini-cluster write fits in log");
+                let entry = LogEntry::Object(ObjectRecord {
+                    table: PROTO_TABLE,
+                    key: key.into(),
+                    value: value.into(),
+                    version: outcome.version,
+                    completion: Some(completion),
+                });
+                self.replicate_entry(&entry, client, seq, rt);
+            }
+            ClientOp::Del { key } => {
+                match self
+                    .store
+                    .delete(PROTO_TABLE, &key)
+                    .expect("tombstone fits in log")
+                {
+                    None => {
+                        // Nothing to delete (or a retry of an applied
+                        // delete): answer immediately.
+                        rt.send(
+                            client,
+                            Msg::Response {
+                                seq,
+                                reply: Reply::Done,
+                            },
+                        );
+                    }
+                    Some(version) => {
+                        let entry = LogEntry::Tombstone(TombstoneRecord {
+                            table: PROTO_TABLE,
+                            key: key.into(),
+                            version,
+                            // Replicas replay tombstones by (key, version);
+                            // the dead segment is a local-cleaner detail.
+                            dead_segment: SegmentId(0),
+                        });
+                        self.replicate_entry(&entry, client, seq, rt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serializes `entry`, stages it on `R` ring backups, and registers the
+    /// client response to fire when every ack is in. A retry of a pending
+    /// write re-replicates to the *current* alive targets, so a backup
+    /// death cannot wedge the op.
+    fn replicate_entry<R: Runtime<Msg = Msg>>(
+        &mut self,
+        entry: &LogEntry,
+        client: NodeId,
+        seq: u64,
+        rt: &mut R,
+    ) {
+        let targets = replica_targets(
+            self.index,
+            self.cfg.servers,
+            self.cfg.replication,
+            &self.alive,
+        );
+        if targets.is_empty() {
+            rt.send(
+                client,
+                Msg::Response {
+                    seq,
+                    reply: Reply::Done,
+                },
+            );
+            return;
+        }
+        let mut bytes = Vec::new();
+        entry.serialize_into(&mut bytes);
+        if self.cur_segment_bytes + bytes.len() > self.cfg.log.segment_bytes {
+            self.cur_segment += 1;
+            self.cur_segment_bytes = 0;
+        }
+        self.cur_segment_bytes += bytes.len();
+        let token = (client.0 as u64, seq);
+        self.pending.insert(
+            token,
+            PendingWrite {
+                client,
+                seq,
+                waiting: targets.iter().copied().collect(),
+            },
+        );
+        for b in targets {
+            rt.send(
+                server_id(b),
+                Msg::Replicate {
+                    segment: self.cur_segment,
+                    bytes: bytes.clone(),
+                    token,
+                },
+            );
+        }
+    }
+
+    fn begin_takeover<R: Runtime<Msg = Msg>>(
+        &mut self,
+        crashed: usize,
+        buckets: Vec<usize>,
+        survivors: Vec<usize>,
+        rt: &mut R,
+    ) {
+        let mut fetch = RecoveryFetch {
+            crashed,
+            buckets,
+            awaiting: survivors
+                .iter()
+                .copied()
+                .filter(|&s| s != self.index)
+                .collect(),
+            collected: Vec::new(),
+        };
+        // Own staged replicas join the pool without a network round trip.
+        for ((m, seg), bytes) in &self.staged {
+            if *m == crashed {
+                fetch.collected.push((*seg, bytes.clone()));
+            }
+        }
+        let peers: Vec<usize> = fetch.awaiting.iter().copied().collect();
+        let done = peers.is_empty();
+        self.recovery = Some(fetch);
+        for s in peers {
+            rt.send(server_id(s), Msg::FetchSegments { crashed });
+        }
+        if done {
+            self.finish_takeover(rt);
+        }
+    }
+
+    fn absorb_segments<R: Runtime<Msg = Msg>>(
+        &mut self,
+        crashed: usize,
+        from: NodeId,
+        segments: Vec<(u64, Vec<u8>)>,
+        rt: &mut R,
+    ) {
+        let Some(fetch) = self.recovery.as_mut() else {
+            return;
+        };
+        if fetch.crashed != crashed {
+            return;
+        }
+        fetch.awaiting.remove(&(from.0 - 1));
+        fetch.collected.extend(segments);
+        if fetch.awaiting.is_empty() {
+            self.finish_takeover(rt);
+        }
+    }
+
+    /// Replays every collected entry that hashes into the assigned buckets.
+    /// Replicas overlap (R copies of each segment); `replay_object` /
+    /// `replay_tombstone` are version-guarded, so duplicates are no-ops.
+    fn finish_takeover<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        let fetch = self.recovery.take().expect("takeover in progress");
+        let bucket_set: BTreeSet<usize> = fetch.buckets.iter().copied().collect();
+        let mut reseed = Vec::new();
+        for (_seg, bytes) in &fetch.collected {
+            let mut off = 0;
+            while off < bytes.len() {
+                let (entry, len) = LogEntry::parse(&bytes[off..]).expect("replica bytes are valid");
+                off += len;
+                let key = match &entry {
+                    LogEntry::Object(o) => &o.key,
+                    LogEntry::Tombstone(t) => &t.key,
+                };
+                if !bucket_set.contains(&bucket_for(PROTO_TABLE, key, self.cfg.buckets)) {
+                    continue;
+                }
+                let applied = match &entry {
+                    LogEntry::Object(o) => {
+                        self.store.replay_object(o).expect("replayed object fits")
+                    }
+                    LogEntry::Tombstone(t) => self
+                        .store
+                        .replay_tombstone(t)
+                        .expect("replayed tombstone fits"),
+                };
+                if applied {
+                    if let LogEntry::Object(o) = &entry {
+                        reseed.push(LogEntry::Object(o.clone()));
+                    }
+                }
+            }
+        }
+        // Restore durability of the recovered data: stream the surviving
+        // entries to this server's own backups, fire-and-forget.
+        let targets = replica_targets(
+            self.index,
+            self.cfg.servers,
+            self.cfg.replication,
+            &self.alive,
+        );
+        if !targets.is_empty() && !reseed.is_empty() {
+            self.cur_segment += 1;
+            self.cur_segment_bytes = 0;
+            let mut bytes = Vec::new();
+            for entry in &reseed {
+                entry.serialize_into(&mut bytes);
+            }
+            self.cur_segment_bytes = bytes.len();
+            for b in targets {
+                rt.send(
+                    server_id(b),
+                    Msg::Replicate {
+                        segment: self.cur_segment,
+                        bytes: bytes.clone(),
+                        token: REPLICA_RESEED,
+                    },
+                );
+            }
+        }
+        rt.send(
+            coordinator_id(),
+            Msg::TakeOverDone {
+                crashed: fetch.crashed,
+                buckets: fetch.buckets,
+            },
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scripted client
+// ---------------------------------------------------------------------
+
+/// A client that executes a fixed op script with RIFL retries: each op is
+/// re-sent with the *same* sequence number until a usable response arrives.
+/// Used by both engines for the cross-engine equivalence test; the threaded
+/// engine's synchronous `MiniClient` handle follows the same wire protocol.
+#[derive(Debug)]
+pub struct ScriptClient {
+    /// Client index (node id is `client_id(servers, index)`).
+    pub index: usize,
+    cfg: ProtocolConfig,
+    script: Vec<ClientOp>,
+    next: usize,
+    owners: Vec<usize>,
+    map_version: u64,
+    in_flight: Option<u64>,
+    last_sent: SimTime,
+    /// Replies recorded per completed op, in script order.
+    pub results: Vec<Reply>,
+    /// True once every scripted op has completed.
+    pub done: bool,
+}
+
+impl ScriptClient {
+    /// Creates client `index` over `script`.
+    pub fn new(index: usize, cfg: ProtocolConfig, script: Vec<ClientOp>) -> Self {
+        let owners: Vec<usize> = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        ScriptClient {
+            index,
+            cfg,
+            script,
+            next: 0,
+            owners,
+            map_version: 0,
+            in_flight: None,
+            last_sent: SimTime::ZERO,
+            results: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Issues the first op (called once by the engine).
+    pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        self.issue(rt);
+    }
+
+    fn issue<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        if self.next >= self.script.len() {
+            self.done = true;
+            self.in_flight = None;
+            return;
+        }
+        let seq = self.next as u64 + 1;
+        self.in_flight = Some(seq);
+        self.send_current(rt);
+        rt.set_timer(self.cfg.retry_timeout);
+    }
+
+    fn send_current<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        let op = self.script[self.next].clone();
+        let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
+        let owner = self.owners[bucket];
+        self.last_sent = rt.now();
+        rt.send(
+            server_id(owner),
+            Msg::Request {
+                seq: self.next as u64 + 1,
+                op,
+            },
+        );
+    }
+
+    /// Handles responses and map updates.
+    pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, _from: NodeId, msg: Msg, rt: &mut R) {
+        match msg {
+            Msg::Response { seq, reply } => {
+                if self.in_flight != Some(seq) {
+                    return; // stale duplicate from an earlier retry
+                }
+                if reply == Reply::WrongOwner {
+                    // Routing raced a recovery; the timer will retry after
+                    // the map settles.
+                    return;
+                }
+                self.results.push(reply);
+                self.next += 1;
+                self.issue(rt);
+            }
+            Msg::MapUpdate {
+                version, owners, ..
+            } if version > self.map_version => {
+                self.map_version = version;
+                self.owners = owners;
+            }
+            _ => {}
+        }
+    }
+
+    /// Retry tick: re-sends the in-flight op (same sequence) if it has been
+    /// outstanding for a full retry window.
+    pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        if self.done || self.in_flight.is_none() {
+            return;
+        }
+        if rt.now() - self.last_sent >= self.cfg.retry_timeout {
+            self.send_current(rt);
+        }
+        rt.set_timer(self.cfg.retry_timeout);
+    }
+}
+
+// ---------------------------------------------------------------------
+// A cluster node of any role (used by both engine harnesses)
+// ---------------------------------------------------------------------
+
+/// One node of the protocol cluster, whatever its role. Engine harnesses
+/// hold a `Vec<AnyNode>` indexed by [`NodeId`].
+// Variant sizes differ by a few hundred bytes, but there is exactly one
+// AnyNode per cluster node — indirection would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum AnyNode {
+    /// The coordinator.
+    Coordinator(CoordinatorNode),
+    /// A server (master + backup).
+    Server(Server),
+    /// A scripted client.
+    Client(ScriptClient),
+}
+
+impl AnyNode {
+    /// Dispatches the engine's start callback.
+    pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        match self {
+            AnyNode::Coordinator(n) => n.on_start(rt),
+            AnyNode::Server(n) => n.on_start(rt),
+            AnyNode::Client(n) => n.on_start(rt),
+        }
+    }
+
+    /// Dispatches a delivered message.
+    pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, from: NodeId, msg: Msg, rt: &mut R) {
+        match self {
+            AnyNode::Coordinator(n) => n.on_message(from, msg, rt),
+            AnyNode::Server(n) => n.on_message(from, msg, rt),
+            AnyNode::Client(n) => n.on_message(from, msg, rt),
+        }
+    }
+
+    /// Dispatches a timer expiry.
+    pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        match self {
+            AnyNode::Coordinator(n) => n.on_timer(rt),
+            AnyNode::Server(n) => n.on_timer(rt),
+            AnyNode::Client(n) => n.on_timer(rt),
+        }
+    }
+
+    /// Builds the full node set for `cfg` with `scripts[c]` driving client
+    /// `c` (clients beyond the script list get empty scripts).
+    pub fn build_cluster(cfg: &ProtocolConfig, scripts: Vec<Vec<ClientOp>>) -> Vec<AnyNode> {
+        let mut nodes = Vec::with_capacity(1 + cfg.servers + cfg.clients);
+        nodes.push(AnyNode::Coordinator(CoordinatorNode::new(cfg.clone())));
+        for s in 0..cfg.servers {
+            nodes.push(AnyNode::Server(Server::new(s, cfg.clone())));
+        }
+        let mut scripts = scripts.into_iter();
+        for c in 0..cfg.clients {
+            let script = scripts.next().unwrap_or_default();
+            nodes.push(AnyNode::Client(ScriptClient::new(c, cfg.clone(), script)));
+        }
+        nodes
+    }
+}
+
+/// The live `key -> value` map a set of surviving servers serves, judged by
+/// `owners` (only the current owner's copy of a key counts). This is the
+/// artifact the cross-engine equivalence test compares.
+pub fn live_map<'a, I>(servers: I, owners: &[usize]) -> BTreeMap<Vec<u8>, Vec<u8>>
+where
+    I: IntoIterator<Item = &'a Server>,
+{
+    let mut map = BTreeMap::new();
+    for server in servers {
+        for obj in server.store.live_objects() {
+            let bucket = bucket_for(PROTO_TABLE, &obj.key, owners.len());
+            if owners[bucket] == server.index {
+                map.insert(obj.key.to_vec(), obj.value.to_vec());
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_ring_skips_dead_and_self() {
+        let alive = vec![true, false, true, true];
+        assert_eq!(replica_targets(0, 4, 2, &alive), vec![2, 3]);
+        assert_eq!(replica_targets(2, 4, 2, &alive), vec![3, 0]);
+        // Not enough survivors: degrade gracefully.
+        let mostly_dead = vec![true, false, false, false];
+        assert_eq!(replica_targets(0, 4, 2, &mostly_dead), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn addressing_is_disjoint() {
+        let servers = 3;
+        let mut seen = BTreeSet::new();
+        seen.insert(coordinator_id());
+        for s in 0..servers {
+            assert!(seen.insert(server_id(s)));
+        }
+        for c in 0..4 {
+            assert!(seen.insert(client_id(servers, c)));
+        }
+        assert_eq!(seen.len(), 1 + servers + 4);
+    }
+}

@@ -1,7 +1,7 @@
 //! Results of one simulated experiment run.
 
 use rmc_energy::EnergyReport;
-use rmc_sim::SimTime;
+use rmc_runtime::SimTime;
 use rmc_ycsb::ClientStats;
 use serde::Serialize;
 

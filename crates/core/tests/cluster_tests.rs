@@ -2,7 +2,7 @@
 //! replication and recovery invariants, determinism, and the qualitative
 //! behaviours the paper's findings rest on.
 
-use rmc_core::{Cluster, ClusterConfig, Consistency};
+use rmc_core::{Cluster, ClusterConfig, Consistency, SimRuntime};
 use rmc_sim::{SimDuration, SimTime};
 use rmc_ycsb::{StandardWorkload, WorkloadSpec};
 
@@ -31,7 +31,10 @@ fn update_heavy_run_stores_real_data() {
     // After preload every record is readable through the owning master.
     for i in 0..200 {
         let key = workload.key_for(i);
-        assert!(cluster.peek(&key).is_some(), "record {i} missing after load");
+        assert!(
+            cluster.peek(&key).is_some(),
+            "record {i} missing after load"
+        );
     }
     let report = cluster.run();
     assert_eq!(report.completed_ops, 4_000);
@@ -188,13 +191,17 @@ fn recovery_leaves_cluster_readable() {
     // Run the simulation manually to keep ownership of the cluster.
     let kill = SimTime::from_millis(10);
     let mut sim = rmc_sim::Simulation::new(cluster);
-    sim.scheduler_mut().schedule_at(kill, move |cl: &mut Cluster, s| {
-        cl.kill_server_now(0, s);
-    });
+    sim.scheduler_mut()
+        .schedule_at(kill, move |cl: &mut Cluster, s| {
+            cl.kill_server_now(0, &mut SimRuntime::new(s));
+        });
     sim.run();
     let cluster = sim.into_state();
 
-    assert!(cluster.coordinator().recovery.is_none(), "recovery finished");
+    assert!(
+        cluster.coordinator().recovery.is_none(),
+        "recovery finished"
+    );
     assert!(!cluster.coordinator().is_alive(0));
     let mut missing = 0;
     for i in 0..records {
@@ -217,7 +224,9 @@ fn recovery_slows_with_replication_factor() {
     for r in [1u32, 3] {
         let mut workload = small_workload(StandardWorkload::C, 30_000, 0);
         workload.value_bytes = 4096;
-        let cfg = ClusterConfig::new(4, 1, workload).with_replication(r).with_seed(3);
+        let cfg = ClusterConfig::new(4, 1, workload)
+            .with_replication(r)
+            .with_seed(3);
         let mut cluster = Cluster::new(cfg);
         cluster.plan_kill(SimTime::from_secs(1), Some(2));
         let report = cluster.run_with_min_duration(SimDuration::from_secs(3));
@@ -253,7 +262,9 @@ fn throttled_clients_scale_linearly() {
 fn disk_timeline_shows_recovery_io() {
     let mut workload = small_workload(StandardWorkload::C, 20_000, 0);
     workload.value_bytes = 4096;
-    let cfg = ClusterConfig::new(4, 1, workload).with_replication(2).with_seed(9);
+    let cfg = ClusterConfig::new(4, 1, workload)
+        .with_replication(2)
+        .with_seed(9);
     let mut cluster = Cluster::new(cfg);
     cluster.plan_kill(SimTime::from_secs(2), Some(1));
     let report = cluster.run_with_min_duration(SimDuration::from_secs(4));
@@ -290,7 +301,10 @@ fn all_client_ops_complete_across_crash() {
     let mut cluster = Cluster::new(cfg);
     cluster.plan_kill(SimTime::from_millis(20), Some(2));
     let report = cluster.run();
-    assert!(report.recovery.is_some(), "crash must have triggered recovery");
+    assert!(
+        report.recovery.is_some(),
+        "crash must have triggered recovery"
+    );
     assert_eq!(
         report.completed_ops, 9_000,
         "every op must complete despite the crash"

@@ -1,7 +1,7 @@
 //! Tests for the beyond-the-paper extensions: sequential multi-crash
 //! recovery, copyset placement, and elastic cluster sizing.
 
-use rmc_core::{Cluster, ClusterConfig, ElasticPolicy, Placement};
+use rmc_core::{Cluster, ClusterConfig, ElasticPolicy, Placement, SimRuntime};
 use rmc_sim::{SimDuration, SimTime, Simulation};
 use rmc_ycsb::{StandardWorkload, WorkloadSpec};
 
@@ -27,14 +27,16 @@ fn sequential_double_crash_loses_nothing() {
     let mut sim = Simulation::new(cluster);
     sim.scheduler_mut()
         .schedule_at(SimTime::from_millis(10), |cl: &mut Cluster, s| {
-            cl.kill_server_now(0, s);
+            cl.kill_server_now(0, &mut SimRuntime::new(s));
         });
     sim.run(); // first recovery completes (queue drains)
     let first_done = sim.now();
-    sim.scheduler_mut()
-        .schedule_at(first_done + SimDuration::from_secs(1), |cl: &mut Cluster, s| {
-            cl.kill_server_now(1, s);
-        });
+    sim.scheduler_mut().schedule_at(
+        first_done + SimDuration::from_secs(1),
+        |cl: &mut Cluster, s| {
+            cl.kill_server_now(1, &mut SimRuntime::new(s));
+        },
+    );
     sim.run();
     let cluster = sim.into_state();
 
@@ -45,7 +47,10 @@ fn sequential_double_crash_loses_nothing() {
             missing += 1;
         }
     }
-    assert_eq!(missing, 0, "{missing}/{records} records lost after two crashes");
+    assert_eq!(
+        missing, 0,
+        "{missing}/{records} records lost after two crashes"
+    );
 }
 
 #[test]
@@ -76,7 +81,10 @@ fn copyset_placement_respects_replication_factor() {
 fn copyset_loses_data_less_often_than_random_under_triple_failures() {
     let trials = 60;
     let mut losses = [0u32; 2]; // [random, copyset]
-    for (pi, placement) in [Placement::Random, Placement::Copyset].into_iter().enumerate() {
+    for (pi, placement) in [Placement::Random, Placement::Copyset]
+        .into_iter()
+        .enumerate()
+    {
         for t in 0..trials {
             let mut cfg = ClusterConfig::new(12, 1, workload(600, 0))
                 .with_replication(2)
@@ -98,7 +106,10 @@ fn copyset_loses_data_less_often_than_random_under_triple_failures() {
         losses[1],
         losses[0]
     );
-    assert!(losses[0] > 0, "random placement should lose data sometimes at R=2 with 3 dead");
+    assert!(
+        losses[0] > 0,
+        "random placement should lose data sometimes at R=2 with 3 dead"
+    );
 }
 
 #[test]
@@ -107,7 +118,9 @@ fn elastic_drains_idle_servers_and_saves_energy() {
     // coordinator should suspend most of them.
     let run = |elastic: Option<ElasticPolicy>| {
         let w = workload(2_000, 10_000);
-        let mut cfg = ClusterConfig::new(6, 1, w).with_seed(3).with_throttle(500.0);
+        let mut cfg = ClusterConfig::new(6, 1, w)
+            .with_seed(3)
+            .with_throttle(500.0);
         cfg.elastic = elastic;
         Cluster::new(cfg).run()
     };
@@ -153,13 +166,16 @@ fn elastic_migration_preserves_data() {
     {
         // Mirror the run() driver manually so we can inspect final state.
         let policy_interval = SimDuration::from_secs_f64(0.25);
-        sim.scheduler_mut().schedule_at(SimTime::ZERO, |cl: &mut Cluster, s| {
-            for c in 0..1 {
-                cl.start_client(c, s);
-            }
-        });
         sim.scheduler_mut()
-            .schedule_after(policy_interval, |cl: &mut Cluster, s| cl.elastic_check_now(s));
+            .schedule_at(SimTime::ZERO, |cl: &mut Cluster, s| {
+                for c in 0..1 {
+                    cl.start_client(c, &mut SimRuntime::new(s));
+                }
+            });
+        sim.scheduler_mut()
+            .schedule_after(policy_interval, |cl: &mut Cluster, s| {
+                cl.elastic_check_now(&mut SimRuntime::new(s))
+            });
     }
     sim.run();
     let cluster = sim.into_state();
@@ -204,13 +220,14 @@ fn crash_retry_is_exactly_once() {
     // normal path via a blocked-op re-issue.
     let mut sim = Simulation::new(cluster);
     let key2 = key.clone();
-    sim.scheduler_mut().schedule_at(SimTime::from_millis(1), move |cl: &mut Cluster, s| {
-        // The write applies on master 0 with completion (client 0, seq 7)
-        // and replicates; then the master dies before acking the client.
-        cl.test_apply_write(0, &key2, 7);
-        cl.test_block_retry(0, &key2, 7);
-        cl.kill_server_now(0, s);
-    });
+    sim.scheduler_mut()
+        .schedule_at(SimTime::from_millis(1), move |cl: &mut Cluster, s| {
+            // The write applies on master 0 with completion (client 0, seq 7)
+            // and replicates; then the master dies before acking the client.
+            cl.test_apply_write(0, &key2, 7);
+            cl.test_block_retry(0, &key2, 7);
+            cl.kill_server_now(0, &mut SimRuntime::new(s));
+        });
     sim.run();
     let cluster = sim.into_state();
 
@@ -231,7 +248,9 @@ fn not_on_affinity_avoids_target_server() {
     cluster.preload();
     let mut sim = Simulation::new(cluster);
     sim.scheduler_mut()
-        .schedule_at(SimTime::ZERO, |cl: &mut Cluster, s| cl.start_client(0, s));
+        .schedule_at(SimTime::ZERO, |cl: &mut Cluster, s| {
+            cl.start_client(0, &mut SimRuntime::new(s))
+        });
     sim.run();
     let cluster = sim.into_state();
     // Server 2's store must have seen zero read traffic.

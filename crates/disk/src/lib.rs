@@ -16,7 +16,7 @@
 //!
 //! ```
 //! use rmc_disk::{DiskModel, DiskProfile, IoKind};
-//! use rmc_sim::SimTime;
+//! use rmc_runtime::SimTime;
 //!
 //! let mut disk = DiskModel::new(DiskProfile::grid5000_hdd());
 //! let done = disk.submit(SimTime::ZERO, IoKind::Write, 8 << 20);
@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rmc_sim::{BinnedUsage, RateMeter, SimDuration, SimTime};
+use rmc_runtime::{BinnedUsage, RateMeter, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Direction of a disk transfer.
@@ -179,7 +179,8 @@ impl DiskModel {
     /// the direction flips, then transfers at sequential bandwidth.
     pub fn submit(&mut self, now: SimTime, kind: IoKind, bytes: u64) -> SimTime {
         let start = now.max(self.busy_until);
-        let mut service = self.profile.per_request_overhead + self.profile.transfer_time(kind, bytes);
+        let mut service =
+            self.profile.per_request_overhead + self.profile.transfer_time(kind, bytes);
         if self.last_kind.is_some() && self.last_kind != Some(kind) {
             service += self.profile.switch_penalty;
         }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rmc_disk::{DiskModel, DiskProfile, IoKind};
-use rmc_sim::{SimDuration, SimTime};
+use rmc_runtime::{SimDuration, SimTime};
 
 fn any_kind() -> impl Strategy<Value = IoKind> {
     prop_oneof![Just(IoKind::Read), Just(IoKind::Write)]

@@ -1,6 +1,6 @@
 //! 1 Hz PDU emulation and energy reports.
 
-use rmc_sim::{SimTime, Summary, TimeSeries};
+use rmc_runtime::{SimTime, Summary, TimeSeries};
 use serde::Serialize;
 
 /// Emulates the paper's per-machine power distribution units.
@@ -19,7 +19,7 @@ use serde::Serialize;
 ///
 /// ```
 /// use rmc_energy::PduSampler;
-/// use rmc_sim::SimTime;
+/// use rmc_runtime::SimTime;
 ///
 /// let mut pdu = PduSampler::new(2, 0.0);
 /// pdu.sample(0, SimTime::from_secs(1), 100.0);
@@ -244,7 +244,10 @@ mod tests {
             pdu.sample(0, SimTime::from_secs(s), 125.0);
         }
         let avg = pdu.node_average(0).unwrap();
-        assert!(avg < 118.0, "short-run average {avg} should sit below 125 W");
+        assert!(
+            avg < 118.0,
+            "short-run average {avg} should sit below 125 W"
+        );
         assert!(avg > 85.0);
     }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rmc_energy::{NodeActivity, PduSampler, PowerProfile};
-use rmc_sim::SimTime;
+use rmc_runtime::SimTime;
 
 proptest! {
     /// Unsmoothed energy equals Σ sample × dt exactly, for arbitrary

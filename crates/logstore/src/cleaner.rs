@@ -181,8 +181,12 @@ mod tests {
         let mut s = churn_store(16);
         for round in 0..200 {
             for k in 0..10 {
-                s.write(T, format!("key{k}").as_bytes(), format!("value-{round}").as_bytes())
-                    .unwrap();
+                s.write(
+                    T,
+                    format!("key{k}").as_bytes(),
+                    format!("value-{round}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         for k in 0..10 {
@@ -197,7 +201,8 @@ mod tests {
     fn cleaning_preserves_live_data_and_versions() {
         let mut s = churn_store(16);
         for i in 0..20 {
-            s.write(T, format!("stable{i}").as_bytes(), b"keep-me").unwrap();
+            s.write(T, format!("stable{i}").as_bytes(), b"keep-me")
+                .unwrap();
         }
         // Churn other keys to force cleaning.
         for round in 0..300 {

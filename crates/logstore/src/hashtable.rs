@@ -62,7 +62,9 @@ impl HashTable {
 
     /// Creates a table pre-sized for roughly `n` mappings.
     pub fn with_capacity(n: usize) -> Self {
-        let target = (n * 100 / MAX_LOAD_PERCENT + 1).next_power_of_two().max(INITIAL_CAPACITY);
+        let target = (n * 100 / MAX_LOAD_PERCENT + 1)
+            .next_power_of_two()
+            .max(INITIAL_CAPACITY);
         HashTable {
             slots: vec![Slot::Empty; target],
             len: 0,
@@ -244,8 +246,14 @@ mod tests {
         let mut ht = HashTable::new();
         ht.insert(KeyHash(1), pos(0, 0));
         ht.insert(KeyHash(2), pos(0, 50));
-        assert_eq!(ht.candidates(KeyHash(1)).collect::<Vec<_>>(), vec![pos(0, 0)]);
-        assert_eq!(ht.candidates(KeyHash(2)).collect::<Vec<_>>(), vec![pos(0, 50)]);
+        assert_eq!(
+            ht.candidates(KeyHash(1)).collect::<Vec<_>>(),
+            vec![pos(0, 0)]
+        );
+        assert_eq!(
+            ht.candidates(KeyHash(2)).collect::<Vec<_>>(),
+            vec![pos(0, 50)]
+        );
         assert_eq!(ht.candidates(KeyHash(3)).count(), 0);
         assert_eq!(ht.len(), 2);
     }
@@ -265,7 +273,10 @@ mod tests {
         let mut ht = HashTable::new();
         ht.insert(KeyHash(5), pos(0, 0));
         assert!(ht.update(KeyHash(5), pos(0, 0), pos(3, 77)));
-        assert_eq!(ht.candidates(KeyHash(5)).collect::<Vec<_>>(), vec![pos(3, 77)]);
+        assert_eq!(
+            ht.candidates(KeyHash(5)).collect::<Vec<_>>(),
+            vec![pos(3, 77)]
+        );
         assert!(!ht.update(KeyHash(5), pos(0, 0), pos(4, 0)));
         assert_eq!(ht.len(), 1);
     }
@@ -276,7 +287,10 @@ mod tests {
         ht.insert(KeyHash(9), pos(0, 0));
         ht.insert(KeyHash(9), pos(1, 0));
         assert!(ht.remove(KeyHash(9), pos(0, 0)));
-        assert_eq!(ht.candidates(KeyHash(9)).collect::<Vec<_>>(), vec![pos(1, 0)]);
+        assert_eq!(
+            ht.candidates(KeyHash(9)).collect::<Vec<_>>(),
+            vec![pos(1, 0)]
+        );
         assert!(!ht.remove(KeyHash(9), pos(0, 0)));
         assert_eq!(ht.len(), 1);
     }

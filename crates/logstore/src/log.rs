@@ -295,8 +295,8 @@ mod tests {
         Log::new(LogConfig {
             segment_bytes: 256,
             max_segments,
-                ordered_index: false,
-            })
+            ordered_index: false,
+        })
     }
 
     #[test]

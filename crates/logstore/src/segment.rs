@@ -156,7 +156,11 @@ impl Segment {
     /// # Errors
     ///
     /// Returns the first parse error encountered.
-    pub fn from_bytes(id: SegmentId, capacity: usize, bytes: Bytes) -> Result<Self, ParseEntryError> {
+    pub fn from_bytes(
+        id: SegmentId,
+        capacity: usize,
+        bytes: Bytes,
+    ) -> Result<Self, ParseEntryError> {
         // Validate structure eagerly so corruption is caught at transfer
         // time rather than mid-replay.
         let mut off = 0usize;

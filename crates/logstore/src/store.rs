@@ -322,13 +322,12 @@ impl Store {
             if let Some(&(seq, version)) = self.completions.get(&c.client) {
                 if seq == c.seq {
                     // Duplicate of the client's last completed write.
-                    let position = self
-                        .find(table, key)
-                        .map(|(p, _, _)| p)
-                        .unwrap_or(crate::types::LogPosition {
+                    let position = self.find(table, key).map(|(p, _, _)| p).unwrap_or(
+                        crate::types::LogPosition {
                             segment: self.log.head(),
                             offset: 0,
-                        });
+                        },
+                    );
                     return Ok(WriteOutcome {
                         version,
                         position,
@@ -364,7 +363,8 @@ impl Store {
                     if let Some((dead_pos, dead_size)) =
                         self.resolve_dead(old_pos, old_size, table, key, out.position)
                     {
-                        self.log.adjust_live(dead_pos.segment, -(dead_size as isize));
+                        self.log
+                            .adjust_live(dead_pos.segment, -(dead_size as isize));
                     }
                 } else {
                     self.index.insert(hash, out.position);
@@ -525,12 +525,12 @@ impl Store {
     /// Iterates over all live objects (order unspecified). Intended for
     /// verification and for building recovery partitions.
     pub fn live_objects(&self) -> impl Iterator<Item = ObjectRecord> + '_ {
-        self.index.iter().filter_map(move |(_, pos)| {
-            match self.log.read(pos) {
+        self.index
+            .iter()
+            .filter_map(move |(_, pos)| match self.log.read(pos) {
                 Some(LogEntry::Object(o)) => Some(o),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// Scans up to `limit` live objects of `table` with keys ≥ `start_key`,
@@ -585,8 +585,8 @@ mod tests {
         Store::new(LogConfig {
             segment_bytes: 512,
             max_segments: 64,
-                ordered_index: false,
-            })
+            ordered_index: false,
+        })
     }
 
     const T: TableId = TableId(1);
@@ -825,7 +825,13 @@ mod tests {
         a.delete(T, b"k").unwrap();
         let s = a.stats();
         assert_eq!(
-            (s.writes, s.overwrites, s.deletes, s.read_hits, s.read_misses),
+            (
+                s.writes,
+                s.overwrites,
+                s.deletes,
+                s.read_hits,
+                s.read_misses
+            ),
             (2, 1, 1, 1, 1)
         );
         // …merged twice must double every field.
@@ -894,10 +900,7 @@ mod tests {
     #[test]
     fn scan_requires_ordered_index() {
         let s = tiny_store();
-        assert_eq!(
-            s.scan(T, b"", 10).unwrap_err(),
-            StoreError::ScansDisabled
-        );
+        assert_eq!(s.scan(T, b"", 10).unwrap_err(), StoreError::ScansDisabled);
     }
 
     #[test]
@@ -949,10 +952,12 @@ mod tests {
             CleanerConfig::default(),
         );
         for i in 0..20 {
-            s.write(T, format!("stable{i:02}").as_bytes(), b"keep").unwrap();
+            s.write(T, format!("stable{i:02}").as_bytes(), b"keep")
+                .unwrap();
         }
         for round in 0..300 {
-            s.write(T, b"zzchurn", format!("{round}").as_bytes()).unwrap();
+            s.write(T, b"zzchurn", format!("{round}").as_bytes())
+                .unwrap();
         }
         assert!(s.stats().cleanings > 0);
         let got = s.scan(T, b"stable", 100).unwrap();
@@ -966,11 +971,15 @@ mod tests {
         let mut s = Store::new(LogConfig {
             segment_bytes: 512,
             max_segments: 256,
-                ordered_index: false,
-            });
+            ordered_index: false,
+        });
         for i in 0..500 {
-            s.write(T, format!("key-{i:04}").as_bytes(), format!("val-{i}").as_bytes())
-                .unwrap();
+            s.write(
+                T,
+                format!("key-{i:04}").as_bytes(),
+                format!("val-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         for i in 0..500 {
             let got = s.read(T, format!("key-{i:04}").as_bytes()).unwrap();

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use rmc_net::{Network, NetProfile};
-//! use rmc_sim::SimTime;
+//! use rmc_runtime::SimTime;
 //!
 //! let mut net = Network::new(3, NetProfile::infiniband_20g());
 //! let arrival = net.transfer(SimTime::ZERO, 0, 1, 1024);
@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rmc_sim::{BinnedUsage, SimDuration, SimTime};
+use rmc_runtime::{BinnedUsage, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Performance envelope of a network interface / fabric combination.
@@ -146,8 +146,11 @@ impl Network {
             let nic = &mut self.nics[src];
             nic.tx_free_at = tx_done;
             nic.tx_bytes += bytes;
-            nic.traffic
-                .add_span(tx_start, tx_done.max(tx_start + SimDuration::from_nanos(1)), 1.0);
+            nic.traffic.add_span(
+                tx_start,
+                tx_done.max(tx_start + SimDuration::from_nanos(1)),
+                1.0,
+            );
         }
         // Fabric propagation.
         let at_receiver = tx_done + self.profile.base_latency;
@@ -158,8 +161,11 @@ impl Network {
             let nic = &mut self.nics[dst];
             nic.rx_free_at = rx_done;
             nic.rx_bytes += bytes;
-            nic.traffic
-                .add_span(rx_start, rx_done.max(rx_start + SimDuration::from_nanos(1)), 1.0);
+            nic.traffic.add_span(
+                rx_start,
+                rx_done.max(rx_start + SimDuration::from_nanos(1)),
+                1.0,
+            );
         }
         rx_done
     }

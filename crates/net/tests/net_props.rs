@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use rmc_net::{NetProfile, Network};
-use rmc_sim::SimTime;
+use rmc_runtime::SimTime;
 
 proptest! {
     /// Every transfer arrives no earlier than send time plus the unloaded

@@ -1,0 +1,98 @@
+//! Cache-line-striped atomic counters.
+//!
+//! Shared by the standalone server's read fast path (one stripe per shard)
+//! and the threaded mini-cluster's per-node operation metrics (one stripe
+//! per node): in both, many threads count events concurrently and a single
+//! shared cache line would serialize them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cache-line-padded `AtomicU64`, so adjacent stripes never share a line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicU64);
+
+/// Per-stripe event counter (sum on demand).
+#[derive(Debug)]
+pub struct StripedCounter {
+    stripes: Vec<PaddedCounter>,
+}
+
+impl StripedCounter {
+    /// A counter with `stripes` independent stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero.
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes > 0, "need at least one stripe");
+        StripedCounter {
+            stripes: (0..stripes).map(|_| PaddedCounter::default()).collect(),
+        }
+    }
+
+    /// Counts one event against `stripe` (modulo the stripe count).
+    #[inline]
+    pub fn add(&self, stripe: usize) {
+        self.add_n(stripe, 1);
+    }
+
+    /// Counts `n` events against `stripe` (modulo the stripe count).
+    #[inline]
+    pub fn add_n(&self, stripe: usize, n: u64) {
+        self.stripes[stripe % self.stripes.len()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total across stripes.
+    pub fn sum(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The current value of one stripe.
+    pub fn stripe(&self, stripe: usize) -> u64 {
+        self.stripes[stripe % self.stripes.len()]
+            .0
+            .load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sums_across_threads() {
+        let c = Arc::new(StripedCounter::new(8));
+        let hs: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.add(t * 31 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 4000);
+    }
+
+    #[test]
+    fn add_n_and_per_stripe_reads() {
+        let c = StripedCounter::new(4);
+        c.add_n(1, 10);
+        c.add_n(5, 3); // wraps onto stripe 1
+        c.add(2);
+        assert_eq!(c.stripe(1), 13);
+        assert_eq!(c.stripe(2), 1);
+        assert_eq!(c.sum(), 14);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rmc-runtime — the engine-agnostic runtime layer
+//!
+//! Substrate for the reproduction of *"Characterizing Performance and
+//! Energy-Efficiency of the RAMCloud Storage System"* (ICDCS 2017). This
+//! workspace runs the same replication/recovery protocol on two engines —
+//! the deterministic discrete-event simulator in `rmc-sim` and real threads
+//! in `rmc-standalone` — and this crate holds everything both sides share:
+//!
+//! - [`SimTime`] / [`SimDuration`]: nanosecond timestamps and intervals.
+//!   "Sim" is historical; on the threaded engine they carry wall-clock
+//!   nanoseconds since a [`WallClock`]'s origin.
+//! - [`Clock`]: where "now" comes from ([`WallClock`], [`ManualClock`], or
+//!   the simulator's event queue).
+//! - [`Runtime`] + [`NodeId`]: the full surface a protocol node may touch —
+//!   clock, message transport, and a timer. Protocol handlers generic over
+//!   `R: Runtime` run unchanged under either engine.
+//! - [`SimRng`]: deterministic seedable randomness.
+//! - Measurement primitives: [`Summary`], [`Histogram`], [`TimeSeries`],
+//!   [`RateMeter`], [`BinnedUsage`], and the [`StripedCounter`] used where
+//!   many real threads count events concurrently.
+//!
+//! `rmc-sim` re-exports the time/rng/metric types, so simulator-facing code
+//! may import them from either crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod counter;
+mod metrics;
+mod rng;
+mod runtime;
+mod time;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use counter::StripedCounter;
+pub use metrics::{BinnedUsage, Histogram, RateMeter, Summary, TimeSeries};
+pub use rng::SimRng;
+pub use runtime::{NodeId, Runtime};
+pub use time::{SimDuration, SimTime};

@@ -18,7 +18,7 @@ use crate::time::{SimDuration, SimTime};
 /// # Examples
 ///
 /// ```
-/// use rmc_sim::Summary;
+/// use rmc_runtime::Summary;
 ///
 /// let mut s = Summary::new();
 /// for v in [2.0, 4.0, 6.0] {
@@ -274,7 +274,10 @@ impl Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.count == 0 {
             return 0;
         }
@@ -374,7 +377,7 @@ impl RateMeter {
 /// # Examples
 ///
 /// ```
-/// use rmc_sim::{BinnedUsage, SimDuration, SimTime};
+/// use rmc_runtime::{BinnedUsage, SimDuration, SimTime};
 ///
 /// // One core busy for half of each of the first two seconds.
 /// let mut u = BinnedUsage::new(SimDuration::from_secs(1));
@@ -529,7 +532,19 @@ mod tests {
         // bucket_low(bucket_index(v)) <= v for all v, and indices are
         // monotone in v.
         let mut prev_idx = 0;
-        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1_000, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+        ] {
             let idx = bucket_index(v);
             assert!(bucket_low(idx) <= v, "low bound above value for {v}");
             assert!(idx >= prev_idx, "index not monotone at {v}");

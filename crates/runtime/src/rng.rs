@@ -12,7 +12,7 @@
 /// # Examples
 ///
 /// ```
-/// use rmc_sim::SimRng;
+/// use rmc_runtime::SimRng;
 ///
 /// let mut a = SimRng::seed_from_u64(7);
 /// let mut b = SimRng::seed_from_u64(7);
@@ -111,7 +111,10 @@ impl SimRng {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         self.next_f64() < p
     }
 
@@ -121,7 +124,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn gen_exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         // Inverse-CDF sampling; 1 - U avoids ln(0).
         -mean * (1.0 - self.next_f64()).ln()
     }

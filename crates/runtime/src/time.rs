@@ -20,13 +20,15 @@ use serde::{Deserialize, Serialize};
 /// # Examples
 ///
 /// ```
-/// use rmc_sim::{SimTime, SimDuration};
+/// use rmc_runtime::{SimTime, SimDuration};
 ///
 /// let t = SimTime::ZERO + SimDuration::from_micros(15);
 /// assert_eq!(t.as_nanos(), 15_000);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(15));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -34,12 +36,14 @@ pub struct SimTime(u64);
 /// # Examples
 ///
 /// ```
-/// use rmc_sim::SimDuration;
+/// use rmc_runtime::SimDuration;
 ///
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_micros_f64(), 2500.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -295,7 +299,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
-use crate::time::{SimDuration, SimTime};
+use rmc_runtime::{SimDuration, SimTime};
 
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -292,7 +292,8 @@ mod tests {
         let mut sim = Simulation::new(Vec::<u32>::new());
         let t = SimTime::from_secs(1);
         for i in 0..10 {
-            sim.scheduler_mut().schedule_at(t, move |v: &mut Vec<u32>, _| v.push(i));
+            sim.scheduler_mut()
+                .schedule_at(t, move |v: &mut Vec<u32>, _| v.push(i));
         }
         sim.run();
         assert_eq!(sim.state(), &(0..10).collect::<Vec<_>>());
@@ -369,7 +370,11 @@ mod tests {
         sim.scheduler_mut()
             .schedule_at(SimTime::from_secs(2), |c: &mut u32, _| *c += 1);
         sim.run_until(SimTime::from_secs(2));
-        assert_eq!(*sim.state(), 0, "event exactly at the deadline must not run");
+        assert_eq!(
+            *sim.state(),
+            0,
+            "event exactly at the deadline must not run"
+        );
     }
 
     #[test]

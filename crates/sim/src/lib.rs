@@ -36,11 +36,11 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
-mod metrics;
-mod rng;
-mod time;
 
 pub use engine::{EventId, Scheduler, Simulation};
-pub use metrics::{BinnedUsage, Histogram, RateMeter, Summary, TimeSeries};
-pub use rng::SimRng;
-pub use time::{SimDuration, SimTime};
+// Time, randomness, and measurement primitives live in `rmc-runtime` (they
+// are shared with the threaded engine); re-exported here so simulator-facing
+// code keeps importing them from `rmc_sim`.
+pub use rmc_runtime::{
+    BinnedUsage, Histogram, RateMeter, SimDuration, SimRng, SimTime, Summary, TimeSeries,
+};

@@ -18,8 +18,10 @@ fn main() {
     let client = server.client();
     let table = TableId(1);
 
-    println!("rmc kvshell — log-structured in-memory store ({} workers). `help` for commands.",
-        3);
+    println!(
+        "rmc kvshell — log-structured in-memory store ({} workers). `help` for commands.",
+        3
+    );
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {

@@ -16,11 +16,10 @@
 //!   one channel per *op*, with per-key results delivered in submission
 //!   order and guaranteed completion (a dropped, never-executed batch
 //!   command aborts its slot so no client blocks forever).
-//! - [`StripedCounter`] counts fast-path reads without creating a new
-//!   shared cache line: each shard's reads are counted in that shard's own
-//!   stripe.
+//! - [`rmc_runtime::StripedCounter`] (shared with the mini-cluster's node
+//!   metrics) counts fast-path reads without creating a new shared cache
+//!   line: each shard's reads are counted in that shard's own stripe.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// How client requests reach worker threads.
@@ -165,43 +164,6 @@ impl<T> std::fmt::Debug for BatchGuard<T> {
     }
 }
 
-/// A cache-line-padded `AtomicU64`, one per shard, so that counting a
-/// fast-path read touches no cache line shared with other shards.
-#[repr(align(64))]
-#[derive(Debug, Default)]
-struct PaddedCounter(AtomicU64);
-
-/// Per-shard striped event counter (sum on demand).
-#[derive(Debug)]
-pub(crate) struct StripedCounter {
-    stripes: Vec<PaddedCounter>,
-}
-
-impl StripedCounter {
-    /// A counter with one stripe per shard.
-    pub(crate) fn new(stripes: usize) -> Self {
-        StripedCounter {
-            stripes: (0..stripes).map(|_| PaddedCounter::default()).collect(),
-        }
-    }
-
-    /// Counts one event against `stripe` (modulo the stripe count).
-    #[inline]
-    pub(crate) fn add(&self, stripe: usize) {
-        self.stripes[stripe % self.stripes.len()]
-            .0
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total across stripes.
-    pub(crate) fn sum(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|c| c.0.load(Ordering::Relaxed))
-            .sum()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,25 +208,6 @@ mod tests {
         g.complete(0, 10);
         drop(g);
         assert_eq!(waiter.join().unwrap().unwrap(), vec![10, 11]);
-    }
-
-    #[test]
-    fn striped_counter_sums_across_threads() {
-        let c = Arc::new(StripedCounter::new(8));
-        let hs: Vec<_> = (0..4)
-            .map(|t| {
-                let c = Arc::clone(&c);
-                std::thread::spawn(move || {
-                    for i in 0..1000 {
-                        c.add(t * 31 + i);
-                    }
-                })
-            })
-            .collect();
-        for h in hs {
-            h.join().unwrap();
-        }
-        assert_eq!(c.sum(), 4000);
     }
 
     #[test]

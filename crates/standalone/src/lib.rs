@@ -8,6 +8,14 @@
 //! same data-plane semantics the paper's system has — append-only log,
 //! versions, tombstones, cleaning.
 //!
+//! It also hosts the **threaded engine** for `rmc-core`'s shared
+//! replication/recovery protocol: [`MiniCluster`] runs coordinator,
+//! masters, and backups as real threads over crossbeam channels
+//! ([`ThreadRuntime`] implements `rmc_runtime::Runtime` on the wall
+//! clock), with real primary-backup replication and full will-based crash
+//! recovery — the wall-clock twin of the simulated engine in
+//! `rmc_core::proto_sim`.
+//!
 //! ## Example
 //!
 //! ```
@@ -29,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 mod dispatch;
+pub mod mini_cluster;
 mod repl;
 mod server;
 mod shard;
 
 pub use dispatch::DispatchMode;
+pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, ThreadRuntime};
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
 pub use server::{Client, ClientError, ServerConfig, StandaloneServer};
 pub use shard::ShardedStore;

@@ -1,0 +1,540 @@
+//! The threaded engine for the shared protocol: a *mini-cluster* of real
+//! threads — one coordinator, N servers (master + backup), and optional
+//! clients — exchanging [`rmc_core::protocol::Msg`]s over crossbeam
+//! channels on the wall clock.
+//!
+//! This is the second implementation of [`rmc_runtime::Runtime`] (the
+//! first is `rmc-core`'s simulated engine in `rmc_core::proto_sim`): the
+//! *same* coordinator/master/backup state machines run here with real
+//! concurrency, real primary-backup replication, and real will-based crash
+//! recovery — kill a master thread with [`MiniCluster::kill_server`] and
+//! the coordinator detects the missing heartbeats, partitions the will,
+//! and the recovery masters replay the staged segment replicas.
+//!
+//! [`MiniClient`] is a synchronous handle speaking the same wire protocol
+//! (RIFL retries with a stable sequence number), usable as a YCSB
+//! `KvBackend` via a small pool.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rmc_core::coordinator::bucket_for;
+use rmc_core::protocol::{server_id, AnyNode, ClientOp, Msg, ProtocolConfig, Reply, PROTO_TABLE};
+use rmc_runtime::{Clock, NodeId, Runtime, SimDuration, SimTime, WallClock};
+
+/// Control envelope delivered to a node thread's channel.
+#[derive(Debug)]
+pub enum Control {
+    /// A protocol message from another node.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Crash the node: the thread exits immediately, dropping its queue —
+    /// exactly what a dead machine does.
+    Kill,
+    /// Graceful stop: the thread reports its final state and exits.
+    Shutdown,
+}
+
+/// The threaded [`Runtime`]: `send` pushes onto the destination's channel,
+/// `now` reads the shared wall clock, and `set_timer` bounds the node
+/// loop's `recv_timeout`.
+#[derive(Debug)]
+pub struct ThreadRuntime {
+    me: NodeId,
+    clock: Arc<WallClock>,
+    peers: Arc<Vec<Sender<Control>>>,
+    deadline: Option<SimTime>,
+}
+
+impl Runtime for ThreadRuntime {
+    type Msg = Msg;
+
+    fn node(&self) -> NodeId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn send(&mut self, to: NodeId, msg: Msg) {
+        if let Some(tx) = self.peers.get(to.0) {
+            // A dead node's receiver is dropped; the failed send is the
+            // NIC dropping the packet.
+            let _ = tx.send(Control::Deliver { from: self.me, msg });
+        }
+    }
+
+    fn set_timer(&mut self, after: SimDuration) {
+        let at = self.clock.now() + after;
+        self.deadline = Some(match self.deadline {
+            Some(cur) if cur <= at => cur,
+            _ => at,
+        });
+    }
+}
+
+/// A server's live key/value pairs, tagged with its index.
+pub type ServerDump = (usize, Vec<(Vec<u8>, Vec<u8>)>);
+
+/// What a node thread hands back on graceful shutdown.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node's id.
+    pub node: NodeId,
+    /// Server role: `(index, live key/value pairs)` from its real store.
+    pub server: Option<ServerDump>,
+    /// Coordinator role: final `bucket -> owner` map.
+    pub owners: Option<Vec<usize>>,
+    /// Scripted-client role: `(per-op replies, finished)`.
+    pub client: Option<(Vec<Reply>, bool)>,
+}
+
+fn report(node: AnyNode, id: NodeId) -> NodeReport {
+    match node {
+        AnyNode::Coordinator(c) => NodeReport {
+            node: id,
+            server: None,
+            owners: Some(c.coord.owners_snapshot()),
+            client: None,
+        },
+        AnyNode::Server(s) => {
+            let live = s
+                .store
+                .live_objects()
+                .map(|o| (o.key.to_vec(), o.value.to_vec()))
+                .collect();
+            NodeReport {
+                node: id,
+                server: Some((s.index, live)),
+                owners: None,
+                client: None,
+            }
+        }
+        AnyNode::Client(c) => NodeReport {
+            node: id,
+            server: None,
+            owners: None,
+            client: Some((c.results, c.done)),
+        },
+    }
+}
+
+/// Idle poll granularity when no timer is armed (keeps dead-letter
+/// detection responsive without busy-waiting).
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+fn node_loop(
+    mut node: AnyNode,
+    mut rt: ThreadRuntime,
+    rx: Receiver<Control>,
+    done_tx: Option<Sender<usize>>,
+) -> Option<NodeReport> {
+    let id = rt.me;
+    let mut notified = false;
+    node.on_start(&mut rt);
+    loop {
+        if let (Some(tx), AnyNode::Client(c)) = (&done_tx, &node) {
+            if c.done && !notified {
+                notified = true;
+                let _ = tx.send(c.index);
+            }
+        }
+        let timeout = match rt.deadline {
+            Some(d) => {
+                let now = rt.clock.now();
+                if d <= now {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos((d - now).as_nanos())
+                }
+            }
+            None => IDLE_POLL,
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(Control::Deliver { from, msg }) => node.on_message(from, msg, &mut rt),
+            Ok(Control::Kill) => return None,
+            Ok(Control::Shutdown) => return Some(report(node, id)),
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(d) = rt.deadline {
+                    if rt.clock.now() >= d {
+                        rt.deadline = None;
+                        node.on_timer(&mut rt);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// Aggregated final state of a shut-down mini-cluster.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Final `bucket -> owner` map (from the coordinator).
+    pub owners: Vec<usize>,
+    /// The live `key -> value` set the surviving cluster serves: the union
+    /// of surviving servers' stores, owner-filtered — directly comparable
+    /// with `rmc_core::proto_sim::SimNet::live_map`.
+    pub live: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Scripted clients' `(index, replies, finished)`, in index order.
+    pub clients: Vec<(usize, Vec<Reply>, bool)>,
+}
+
+/// A running mini-cluster: coordinator + servers (+ optional scripted
+/// clients) as threads.
+#[derive(Debug)]
+pub struct MiniCluster {
+    cfg: ProtocolConfig,
+    peers: Arc<Vec<Sender<Control>>>,
+    handles: Vec<(NodeId, JoinHandle<Option<NodeReport>>)>,
+    done_rx: Receiver<usize>,
+}
+
+impl MiniCluster {
+    /// Starts coordinator and server threads; returns the cluster plus one
+    /// synchronous [`MiniClient`] handle per configured client.
+    pub fn start(cfg: ProtocolConfig) -> (MiniCluster, Vec<MiniClient>) {
+        Self::launch(cfg, None)
+    }
+
+    /// Starts the full cluster with scripted client threads (the threaded
+    /// half of the cross-engine equivalence test). Await completion with
+    /// [`MiniCluster::wait_for_scripted_clients`].
+    pub fn start_scripted(cfg: ProtocolConfig, scripts: Vec<Vec<ClientOp>>) -> MiniCluster {
+        Self::launch(cfg, Some(scripts)).0
+    }
+
+    fn launch(
+        cfg: ProtocolConfig,
+        scripts: Option<Vec<Vec<ClientOp>>>,
+    ) -> (MiniCluster, Vec<MiniClient>) {
+        let scripted = scripts.is_some();
+        let nodes = AnyNode::build_cluster(&cfg, scripts.unwrap_or_default());
+        let clock = Arc::new(WallClock::new());
+        let total = 1 + cfg.servers + cfg.clients;
+        let mut txs = Vec::with_capacity(total);
+        let mut rxs = Vec::with_capacity(total);
+        for _ in 0..total {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let peers: Arc<Vec<Sender<Control>>> = Arc::new(txs);
+        let (done_tx, done_rx) = unbounded();
+        let mut handles = Vec::new();
+        let mut clients = Vec::new();
+        let mut rxs = rxs.into_iter();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let rx = rxs.next().expect("one receiver per node");
+            let is_client = matches!(node, AnyNode::Client(_));
+            if is_client && !scripted {
+                // Sync handle instead of a thread; drop the state machine.
+                clients.push(MiniClient::new(
+                    NodeId(i),
+                    cfg.clone(),
+                    Arc::clone(&peers),
+                    rx,
+                ));
+                continue;
+            }
+            let rt = ThreadRuntime {
+                me: NodeId(i),
+                clock: Arc::clone(&clock),
+                peers: Arc::clone(&peers),
+                deadline: None,
+            };
+            let dt = if is_client {
+                Some(done_tx.clone())
+            } else {
+                None
+            };
+            let handle = thread::Builder::new()
+                .name(format!("mini-{}", NodeId(i)))
+                .spawn(move || node_loop(node, rt, rx, dt))
+                .expect("spawn mini-cluster node");
+            handles.push((NodeId(i), handle));
+        }
+        (
+            MiniCluster {
+                cfg,
+                peers,
+                handles,
+                done_rx,
+            },
+            clients,
+        )
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Crashes server `index`: its thread exits without a goodbye and its
+    /// queue is dropped. The coordinator notices via missed heartbeats and
+    /// runs will-based recovery.
+    pub fn kill_server(&self, index: usize) {
+        let _ = self.peers[server_id(index).0].send(Control::Kill);
+    }
+
+    /// Blocks until every scripted client finished its script, or panics
+    /// after `timeout` (a liveness failure).
+    pub fn wait_for_scripted_clients(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut done = 0;
+        while done < self.cfg.clients {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.done_rx.recv_timeout(left) {
+                Ok(_) => done += 1,
+                Err(_) => panic!(
+                    "liveness: only {done}/{} scripted clients finished within {timeout:?}",
+                    self.cfg.clients
+                ),
+            }
+        }
+    }
+
+    /// Gracefully stops every surviving node and aggregates their final
+    /// state.
+    pub fn shutdown(self) -> ClusterReport {
+        for (id, _) in &self.handles {
+            let _ = self.peers[id.0].send(Control::Shutdown);
+        }
+        let mut owners = Vec::new();
+        let mut servers: Vec<ServerDump> = Vec::new();
+        let mut clients = Vec::new();
+        for (id, handle) in self.handles {
+            let Some(rep) = handle.join().expect("mini-cluster node panicked") else {
+                continue; // killed node: no report, like a dead machine
+            };
+            if let Some(o) = rep.owners {
+                owners = o;
+            }
+            if let Some(s) = rep.server {
+                servers.push(s);
+            }
+            if let Some((results, done)) = rep.client {
+                clients.push((id.0, results, done));
+            }
+        }
+        clients.sort_unstable_by_key(|(i, _, _)| *i);
+        let buckets = owners.len().max(1);
+        let mut live = BTreeMap::new();
+        for (index, objects) in servers {
+            for (key, value) in objects {
+                if owners[bucket_for(PROTO_TABLE, &key, buckets)] == index {
+                    live.insert(key, value);
+                }
+            }
+        }
+        ClusterReport {
+            owners,
+            live,
+            clients,
+        }
+    }
+}
+
+/// A synchronous client handle: `put`/`get`/`del` follow the wire protocol
+/// (route by bucket, retry unanswered requests with the *same* sequence
+/// number, absorb map updates), blocking the calling thread until the op
+/// completes.
+#[derive(Debug)]
+pub struct MiniClient {
+    me: NodeId,
+    cfg: ProtocolConfig,
+    peers: Arc<Vec<Sender<Control>>>,
+    rx: Receiver<Control>,
+    owners: Vec<usize>,
+    map_version: u64,
+    seq: u64,
+}
+
+impl MiniClient {
+    fn new(
+        me: NodeId,
+        cfg: ProtocolConfig,
+        peers: Arc<Vec<Sender<Control>>>,
+        rx: Receiver<Control>,
+    ) -> Self {
+        let owners = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        MiniClient {
+            me,
+            cfg,
+            peers,
+            rx,
+            owners,
+            map_version: 0,
+            seq: 0,
+        }
+    }
+
+    /// Writes `key = value`; returns once the write is applied and fully
+    /// replicated.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        match self.request(ClientOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Reply::Done => Ok(()),
+            other => Err(format!("unexpected put reply: {other:?}")),
+        }
+    }
+
+    /// Reads `key`.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        match self.request(ClientOp::Get { key: key.to_vec() })? {
+            Reply::Value(v) => Ok(v),
+            other => Err(format!("unexpected get reply: {other:?}")),
+        }
+    }
+
+    /// Deletes `key` (absent keys are fine).
+    pub fn del(&mut self, key: &[u8]) -> Result<(), String> {
+        match self.request(ClientOp::Del { key: key.to_vec() })? {
+            Reply::Done => Ok(()),
+            other => Err(format!("unexpected del reply: {other:?}")),
+        }
+    }
+
+    fn request(&mut self, op: ClientOp) -> Result<Reply, String> {
+        self.seq += 1;
+        let seq = self.seq;
+        let retry = Duration::from_nanos(self.cfg.retry_timeout.as_nanos());
+        // Liveness bound: a healthy cluster answers in microseconds; even
+        // a crash only blocks until recovery. Far beyond that, fail loudly
+        // instead of hanging the caller.
+        let give_up = Instant::now() + retry * 200;
+        loop {
+            if Instant::now() >= give_up {
+                return Err(format!("request {seq} timed out past recovery bounds"));
+            }
+            let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
+            let owner = self.owners[bucket];
+            let _ = self.peers[server_id(owner).0].send(Control::Deliver {
+                from: self.me,
+                msg: Msg::Request {
+                    seq,
+                    op: op.clone(),
+                },
+            });
+            let attempt_ends = Instant::now() + retry;
+            loop {
+                let left = attempt_ends.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-send, same seq
+                }
+                match self.rx.recv_timeout(left) {
+                    Ok(Control::Deliver {
+                        msg: Msg::Response { seq: s, reply },
+                        ..
+                    }) => {
+                        if s != seq {
+                            continue; // stale duplicate from an earlier retry
+                        }
+                        match reply {
+                            Reply::WrongOwner => {
+                                // Routing raced a recovery: wait out the
+                                // attempt window for a map update.
+                                thread::sleep(retry / 4);
+                                break;
+                            }
+                            other => return Ok(other),
+                        }
+                    }
+                    Ok(Control::Deliver {
+                        msg:
+                            Msg::MapUpdate {
+                                version, owners, ..
+                            },
+                        ..
+                    }) => {
+                        if version > self.map_version {
+                            self.map_version = version;
+                            self.owners = owners;
+                        }
+                    }
+                    Ok(Control::Deliver { .. }) => {}
+                    Ok(Control::Kill) | Ok(Control::Shutdown) => {
+                        return Err("client handle terminated".into());
+                    }
+                    Err(RecvTimeoutError::Timeout) => break, // re-send, same seq
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("mini-cluster is gone".into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(servers: usize, clients: usize, replication: usize) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::new(servers, clients, replication);
+        // Wall-clock-friendly timings: coarse enough that scheduler jitter
+        // cannot fake a death, fine enough that tests stay fast.
+        cfg.heartbeat_interval = SimDuration::from_millis(15);
+        cfg.failure_timeout = SimDuration::from_millis(150);
+        cfg.retry_timeout = SimDuration::from_millis(50);
+        cfg
+    }
+
+    #[test]
+    fn put_get_del_roundtrip() {
+        let (cluster, mut clients) = MiniCluster::start(small_cfg(3, 1, 1));
+        let c = &mut clients[0];
+        for i in 0..50 {
+            c.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(c.get(b"k7").unwrap(), Some(b"v7".to_vec()));
+        c.del(b"k7").unwrap();
+        assert_eq!(c.get(b"k7").unwrap(), None);
+        let report = cluster.shutdown();
+        assert_eq!(report.live.len(), 49);
+        assert_eq!(report.live.get(b"k8".as_slice()), Some(&b"v8".to_vec()));
+    }
+
+    #[test]
+    fn kill_and_recover_preserves_live_set() {
+        let (cluster, mut clients) = MiniCluster::start(small_cfg(3, 1, 2));
+        let c = &mut clients[0];
+        let mut expected = BTreeMap::new();
+        for i in 0..80 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        cluster.kill_server(1);
+        // Writes keep succeeding across the crash (retries ride out
+        // detection + recovery).
+        for i in 80..100 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        let report = cluster.shutdown();
+        assert!(report.owners.iter().all(|&o| o != 1), "victim owns nothing");
+        assert_eq!(
+            report.live, expected,
+            "recovery restored the exact live set"
+        );
+    }
+}

@@ -164,8 +164,17 @@ mod tests {
             parse_command("frobnicate x"),
             Err(ParseCommandError::UnknownCommand(_))
         ));
-        assert!(matches!(parse_command("set onlykey"), Err(ParseCommandError::Usage(_))));
-        assert!(matches!(parse_command("scan a b"), Err(ParseCommandError::Usage(_))));
-        assert!(matches!(parse_command("get"), Err(ParseCommandError::Usage(_))));
+        assert!(matches!(
+            parse_command("set onlykey"),
+            Err(ParseCommandError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command("scan a b"),
+            Err(ParseCommandError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command("get"),
+            Err(ParseCommandError::Usage(_))
+        ));
     }
 }

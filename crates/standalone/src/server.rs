@@ -35,7 +35,9 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rmc_logstore::{LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome};
 
-use crate::dispatch::{worker_for_shard, BatchGuard, BatchSlot, DispatchMode, StripedCounter};
+use rmc_runtime::StripedCounter;
+
+use crate::dispatch::{worker_for_shard, BatchGuard, BatchSlot, DispatchMode};
 use crate::shard::ShardedStore;
 
 /// Configuration of a [`StandaloneServer`].
@@ -334,7 +336,11 @@ impl Client {
                 let guard = BatchGuard::new(Arc::clone(&slot), keys.len());
                 let cmd = Command::MultiRead {
                     table,
-                    keys: keys.iter().enumerate().map(|(i, k)| (i, k.to_vec())).collect(),
+                    keys: keys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, k)| (i, k.to_vec()))
+                        .collect(),
                     guard,
                 };
                 // A failed send drops the command, whose guard aborts the
@@ -372,10 +378,9 @@ impl Client {
         for (i, (key, value)) in ops.iter().enumerate() {
             let queue = match self.mode {
                 DispatchMode::GlobalQueue => 0,
-                DispatchMode::ShardAffinity => worker_for_shard(
-                    self.store.shard_index(table, key),
-                    self.senders.len(),
-                ),
+                DispatchMode::ShardAffinity => {
+                    worker_for_shard(self.store.shard_index(table, key), self.senders.len())
+                }
             };
             groups[queue].push((i, key.to_vec(), value.to_vec()));
         }
@@ -427,7 +432,10 @@ impl StandaloneServer {
             match config.dispatch {
                 DispatchMode::GlobalQueue => {
                     let (tx, rx) = bounded::<Command>(config.queue_capacity);
-                    (vec![tx], (0..config.worker_threads).map(|_| rx.clone()).collect())
+                    (
+                        vec![tx],
+                        (0..config.worker_threads).map(|_| rx.clone()).collect(),
+                    )
                 }
                 DispatchMode::ShardAffinity => (0..config.worker_threads)
                     .map(|_| bounded::<Command>(config.queue_capacity))
@@ -465,11 +473,7 @@ impl StandaloneServer {
     /// Panics if called after [`StandaloneServer::shutdown`].
     pub fn client(&self) -> Client {
         Client {
-            senders: self
-                .senders
-                .as_ref()
-                .expect("server not shut down")
-                .clone(),
+            senders: self.senders.as_ref().expect("server not shut down").clone(),
             store: Arc::clone(&self.store),
             stopped: Arc::clone(&self.stopped),
             mode: self.mode,
@@ -669,7 +673,9 @@ mod tests {
                     std::thread::spawn(move || {
                         for i in 0..200 {
                             let key = format!("c{t}-{i}");
-                            client.write(T, key.as_bytes(), format!("{i}").as_bytes()).unwrap();
+                            client
+                                .write(T, key.as_bytes(), format!("{i}").as_bytes())
+                                .unwrap();
                             let got = client.read(T, key.as_bytes()).unwrap().unwrap();
                             assert_eq!(&got.value[..], format!("{i}").as_bytes());
                         }
@@ -692,7 +698,9 @@ mod tests {
         let srv = StandaloneServer::start(config);
         let client = srv.client();
         for i in 0..20 {
-            client.write(T, format!("s{i:02}").as_bytes(), b"v").unwrap();
+            client
+                .write(T, format!("s{i:02}").as_bytes(), b"v")
+                .unwrap();
         }
         let got = client.scan(T, b"s05", 5).unwrap();
         assert_eq!(got.len(), 5);
@@ -827,8 +835,10 @@ mod tests {
         let srv = server();
         let client = srv.client();
         let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("key{i}").into_bytes()).collect();
-        let ops: Vec<(&[u8], &[u8])> =
-            keys.iter().map(|k| (k.as_slice(), b"v".as_slice())).collect();
+        let ops: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .map(|k| (k.as_slice(), b"v".as_slice()))
+            .collect();
         let got = client.multiwrite(T, &ops).unwrap();
         assert!(got.iter().all(Result::is_ok));
         assert_eq!(srv.store().object_count(), 64);

@@ -93,7 +93,12 @@ impl ShardedStore {
     ///
     /// Propagates [`StoreError`] from the shard (size limits, out of
     /// memory).
-    pub fn write(&self, table: TableId, key: &[u8], value: &[u8]) -> Result<WriteOutcome, StoreError> {
+    pub fn write(
+        &self,
+        table: TableId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<WriteOutcome, StoreError> {
         self.shard_for(table, key).write().write(table, key, value)
     }
 
@@ -220,8 +225,12 @@ mod tests {
                 let s = Arc::clone(&s);
                 std::thread::spawn(move || {
                     for i in 0..500 {
-                        s.write(T, format!("t{t}-k{i}").as_bytes(), format!("{t}:{i}").as_bytes())
-                            .unwrap();
+                        s.write(
+                            T,
+                            format!("t{t}-k{i}").as_bytes(),
+                            format!("{t}:{i}").as_bytes(),
+                        )
+                        .unwrap();
                     }
                 })
             })
@@ -278,7 +287,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for round in 0..400 {
                         let k = format!("k{}", (t * 3 + round) % 8);
-                        s.write(T, k.as_bytes(), format!("{round}").as_bytes()).unwrap();
+                        s.write(T, k.as_bytes(), format!("{round}").as_bytes())
+                            .unwrap();
                     }
                 })
             })

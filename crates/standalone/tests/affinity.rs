@@ -38,8 +38,15 @@ fn batched_writers_and_fast_readers_under_churn() {
     // corruption.
     {
         let client = srv.client();
-        let ops: Vec<(&[u8], &[u8])> = keys.iter().map(|k| (k.as_slice(), b"0".as_slice())).collect();
-        assert!(client.multiwrite(T, &ops).unwrap().iter().all(Result::is_ok));
+        let ops: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .map(|k| (k.as_slice(), b"0".as_slice()))
+            .collect();
+        assert!(client
+            .multiwrite(T, &ops)
+            .unwrap()
+            .iter()
+            .all(Result::is_ok));
     }
 
     let done = Arc::new(AtomicBool::new(false));
@@ -97,7 +104,10 @@ fn batched_writers_and_fast_readers_under_churn() {
     assert!(observed > 0, "readers must make progress");
     let stats = srv.store().stats();
     assert!(stats.cleanings > 0, "churn must trigger the cleaner");
-    assert!(stats.read_hits >= observed, "every observed read is a counted hit");
+    assert!(
+        stats.read_hits >= observed,
+        "every observed read is a counted hit"
+    );
     srv.shutdown();
 }
 
@@ -118,8 +128,10 @@ fn shutdown_with_batches_in_flight_never_hangs() {
                 std::thread::spawn(move || loop {
                     let keys: Vec<Vec<u8>> =
                         (0..16).map(|i| format!("t{t}-{i}").into_bytes()).collect();
-                    let ops: Vec<(&[u8], &[u8])> =
-                        keys.iter().map(|k| (k.as_slice(), b"v".as_slice())).collect();
+                    let ops: Vec<(&[u8], &[u8])> = keys
+                        .iter()
+                        .map(|k| (k.as_slice(), b"v".as_slice()))
+                        .collect();
                     match client.multiwrite(T, &ops) {
                         Ok(results) => {
                             // A batch that completes must have every key
@@ -230,8 +242,10 @@ fn modes_agree_on_final_state() {
         });
         let client = srv.client();
         let keys: Vec<Vec<u8>> = (0..40).map(|i| format!("m{i}").into_bytes()).collect();
-        let ops: Vec<(&[u8], &[u8])> =
-            keys.iter().map(|k| (k.as_slice(), b"first".as_slice())).collect();
+        let ops: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .map(|k| (k.as_slice(), b"first".as_slice()))
+            .collect();
         client.multiwrite(T, &ops).unwrap();
         for k in keys.iter().step_by(2) {
             client.write(T, k, b"second").unwrap();

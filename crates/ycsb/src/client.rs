@@ -6,7 +6,7 @@
 //! stream; [`Throttle`] implements the client-side rate limiting the paper
 //! evaluates in Fig 13.
 
-use rmc_sim::{SimDuration, SimRng, SimTime};
+use rmc_runtime::{SimDuration, SimRng, SimTime};
 
 use crate::distribution::KeyChooser;
 use crate::workload::{OpKind, WorkloadSpec};

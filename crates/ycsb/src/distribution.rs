@@ -5,7 +5,7 @@
 //! they are YCSB's other standard choices and the paper names "different
 //! request distributions" as future work.
 
-use rmc_sim::SimRng;
+use rmc_runtime::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// Which request distribution to use.
@@ -121,14 +121,22 @@ impl KeyChooser {
         match self.dist {
             Distribution::Uniform => rng.gen_below(self.record_count),
             Distribution::Zipfian { .. } => {
-                let rank = self.zipf.as_ref().expect("zipf state").sample(rng, self.record_count);
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf state")
+                    .sample(rng, self.record_count);
                 // Scramble so popular keys spread over the key space (YCSB's
                 // ScrambledZipfian), preserving the popularity *distribution*
                 // while decorrelating it from insertion order.
                 fnv64(rank) % self.record_count
             }
             Distribution::Latest => {
-                let rank = self.zipf.as_ref().expect("zipf state").sample(rng, self.record_count);
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf state")
+                    .sample(rng, self.record_count);
                 self.record_count - 1 - rank.min(self.record_count - 1)
             }
         }
@@ -259,7 +267,10 @@ mod tests {
         for _ in 0..10_000 {
             max_seen = max_seen.max(kc.next(&mut r));
         }
-        assert!(max_seen > 500, "grown space should be reachable, max {max_seen}");
+        assert!(
+            max_seen > 500,
+            "grown space should be reachable, max {max_seen}"
+        );
     }
 
     #[test]

@@ -35,6 +35,6 @@ mod workload;
 
 pub use client::{Request, RequestGenerator, Throttle};
 pub use distribution::{Distribution, KeyChooser};
-pub use runner::{KvBackend, LatencySummary, RunSummary, RunnerConfig};
-pub use stats::ClientStats;
+pub use runner::{KvBackend, RunSummary, RunnerConfig};
+pub use stats::{percentile, ClientStats, LatencySummary};
 pub use workload::{Mix, OpKind, StandardWorkload, WorkloadSpec};

@@ -16,6 +16,11 @@ use std::time::Instant;
 use crate::client::RequestGenerator;
 use crate::workload::{OpKind, WorkloadSpec};
 
+// Summaries live with the other measurement containers so the sim-time
+// client model and this runner report through one code path; re-exported
+// here for the runner's historical callers.
+pub use crate::stats::{percentile, LatencySummary};
+
 /// A real key-value store the runner can drive.
 ///
 /// Errors are stringly typed so backends with different error enums plug in
@@ -50,67 +55,6 @@ impl Default for RunnerConfig {
             seed: 42,
         }
     }
-}
-
-/// Latency percentiles over one operation class, in microseconds.
-///
-/// For batched runs each operation in a batch is charged the batch's
-/// amortized per-op latency (batch time ÷ batch length), so single-op and
-/// batched runs are comparable per operation served.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    /// Operations measured.
-    pub count: u64,
-    /// Mean latency (µs).
-    pub mean_us: f64,
-    /// Median latency (µs).
-    pub p50_us: f64,
-    /// 90th percentile (µs).
-    pub p90_us: f64,
-    /// 99th percentile (µs).
-    pub p99_us: f64,
-    /// Worst observed (µs).
-    pub max_us: f64,
-}
-
-impl LatencySummary {
-    fn empty() -> Self {
-        LatencySummary {
-            count: 0,
-            mean_us: 0.0,
-            p50_us: 0.0,
-            p90_us: 0.0,
-            p99_us: 0.0,
-            max_us: 0.0,
-        }
-    }
-
-    /// Summarizes a set of latency samples (µs). Samples are consumed
-    /// (sorted in place).
-    pub fn from_samples(samples: &mut [f64]) -> Self {
-        if samples.is_empty() {
-            return Self::empty();
-        }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let count = samples.len() as u64;
-        let mean = samples.iter().sum::<f64>() / count as f64;
-        LatencySummary {
-            count,
-            mean_us: mean,
-            p50_us: percentile(samples, 50.0),
-            p90_us: percentile(samples, 90.0),
-            p99_us: percentile(samples, 99.0),
-            max_us: *samples.last().expect("nonempty"),
-        }
-    }
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty sample set");
-    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank]
 }
 
 /// Results of one measured run.
@@ -319,7 +263,10 @@ mod tests {
         }
         fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
             self.single_calls.fetch_add(1, Ordering::Relaxed);
-            self.map.lock().unwrap().insert(key.to_vec(), value.to_vec());
+            self.map
+                .lock()
+                .unwrap()
+                .insert(key.to_vec(), value.to_vec());
             Ok(())
         }
         fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
@@ -408,27 +355,6 @@ mod tests {
             summary.writes.count,
             "every write sample comes from an RMW's write half"
         );
-    }
-
-    #[test]
-    fn percentile_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&sorted, 0.0), 1.0);
-        assert_eq!(percentile(&sorted, 50.0), 51.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&sorted, 100.0), 100.0);
-        assert_eq!(percentile(&[7.0], 50.0), 7.0);
-    }
-
-    #[test]
-    fn summary_from_samples() {
-        let mut samples = vec![4.0, 1.0, 3.0, 2.0];
-        let s = LatencySummary::from_samples(&mut samples);
-        assert_eq!(s.count, 4);
-        assert_eq!(s.mean_us, 2.5);
-        assert_eq!(s.max_us, 4.0);
-        let empty = LatencySummary::from_samples(&mut Vec::new());
-        assert_eq!(empty.count, 0);
     }
 
     #[test]

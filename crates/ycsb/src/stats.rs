@@ -1,6 +1,12 @@
 //! Per-client and per-run measurement containers.
+//!
+//! Both engines report through this module: the simulated clients record
+//! into [`ClientStats`] histograms, the wall-clock runner collects raw
+//! sample vectors, and both collapse into the same [`LatencySummary`] so a
+//! sim row and a thread row in a results table are directly comparable.
 
-use rmc_sim::{Histogram, SimDuration, SimTime};
+use rmc_runtime::{Histogram, SimDuration, SimTime};
+use serde::Serialize;
 
 /// Latency/throughput statistics for one client (or aggregated).
 #[derive(Debug, Clone)]
@@ -67,12 +73,17 @@ impl ClientStats {
         self.latency.mean() / 1e3
     }
 
+    /// Percentile summary of the latency distribution — the same container
+    /// the wall-clock runner reports, so simulated and threaded runs print
+    /// through one code path.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.latency)
+    }
+
     /// Observed throughput: completed ops over the completion span.
     pub fn throughput_ops(&self) -> f64 {
         match (self.first_completion, self.last_completion) {
-            (Some(a), Some(b)) if b > a => {
-                self.completed as f64 / (b - a).as_secs_f64()
-            }
+            (Some(a), Some(b)) if b > a => self.completed as f64 / (b - a).as_secs_f64(),
             (Some(_), Some(_)) => self.completed as f64, // all in one instant
             _ => 0.0,
         }
@@ -101,6 +112,85 @@ impl ClientStats {
             (a, b) => a.or(b),
         };
     }
+}
+
+/// Latency percentiles over one operation class, in microseconds.
+///
+/// For batched runs each operation in a batch is charged the batch's
+/// amortized per-op latency (batch time ÷ batch length), so single-op and
+/// batched runs are comparable per operation served.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Operations measured.
+    pub count: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 90th percentile (µs).
+    pub p90_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// Worst observed (µs).
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean_us: 0.0,
+            p50_us: 0.0,
+            p90_us: 0.0,
+            p99_us: 0.0,
+            max_us: 0.0,
+        }
+    }
+
+    /// Summarizes a set of latency samples (µs). Samples are consumed
+    /// (sorted in place).
+    pub fn from_samples(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let count = samples.len() as u64;
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        LatencySummary {
+            count,
+            mean_us: mean,
+            p50_us: percentile(samples, 50.0),
+            p90_us: percentile(samples, 90.0),
+            p99_us: percentile(samples, 99.0),
+            max_us: *samples.last().expect("nonempty"),
+        }
+    }
+
+    /// Summarizes a nanosecond latency [`Histogram`] (the simulated
+    /// clients' container). Percentiles carry the histogram's bucket
+    /// resolution (±~0.5% per octave sub-bucket).
+    pub fn from_histogram(latency_ns: &Histogram) -> Self {
+        if latency_ns.count() == 0 {
+            return Self::empty();
+        }
+        let us = |ns: u64| ns as f64 / 1e3;
+        LatencySummary {
+            count: latency_ns.count(),
+            mean_us: latency_ns.mean() / 1e3,
+            p50_us: us(latency_ns.quantile(0.50)),
+            p90_us: us(latency_ns.quantile(0.90)),
+            p99_us: us(latency_ns.quantile(0.99)),
+            max_us: us(latency_ns.max()),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
 }
 
 /// Mean-per-window accumulator for timeline plots.
@@ -186,9 +276,17 @@ mod tests {
     #[test]
     fn timeline_has_gaps_for_blocked_windows() {
         let mut s = ClientStats::new();
-        s.record(SimTime::from_millis(500), SimDuration::from_micros(15), false);
+        s.record(
+            SimTime::from_millis(500),
+            SimDuration::from_micros(15),
+            false,
+        );
         // 3-second silence (blocked client), then recovery.
-        s.record(SimTime::from_millis(4500), SimDuration::from_micros(35), false);
+        s.record(
+            SimTime::from_millis(4500),
+            SimDuration::from_micros(35),
+            false,
+        );
         let tl = s.latency_timeline();
         assert_eq!(tl.len(), 2);
         assert_eq!(tl[0].0, 0.0);
@@ -208,6 +306,58 @@ mod tests {
         assert_eq!(a.first_completion, Some(SimTime::from_secs(1)));
         assert_eq!(a.last_completion, Some(SimTime::from_secs(3)));
         assert_eq!(a.latency_timeline().len(), 2);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn summary_from_samples() {
+        let mut samples = vec![4.0, 1.0, 3.0, 2.0];
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_us, 2.5);
+        assert_eq!(s.max_us, 4.0);
+        let empty = LatencySummary::from_samples(&mut Vec::new());
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn summary_from_histogram_matches_samples() {
+        // The same latencies through both paths must agree to within the
+        // histogram's bucket resolution.
+        let latencies_us = [10.0_f64, 20.0, 40.0, 80.0, 160.0];
+        let mut hist = Histogram::new();
+        for &us in &latencies_us {
+            hist.record_duration(SimDuration::from_nanos((us * 1e3) as u64));
+        }
+        let from_hist = LatencySummary::from_histogram(&hist);
+        let mut samples = latencies_us.to_vec();
+        let from_samples = LatencySummary::from_samples(&mut samples);
+        assert_eq!(from_hist.count, from_samples.count);
+        let close = |a: f64, b: f64| (a - b).abs() / b < 0.05;
+        assert!(close(from_hist.mean_us, from_samples.mean_us));
+        assert!(close(from_hist.p50_us, from_samples.p50_us));
+        assert!(close(from_hist.max_us, from_samples.max_us));
+        assert_eq!(LatencySummary::from_histogram(&Histogram::new()).count, 0);
+    }
+
+    #[test]
+    fn client_stats_summary_uses_shared_path() {
+        let mut s = ClientStats::new();
+        s.record(SimTime::from_secs(1), SimDuration::from_micros(10), false);
+        s.record(SimTime::from_secs(2), SimDuration::from_micros(30), true);
+        let sum = s.latency_summary();
+        assert_eq!(sum.count, 2);
+        assert!((sum.mean_us - s.mean_latency_us()).abs() < 1e-9);
+        assert!(sum.p99_us >= sum.p50_us);
     }
 
     #[test]

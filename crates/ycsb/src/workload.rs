@@ -11,7 +11,7 @@
 //! future work); E (scans) is declared but not exercised by the reproduction,
 //! matching the paper's explicit exclusion of scans.
 
-use rmc_sim::SimRng;
+use rmc_runtime::SimRng;
 use serde::{Deserialize, Serialize};
 
 use crate::distribution::Distribution;

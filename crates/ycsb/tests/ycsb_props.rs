@@ -1,7 +1,7 @@
 //! Property tests for the workload generator.
 
 use proptest::prelude::*;
-use rmc_sim::{SimRng, SimTime};
+use rmc_runtime::{SimRng, SimTime};
 use rmc_ycsb::{Distribution, KeyChooser, Mix, Throttle};
 
 proptest! {

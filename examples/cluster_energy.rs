@@ -17,7 +17,11 @@ fn main() {
         "{:>10} | {:>12} | {:>10} | {:>12} | {:>10}",
         "workload", "throughput", "W/node", "energy (KJ)", "ops/joule"
     );
-    for w in [StandardWorkload::C, StandardWorkload::B, StandardWorkload::A] {
+    for w in [
+        StandardWorkload::C,
+        StandardWorkload::B,
+        StandardWorkload::A,
+    ] {
         let workload = WorkloadSpec::standard(w).with_ops_per_client(10_000);
         let cfg = ClusterConfig::new(10, 30, workload);
         let report = Cluster::new(cfg).run();

@@ -24,7 +24,10 @@ fn main() {
 
     let report = cluster.run_with_min_duration(SimDuration::from_secs(40));
     let rec = report.recovery.expect("a recovery must have run");
-    println!("killed server {} at t={:.0}s", rec.crashed_server, rec.killed_at_secs);
+    println!(
+        "killed server {} at t={:.0}s",
+        rec.crashed_server, rec.killed_at_secs
+    );
     println!(
         "detected after {:.2}s; recovered {:.2} GB ({} entries) in {:.1}s",
         rec.detected_at_secs - rec.killed_at_secs,

@@ -39,7 +39,8 @@ fn main() {
             r.ops_per_joule,
         );
     }
-    let saved = 1.0 - elastic_run.energy.total_energy_joules / static_run.energy.total_energy_joules;
+    let saved =
+        1.0 - elastic_run.energy.total_energy_joules / static_run.energy.total_energy_joules;
     println!("\nenergy saved by elastic sizing: {:.1}%", saved * 100.0);
     println!("\nactive-server timeline (elastic run):");
     let mut last = usize::MAX;

@@ -14,22 +14,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let users = TableId(1);
     let mut store = Store::new(LogConfig {
         segment_bytes: 64 << 10, // small segments so the demo rolls the log
-        max_segments: 8, // tight budget so the demo exercises the cleaner
-                ordered_index: false,
-            });
+        max_segments: 8,         // tight budget so the demo exercises the cleaner
+        ordered_index: false,
+    });
 
     // Insert and read back.
     store.write(users, b"user:1", br#"{"name":"ada"}"#)?;
     store.write(users, b"user:2", br#"{"name":"grace"}"#)?;
     let obj = store.read(users, b"user:1").expect("just inserted");
-    println!("user:1 -> {} ({})", String::from_utf8_lossy(&obj.value), obj.version);
+    println!(
+        "user:1 -> {} ({})",
+        String::from_utf8_lossy(&obj.value),
+        obj.version
+    );
 
     // Overwrites append new versions; the old copy becomes dead log space.
     for round in 0..100_000 {
-        store.write(users, b"user:1", format!("{{\"visits\":{round}}}").as_bytes())?;
+        store.write(
+            users,
+            b"user:1",
+            format!("{{\"visits\":{round}}}").as_bytes(),
+        )?;
     }
     let obj = store.read(users, b"user:1").expect("still there");
-    println!("user:1 -> {} ({})", String::from_utf8_lossy(&obj.value), obj.version);
+    println!(
+        "user:1 -> {} ({})",
+        String::from_utf8_lossy(&obj.value),
+        obj.version
+    );
 
     // Deletes write tombstones.
     store.delete(users, b"user:2")?;

@@ -27,7 +27,9 @@ fn main() {
                 for i in 0..ops_per_client {
                     let key = format!("user{:08}", (t * ops_per_client + i) % 10_000);
                     if i % 2 == 0 {
-                        client.write(table, key.as_bytes(), b"payload-xxxxxxxx").unwrap();
+                        client
+                            .write(table, key.as_bytes(), b"payload-xxxxxxxx")
+                            .unwrap();
                     } else {
                         let _ = client.read(table, key.as_bytes()).unwrap();
                     }

@@ -1,7 +1,7 @@
 //! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`] with
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`strategy::Strategy`] with
 //! `prop_map`, `any::<T>()`, numeric-range and tuple strategies,
 //! [`collection::vec`], [`option::of`], [`prop_oneof!`] (weighted and
 //! unweighted), `Just`, and the `prop_assert*` / `prop_assume!` macros.
@@ -352,7 +352,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`]; build one from a `Range<usize>` or a
+    /// Length bounds for [`vec()`]; build one from a `Range<usize>` or a
     /// fixed `usize`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
