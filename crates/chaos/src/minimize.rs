@@ -1,0 +1,117 @@
+//! Greedy [`FaultPlan`] minimization: given a plan that makes a test fail,
+//! strip it down to a (locally) minimal plan that still fails.
+//!
+//! The vendored proptest shim does not shrink, so the chaos suites shrink
+//! at the domain level instead: remove scheduled incidents one at a time,
+//! then zero the probabilistic knobs, keeping each simplification only if
+//! the failure reproduces. The result is what lands in the panic message —
+//! a plan a human can read and replay.
+
+use rmc_runtime::SimDuration;
+
+use crate::plan::FaultPlan;
+
+/// Minimizes `plan` against `fails` (a predicate that re-runs the test and
+/// returns `true` when the failure reproduces). `fails(&plan)` is assumed
+/// true on entry; the returned plan also satisfies it. Runs `fails` at most
+/// a few dozen times for typical plans.
+pub fn minimize<F: FnMut(&FaultPlan) -> bool>(plan: &FaultPlan, mut fails: F) -> FaultPlan {
+    let mut best = plan.clone();
+    // Fixpoint over structural removals: deleting one incident can make
+    // another deletable.
+    loop {
+        let mut simplified = false;
+        for i in (0..best.crashes.len()).rev() {
+            let mut candidate = best.clone();
+            candidate.crashes.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                simplified = true;
+            }
+        }
+        for i in (0..best.partitions.len()).rev() {
+            let mut candidate = best.clone();
+            candidate.partitions.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                simplified = true;
+            }
+        }
+        if !simplified {
+            break;
+        }
+    }
+    // Zero each probabilistic knob independently.
+    let knobs: [fn(&mut FaultPlan); 4] = [
+        |p| p.drop_prob = 0.0,
+        |p| p.dup_prob = 0.0,
+        |p| p.delay_prob = 0.0,
+        |p| p.backup_write_fail_prob = 0.0,
+    ];
+    for zero in knobs {
+        let mut candidate = best.clone();
+        zero(&mut candidate);
+        if fails(&candidate) {
+            best = candidate;
+        }
+    }
+    let mut candidate = best.clone();
+    candidate.max_delay = SimDuration::ZERO;
+    if fails(&candidate) {
+        best = candidate;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Crash, Partition};
+    use rmc_runtime::{NodeId, SimTime};
+
+    #[test]
+    fn strips_everything_irrelevant() {
+        let mut plan = FaultPlan::quiet();
+        plan.drop_prob = 0.5;
+        plan.dup_prob = 0.5;
+        plan.delay_prob = 0.5;
+        plan.max_delay = SimDuration::from_millis(5);
+        for i in 0..4 {
+            plan.crashes.push(Crash {
+                at: SimTime::from_millis(10 * (i + 1)),
+                server: i as usize,
+                restart_after: None,
+            });
+            plan.partitions.push(Partition {
+                start: SimTime::from_millis(5 * (i + 1)),
+                heal: SimTime::from_millis(5 * (i + 1) + 3),
+                group: vec![NodeId(i as usize)],
+                symmetric: true,
+            });
+        }
+        // The "test" only needs the crash of server 2 plus a nonzero drop
+        // probability to fail.
+        let needs = |p: &FaultPlan| p.crashes.iter().any(|c| c.server == 2) && p.drop_prob > 0.0;
+        let minimal = minimize(&plan, needs);
+        assert_eq!(minimal.crashes.len(), 1);
+        assert_eq!(minimal.crashes[0].server, 2);
+        assert!(minimal.partitions.is_empty());
+        assert!(minimal.drop_prob > 0.0);
+        assert_eq!(minimal.dup_prob, 0.0);
+        assert_eq!(minimal.delay_prob, 0.0);
+        assert_eq!(minimal.max_delay, SimDuration::ZERO);
+        assert!(needs(&minimal));
+    }
+
+    #[test]
+    fn leaves_an_already_minimal_plan_alone() {
+        let mut plan = FaultPlan::quiet();
+        plan.crashes.push(Crash {
+            at: SimTime::from_millis(1),
+            server: 0,
+            restart_after: None,
+        });
+        let minimal = minimize(&plan, |p| !p.crashes.is_empty());
+        assert_eq!(minimal.crashes, plan.crashes);
+    }
+}

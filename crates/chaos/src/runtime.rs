@@ -1,0 +1,187 @@
+//! [`FaultRuntime`]: wrap any [`Runtime`] so every outgoing message passes
+//! through a [`FaultState`] judge.
+//!
+//! This is the whole point of the four-op `Runtime` boundary: protocol
+//! handlers only ever talk to a `Runtime`, so interposing here injects
+//! drops, duplicates, delays, and partitions into *both* engines without
+//! either engine or the protocol knowing. Delay and reorder ride on
+//! [`Runtime::send_after`]; an engine whose default `send_after` delivers
+//! immediately simply degrades delays to reorder-free delivery while drops,
+//! duplicates, and partitions keep their exact semantics.
+
+use rmc_runtime::{NodeId, Runtime, SimDuration, SimTime};
+
+use crate::fault::{FaultState, MsgClass};
+
+/// A fault-injecting view over an inner runtime, scoped — like the inner
+/// runtime itself — to one node handling one event.
+#[derive(Debug)]
+pub struct FaultRuntime<'a, R: Runtime> {
+    inner: &'a mut R,
+    faults: &'a mut FaultState,
+    classify: fn(&R::Msg) -> MsgClass,
+}
+
+impl<'a, R: Runtime> FaultRuntime<'a, R> {
+    /// Wraps `inner`; `classify` buckets messages for class-specific
+    /// faults (backup-write failures).
+    pub fn new(
+        inner: &'a mut R,
+        faults: &'a mut FaultState,
+        classify: fn(&R::Msg) -> MsgClass,
+    ) -> Self {
+        FaultRuntime {
+            inner,
+            faults,
+            classify,
+        }
+    }
+}
+
+impl<R: Runtime> Runtime for FaultRuntime<'_, R>
+where
+    R::Msg: Clone,
+{
+    type Msg = R::Msg;
+
+    fn node(&self) -> NodeId {
+        self.inner.node()
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn send(&mut self, to: NodeId, msg: R::Msg) {
+        let now = self.inner.now();
+        let from = self.inner.node();
+        let fates = self.faults.judge(now, from, to, (self.classify)(&msg));
+        for delay in fates {
+            if delay.is_zero() {
+                self.inner.send(to, msg.clone());
+            } else {
+                self.inner.send_after(delay, to, msg.clone());
+            }
+        }
+    }
+
+    fn set_timer(&mut self, after: SimDuration) {
+        self.inner.set_timer(after);
+    }
+
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: R::Msg) {
+        // A deferred send is still one message on the wire: judge it now
+        // (deterministically, at the caller's instant) and stack the fault
+        // delay on top of the requested one.
+        let now = self.inner.now();
+        let from = self.inner.node();
+        let fates = self.faults.judge(now, from, to, (self.classify)(&msg));
+        for extra in fates {
+            self.inner
+                .send_after(delay.saturating_add_dur(extra), to, msg.clone());
+        }
+    }
+}
+
+/// Saturating duration addition helper (kept local; `SimDuration` exposes
+/// `checked_add`).
+trait SaturatingAdd {
+    fn saturating_add_dur(self, other: SimDuration) -> SimDuration;
+}
+
+impl SaturatingAdd for SimDuration {
+    fn saturating_add_dur(self, other: SimDuration) -> SimDuration {
+        self.checked_add(other).unwrap_or(SimDuration::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    /// Minimal engine: records sends with their requested delays.
+    struct Recorder {
+        node: NodeId,
+        now: SimTime,
+        sent: Vec<(NodeId, u32, SimDuration)>,
+        timer: Option<SimDuration>,
+    }
+
+    impl Runtime for Recorder {
+        type Msg = u32;
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, msg: u32) {
+            self.sent.push((to, msg, SimDuration::ZERO));
+        }
+        fn set_timer(&mut self, after: SimDuration) {
+            self.timer = Some(after);
+        }
+        fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: u32) {
+            self.sent.push((to, msg, delay));
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            node: NodeId(0),
+            now: SimTime::from_millis(1),
+            sent: Vec::new(),
+            timer: None,
+        }
+    }
+
+    fn classify(_: &u32) -> MsgClass {
+        MsgClass::Other
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let mut inner = recorder();
+        let mut faults = FaultState::new(FaultPlan::quiet());
+        let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
+        rt.send(NodeId(2), 7);
+        rt.set_timer(SimDuration::from_millis(3));
+        assert_eq!(inner.sent, vec![(NodeId(2), 7, SimDuration::ZERO)]);
+        assert_eq!(inner.timer, Some(SimDuration::from_millis(3)));
+    }
+
+    #[test]
+    fn drop_everything_plan_sends_nothing() {
+        let mut plan = FaultPlan::quiet();
+        plan.drop_prob = 1.0;
+        plan.quiesce_at = SimTime::from_secs(10);
+        let mut inner = recorder();
+        let mut faults = FaultState::new(plan);
+        let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
+        for i in 0..20 {
+            rt.send(NodeId(1), i);
+        }
+        assert!(inner.sent.is_empty());
+        assert_eq!(faults.stats.random_drops, 20);
+    }
+
+    #[test]
+    fn duplicates_and_delays_ride_send_after() {
+        let mut plan = FaultPlan::quiet();
+        plan.dup_prob = 1.0;
+        plan.delay_prob = 1.0;
+        plan.max_delay = SimDuration::from_millis(4);
+        plan.quiesce_at = SimTime::from_secs(10);
+        let mut inner = recorder();
+        let mut faults = FaultState::new(plan);
+        let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
+        rt.send(NodeId(3), 42);
+        assert_eq!(inner.sent.len(), 2, "original + duplicate");
+        assert!(inner
+            .sent
+            .iter()
+            .all(|&(to, m, _)| to == NodeId(3) && m == 42));
+        assert!(faults.stats.duplicated == 1 && faults.stats.delayed == 1);
+    }
+}

@@ -128,6 +128,13 @@ impl Coordinator {
             .collect()
     }
 
+    /// Marks a server alive again (readmission after a restart recovery or
+    /// a healed partition). It owns whatever the tablet map currently says
+    /// — typically nothing, until buckets are explicitly reassigned.
+    pub fn mark_alive(&mut self, server: usize) {
+        self.alive[server] = true;
+    }
+
     /// Marks a server dead. Returns the buckets it owned.
     pub fn mark_dead(&mut self, server: usize) -> Vec<usize> {
         self.alive[server] = false;

@@ -37,9 +37,46 @@
 //! recovered entries for durability, and reports `TakeOverDone`. When all
 //! recovery masters finish, the coordinator reassigns the buckets and
 //! broadcasts the new tablet map; blocked clients retry into it.
+//!
+//! ## Fault hardening
+//!
+//! The chaos suite (`rmc-chaos`) subjects this protocol to message drops,
+//! duplicates, delays, partitions, and crash/restarts. Surviving that
+//! forces several mechanisms beyond the happy path:
+//!
+//! - **Incarnation epochs.** Every server carries an epoch (bumped by the
+//!   engine on each restart) in its heartbeats. The coordinator rejects
+//!   heartbeats from older incarnations, treats a higher epoch as proof the
+//!   previous incarnation died (recovering it even if the failure detector
+//!   never fired), and readmits restarted or wrongly-declared-dead servers
+//!   bucket-less once no recovery is pending for them.
+//! - **Backup fencing.** A backup stops accepting `Replicate` traffic from
+//!   a master it knows to be dead — and fences the master *before* serving
+//!   a recovery `FetchSegments` — so a zombie master can never get a write
+//!   acked after recovery has read the backup's segments.
+//! - **Recovery rounds.** `TakeOver`/`TakeOverDone` carry a round number;
+//!   the coordinator re-issues a recovery (new round, recomputed over the
+//!   current survivors) if it stalls for `recovery_retry_timeout`, and
+//!   ignores completions from superseded rounds. A completed recovery whose
+//!   target owner has meanwhile died is re-run rather than reassigning
+//!   buckets to a corpse.
+//! - **Replica re-targeting.** Masters remember every byte they replicated
+//!   (`sent_log`); when the replica target set changes (a backup died or
+//!   was readmitted) they re-seed full segments to the new targets and
+//!   re-point pending ack-gated writes at the survivors, so a backup death
+//!   mid-replication neither wedges the write nor silently drops a copy.
+//! - **RIFL duplicate suppression.** Masters remember the last sequence
+//!   number and reply per client: older duplicates are dropped, a duplicate
+//!   of the last op is answered with the recorded reply (same version, no
+//!   re-apply), and a duplicate of a still-pending op re-drives replication
+//!   instead of re-applying.
+//! - **Client backoff.** Retries use capped exponential backoff with
+//!   deterministic jitter ([`retry_jitter`]) and ask the coordinator for a
+//!   fresh tablet map instead of hot-looping against a stale one.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use rmc_chaos::{MsgClass, OpKind, OpRecord};
 use rmc_logstore::{
     CompletionId, LogConfig, LogEntry, ObjectRecord, SegmentId, Store, TableId, TombstoneRecord,
 };
@@ -88,8 +125,13 @@ pub struct ProtocolConfig {
     pub heartbeat_interval: SimDuration,
     /// Silence after which the coordinator declares a server dead.
     pub failure_timeout: SimDuration,
-    /// Client retry timeout for unanswered requests.
+    /// Client retry timeout for unanswered requests (the backoff base).
     pub retry_timeout: SimDuration,
+    /// Upper bound on the exponential retry backoff (jitter rides on top).
+    pub retry_backoff_cap: SimDuration,
+    /// How long the coordinator waits for a recovery round to complete
+    /// before re-issuing it over the current survivors.
+    pub recovery_retry_timeout: SimDuration,
     /// Master log sizing.
     pub log: LogConfig,
 }
@@ -111,6 +153,8 @@ impl ProtocolConfig {
             heartbeat_interval: SimDuration::from_millis(10),
             failure_timeout: SimDuration::from_millis(50),
             retry_timeout: SimDuration::from_millis(40),
+            retry_backoff_cap: SimDuration::from_millis(320),
+            recovery_retry_timeout: SimDuration::from_millis(200),
             log: LogConfig {
                 segment_bytes: 1 << 16,
                 max_segments: 1024,
@@ -138,6 +182,24 @@ pub fn replica_targets(
         i = (i + 1) % servers;
     }
     out
+}
+
+/// Deterministic retry jitter: a hash of `(client, seq, attempt)` folded
+/// into `0..max_nanos`. Pure, so both engines (and two runs of the same
+/// plan) compute identical jitter without sharing an RNG.
+pub fn retry_jitter(client: usize, seq: u64, attempt: u32, max_nanos: u64) -> u64 {
+    if max_nanos == 0 {
+        return 0;
+    }
+    let mut x = (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ seq.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ u64::from(attempt).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % max_nanos
 }
 
 // ---------------------------------------------------------------------
@@ -179,7 +241,12 @@ impl ClientOp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
     /// Write or delete applied (and, for writes, fully replicated).
-    Done,
+    Done {
+        /// The version the mutation was applied at: the assigned version
+        /// for a put, the deleted version for a del (0 when the key was
+        /// absent). Duplicates of the same request echo the same version.
+        version: u64,
+    },
     /// Read result; `None` when the key does not exist.
     Value(Option<Vec<u8>>),
     /// The receiving server does not own the key's bucket; retry after the
@@ -223,8 +290,20 @@ pub enum Msg {
         /// Echo of the replicate token.
         token: (u64, u64),
     },
-    /// Server → coordinator: liveness beacon.
-    Heartbeat,
+    /// Server → coordinator: liveness beacon, stamped with the sender's
+    /// incarnation so a restarted server is distinguishable from its
+    /// previous life.
+    Heartbeat {
+        /// The sender's incarnation epoch (0 for the initial boot; bumped
+        /// by the engine on every restart).
+        epoch: u64,
+        /// The tablet-map version the sender has seen; the coordinator
+        /// unicasts a fresh map when this lags.
+        map_version: u64,
+    },
+    /// Anyone → coordinator: please unicast me the current tablet map
+    /// (sent by clients backing off against a stale map).
+    MapRequest,
     /// Coordinator → recovery master: recover `buckets` of `crashed` using
     /// replicas held by `survivors`.
     TakeOver {
@@ -234,6 +313,9 @@ pub enum Msg {
         buckets: Vec<usize>,
         /// Alive servers to fetch segment replicas from.
         survivors: Vec<usize>,
+        /// Recovery round; retries of a stalled recovery bump it and stale
+        /// rounds are ignored on both ends.
+        round: u64,
     },
     /// Recovery master → survivors: send me your staged segments of
     /// `crashed`.
@@ -256,6 +338,8 @@ pub enum Msg {
         crashed: usize,
         /// The buckets now live on the sender.
         buckets: Vec<usize>,
+        /// Echo of the `TakeOver` round this completion answers.
+        round: u64,
     },
     /// Coordinator → everyone: the tablet map changed.
     MapUpdate {
@@ -268,13 +352,55 @@ pub enum Msg {
     },
 }
 
-/// Replicate token used for recovery re-replication (no client waits on
-/// these, so acks are ignored).
+/// Replicate token used for recovery/re-targeting re-replication (no
+/// client waits on these, so acks are not sent).
 pub const REPLICA_RESEED: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// Classifies a message for the fault layer: replication traffic is
+/// additionally subject to the plan's backup-write fault probability.
+pub fn msg_class(msg: &Msg) -> MsgClass {
+    match msg {
+        Msg::Replicate { .. } => MsgClass::BackupWrite,
+        _ => MsgClass::Other,
+    }
+}
 
 // ---------------------------------------------------------------------
 // Coordinator node
 // ---------------------------------------------------------------------
+
+/// Observable event counters on the coordinator (exported into the metrics
+/// registry by the engine harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordCounters {
+    /// Heartbeats from an older incarnation, rejected.
+    pub stale_heartbeats: u64,
+    /// Restarts detected via an epoch jump.
+    pub restarts_detected: u64,
+    /// Servers readmitted (bucket-less) after restart or a healed
+    /// partition.
+    pub readmissions: u64,
+    /// Recovery rounds re-issued after a stall or a dead recovery master.
+    pub recovery_retries: u64,
+    /// `MapRequest`s answered.
+    pub map_requests: u64,
+}
+
+/// One in-flight recovery the coordinator is tracking.
+#[derive(Debug)]
+struct PendingRecovery {
+    /// Recovery masters still working this round. A set keyed by server
+    /// index, not a count: the network may duplicate a `TakeOverDone`, and
+    /// counting one master's completion twice would finish the recovery
+    /// with another master's buckets never replayed.
+    left: BTreeSet<usize>,
+    /// Current round; completions from other rounds are stale.
+    round: u64,
+    /// When the current round was issued.
+    started: SimTime,
+    /// `(bucket, new_owner)` reassignments to apply when all finish.
+    moves: Vec<(usize, usize)>,
+}
 
 /// The coordinator state machine: tablet map, failure detection, recovery
 /// orchestration. Wraps the same [`Coordinator`] the simulated cluster
@@ -286,10 +412,13 @@ pub struct CoordinatorNode {
     pub coord: Coordinator,
     last_heartbeat: Vec<SimTime>,
     map_version: u64,
-    /// crashed server -> recovery masters still working.
-    pending: BTreeMap<usize, usize>,
-    /// crashed server -> reassignments to apply when all finish.
-    moves: BTreeMap<usize, Vec<(usize, usize)>>,
+    /// crashed server -> recovery in progress.
+    pending: BTreeMap<usize, PendingRecovery>,
+    /// Highest incarnation epoch heard per server.
+    server_epoch: Vec<u64>,
+    next_round: u64,
+    /// Event counters.
+    pub counters: CoordCounters,
     started: bool,
 }
 
@@ -298,15 +427,28 @@ impl CoordinatorNode {
     pub fn new(cfg: ProtocolConfig) -> Self {
         let coord = Coordinator::new(cfg.servers, cfg.buckets);
         let hb = vec![SimTime::ZERO; cfg.servers];
+        let epochs = vec![0; cfg.servers];
         CoordinatorNode {
             cfg,
             coord,
             last_heartbeat: hb,
             map_version: 0,
             pending: BTreeMap::new(),
-            moves: BTreeMap::new(),
+            server_epoch: epochs,
+            next_round: 0,
+            counters: CoordCounters::default(),
             started: false,
         }
+    }
+
+    /// Is any crash recovery still in flight?
+    pub fn recovery_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The current tablet-map version.
+    pub fn map_version(&self) -> u64 {
+        self.map_version
     }
 
     /// Starts failure detection (called once by the engine).
@@ -322,25 +464,92 @@ impl CoordinatorNode {
     /// Handles one message.
     pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, from: NodeId, msg: Msg, rt: &mut R) {
         match msg {
-            Msg::Heartbeat => {
-                let server = from.0 - 1;
-                if server < self.last_heartbeat.len() {
-                    self.last_heartbeat[server] = rt.now();
-                }
+            Msg::Heartbeat { epoch, map_version } => {
+                self.on_heartbeat(from, epoch, map_version, rt)
             }
-            Msg::TakeOverDone { crashed, buckets } => {
-                let _ = buckets;
-                let left = self.pending.entry(crashed).or_insert(1);
-                *left -= 1;
-                if *left == 0 {
-                    self.pending.remove(&crashed);
-                    if let Some(moves) = self.moves.remove(&crashed) {
-                        self.coord.reassign(&moves);
-                    }
+            Msg::MapRequest => {
+                self.counters.map_requests += 1;
+                self.send_map_to(from, rt);
+            }
+            Msg::TakeOverDone {
+                crashed,
+                buckets: _,
+                round,
+            } => {
+                let Some(sender) = from.0.checked_sub(1) else {
+                    return;
+                };
+                let Some(rec) = self.pending.get_mut(&crashed) else {
+                    return;
+                };
+                if rec.round != round {
+                    return; // a retried round superseded this completion
+                }
+                rec.left.remove(&sender);
+                if !rec.left.is_empty() {
+                    return;
+                }
+                // Never reassign buckets to a recovery master that has
+                // itself died since finishing: re-run over the current
+                // survivors instead.
+                let all_alive = rec
+                    .moves
+                    .iter()
+                    .all(|&(_, owner)| self.coord.is_alive(owner));
+                if all_alive {
+                    let rec = self.pending.remove(&crashed).expect("present");
+                    self.coord.reassign(&rec.moves);
                     self.broadcast_map(rt);
+                } else {
+                    self.counters.recovery_retries += 1;
+                    self.start_recovery_round(crashed, rt);
                 }
             }
             _ => {}
+        }
+    }
+
+    fn on_heartbeat<R: Runtime<Msg = Msg>>(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        map_version: u64,
+        rt: &mut R,
+    ) {
+        let Some(server) = from.0.checked_sub(1) else {
+            return;
+        };
+        if server >= self.cfg.servers {
+            return;
+        }
+        let recorded = self.server_epoch[server];
+        if epoch < recorded {
+            // A zombie beacon from a previous life.
+            self.counters.stale_heartbeats += 1;
+            return;
+        }
+        self.last_heartbeat[server] = rt.now();
+        if epoch > recorded {
+            // The server restarted: its previous incarnation is dead even
+            // if the failure detector never fired. Recover its data first;
+            // readmission happens on a later heartbeat, once no recovery is
+            // pending for it.
+            self.server_epoch[server] = epoch;
+            self.counters.restarts_detected += 1;
+            if self.coord.is_alive(server) && !self.pending.contains_key(&server) {
+                self.declare_dead(server, rt);
+            }
+        } else if !self.coord.is_alive(server) && !self.pending.contains_key(&server) {
+            // Same incarnation, declared dead, nothing left to recover:
+            // either a healed partition or a completed restart recovery.
+            // Readmit bucket-less (its old buckets stay where recovery put
+            // them).
+            self.coord.mark_alive(server);
+            self.counters.readmissions += 1;
+            self.broadcast_map(rt);
+        }
+        if map_version < self.map_version {
+            self.send_map_to(from, rt);
         }
     }
 
@@ -350,6 +559,18 @@ impl CoordinatorNode {
             return;
         }
         let now = rt.now();
+        // Re-issue stalled recoveries (a recovery master died, or its
+        // completion was lost) over the current survivors.
+        let overdue: Vec<usize> = self
+            .pending
+            .iter()
+            .filter(|(_, rec)| now.saturating_since(rec.started) >= self.cfg.recovery_retry_timeout)
+            .map(|(&crashed, _)| crashed)
+            .collect();
+        for crashed in overdue {
+            self.counters.recovery_retries += 1;
+            self.start_recovery_round(crashed, rt);
+        }
         for s in 0..self.cfg.servers {
             if !self.coord.is_alive(s) || self.pending.contains_key(&s) {
                 continue;
@@ -362,23 +583,52 @@ impl CoordinatorNode {
     }
 
     fn declare_dead<R: Runtime<Msg = Msg>>(&mut self, victim: usize, rt: &mut R) {
+        // Never declare the last server dead: no survivor could recover it.
+        let survivors_after = self
+            .coord
+            .alive_servers()
+            .iter()
+            .filter(|&&s| s != victim)
+            .count();
+        if survivors_after == 0 {
+            return;
+        }
         self.coord.mark_dead(victim);
-        let will = self.coord.partition_will(victim);
+        // Tell everyone the victim is dead (clients stop sending to it,
+        // backups fence it) before recovery masters start fetching.
+        self.broadcast_map(rt);
+        self.start_recovery_round(victim, rt);
+    }
+
+    /// Issues (or re-issues) the recovery of `victim` as a fresh round over
+    /// the current survivors.
+    fn start_recovery_round<R: Runtime<Msg = Msg>>(&mut self, victim: usize, rt: &mut R) {
         let survivors = self.coord.alive_servers();
+        if survivors.is_empty() {
+            self.pending.remove(&victim);
+            return;
+        }
+        let will = self.coord.partition_will(victim);
         let mut per_owner: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &(bucket, owner) in &will {
             per_owner.entry(owner).or_default().push(bucket);
         }
         if per_owner.is_empty() {
-            // The victim owned nothing; just publish its death.
-            self.broadcast_map(rt);
+            // The victim owned nothing; its death broadcast was enough.
+            self.pending.remove(&victim);
             return;
         }
-        self.pending.insert(victim, per_owner.len());
-        self.moves.insert(victim, will);
-        // Tell everyone the victim is dead (clients stop sending to it)
-        // before recovery masters start fetching.
-        self.broadcast_map(rt);
+        self.next_round += 1;
+        let round = self.next_round;
+        self.pending.insert(
+            victim,
+            PendingRecovery {
+                left: per_owner.keys().copied().collect(),
+                round,
+                started: rt.now(),
+                moves: will,
+            },
+        );
         for (owner, buckets) in per_owner {
             rt.send(
                 server_id(owner),
@@ -386,9 +636,25 @@ impl CoordinatorNode {
                     crashed: victim,
                     buckets,
                     survivors: survivors.clone(),
+                    round,
                 },
             );
         }
+    }
+
+    /// Unicasts the current map (no version bump) to one node.
+    fn send_map_to<R: Runtime<Msg = Msg>>(&self, to: NodeId, rt: &mut R) {
+        let alive: Vec<bool> = (0..self.cfg.servers)
+            .map(|s| self.coord.is_alive(s))
+            .collect();
+        rt.send(
+            to,
+            Msg::MapUpdate {
+                version: self.map_version,
+                owners: self.coord.owners_snapshot(),
+                alive,
+            },
+        );
     }
 
     fn broadcast_map<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
@@ -426,12 +692,38 @@ impl CoordinatorNode {
 // Server node (master + backup + recovery master)
 // ---------------------------------------------------------------------
 
+/// Observable event counters on a server (exported into the metrics
+/// registry by the engine harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Replicate messages rejected because the sending master is fenced.
+    pub fenced_drops: u64,
+    /// Requests dropped as duplicates of an already-superseded sequence.
+    pub stale_rifl_drops: u64,
+    /// Duplicate requests answered from the recorded reply (no re-apply).
+    pub rifl_replays: u64,
+    /// Requests answered `WrongOwner`.
+    pub wrong_owner: u64,
+    /// Times the replica target set changed and the log was re-seeded.
+    pub reseeds: u64,
+    /// Pending writes dropped because ownership (or our own liveness)
+    /// moved away mid-replication.
+    pub pending_dropped: u64,
+    /// Duplicate requests that re-drove replication of a pending write.
+    pub pending_resends: u64,
+}
+
 /// A write applied locally, waiting on backup acks before answering.
 #[derive(Debug)]
 struct PendingWrite {
     client: NodeId,
     seq: u64,
+    bucket: usize,
+    segment: u64,
+    bytes: Vec<u8>,
+    reply: Reply,
     waiting: BTreeSet<usize>,
+    acked: BTreeSet<usize>,
 }
 
 /// An in-progress recovery fetch on a recovery master.
@@ -439,6 +731,7 @@ struct PendingWrite {
 struct RecoveryFetch {
     crashed: usize,
     buckets: Vec<usize>,
+    round: u64,
     awaiting: BTreeSet<usize>,
     collected: Vec<(u64, Vec<u8>)>,
 }
@@ -452,6 +745,11 @@ pub struct Server {
     cfg: ProtocolConfig,
     /// The master's real log-structured store.
     pub store: Store,
+    epoch: u64,
+    /// False from a restart until the first `MapUpdate` arrives; an
+    /// unsynced server answers everything `WrongOwner` rather than serving
+    /// from a default map over an empty store.
+    synced: bool,
     owners: Vec<usize>,
     alive: Vec<bool>,
     map_version: u64,
@@ -460,19 +758,46 @@ pub struct Server {
     pending: BTreeMap<(u64, u64), PendingWrite>,
     /// Backup role: staged replica bytes keyed by (master, segment).
     staged: BTreeMap<(usize, u64), Vec<u8>>,
-    recovery: Option<RecoveryFetch>,
+    /// Backup role: masters whose `Replicate` traffic is rejected (known
+    /// dead, or fetched from for recovery).
+    fenced: BTreeSet<usize>,
+    /// Master role: every byte replicated out, per segment, for re-seeding
+    /// when the target set changes.
+    sent_log: BTreeMap<u64, Vec<u8>>,
+    /// RIFL: last sequence and recorded reply per client.
+    rifl_last: BTreeMap<u64, (u64, Option<Reply>)>,
+    /// Replica targets the last time we looked (to detect changes).
+    last_targets: Vec<usize>,
+    /// In-progress recoveries, keyed by crashed master.
+    recovery: BTreeMap<usize, RecoveryFetch>,
+    /// Event counters.
+    pub counters: ServerCounters,
 }
 
 impl Server {
     /// Creates server `index` with the initial round-robin tablet map.
     pub fn new(index: usize, cfg: ProtocolConfig) -> Self {
+        Server::boot(index, cfg, 0, true)
+    }
+
+    /// Creates a fresh incarnation of server `index` after a crash: empty
+    /// store, incarnation `epoch`, and unsynced until the coordinator
+    /// sends a map.
+    pub fn restarted(index: usize, cfg: ProtocolConfig, epoch: u64) -> Self {
+        Server::boot(index, cfg, epoch, false)
+    }
+
+    fn boot(index: usize, cfg: ProtocolConfig, epoch: u64, synced: bool) -> Self {
         let owners: Vec<usize> = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
         let alive = vec![true; cfg.servers];
+        let last_targets = replica_targets(index, cfg.servers, cfg.replication, &alive);
         let store = Store::new(cfg.log.clone());
         Server {
             index,
             cfg,
             store,
+            epoch,
+            synced,
             owners,
             alive,
             map_version: 0,
@@ -480,19 +805,39 @@ impl Server {
             cur_segment_bytes: 0,
             pending: BTreeMap::new(),
             staged: BTreeMap::new(),
-            recovery: None,
+            fenced: BTreeSet::new(),
+            sent_log: BTreeMap::new(),
+            rifl_last: BTreeMap::new(),
+            last_targets,
+            recovery: BTreeMap::new(),
+            counters: ServerCounters::default(),
         }
+    }
+
+    /// This incarnation's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn heartbeat<R: Runtime<Msg = Msg>>(&self, rt: &mut R) {
+        rt.send(
+            coordinator_id(),
+            Msg::Heartbeat {
+                epoch: self.epoch,
+                map_version: self.map_version,
+            },
+        );
     }
 
     /// Starts heartbeating (called once by the engine).
     pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
-        rt.send(coordinator_id(), Msg::Heartbeat);
+        self.heartbeat(rt);
         rt.set_timer(self.cfg.heartbeat_interval);
     }
 
     /// Heartbeat tick; re-arms itself.
     pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
-        rt.send(coordinator_id(), Msg::Heartbeat);
+        self.heartbeat(rt);
         rt.set_timer(self.cfg.heartbeat_interval);
     }
 
@@ -504,29 +849,17 @@ impl Server {
                 segment,
                 bytes,
                 token,
-            } => {
-                let master = from.0 - 1;
-                self.staged
-                    .entry((master, segment))
-                    .or_default()
-                    .extend_from_slice(&bytes);
-                if token != REPLICA_RESEED {
-                    rt.send(from, Msg::ReplicateAck { token });
-                }
-            }
+            } => self.handle_replicate(from, segment, bytes, token, rt),
             Msg::ReplicateAck { token } => {
-                let backup = from.0 - 1;
+                let Some(backup) = from.0.checked_sub(1) else {
+                    return;
+                };
                 if let Some(p) = self.pending.get_mut(&token) {
+                    p.acked.insert(backup);
                     p.waiting.remove(&backup);
                     if p.waiting.is_empty() {
                         let p = self.pending.remove(&token).expect("present");
-                        rt.send(
-                            p.client,
-                            Msg::Response {
-                                seq: p.seq,
-                                reply: Reply::Done,
-                            },
-                        );
+                        self.respond(p.client, p.seq, p.reply, rt);
                     }
                 }
             }
@@ -534,8 +867,13 @@ impl Server {
                 crashed,
                 buckets,
                 survivors,
-            } => self.begin_takeover(crashed, buckets, survivors, rt),
+                round,
+            } => self.begin_takeover(crashed, buckets, survivors, round, rt),
             Msg::FetchSegments { crashed } => {
+                // Fence before answering: after this instant, nothing more
+                // from `crashed` may be staged here, so the recovery sees
+                // every write this backup will ever ack for it.
+                self.fenced.insert(crashed);
                 let segments: Vec<(u64, Vec<u8>)> = self
                     .staged
                     .iter()
@@ -551,15 +889,27 @@ impl Server {
                 version,
                 owners,
                 alive,
-            } => {
-                if version > self.map_version {
-                    self.map_version = version;
-                    self.owners = owners;
-                    self.alive = alive;
-                }
-            }
-            Msg::Response { .. } | Msg::Heartbeat | Msg::TakeOverDone { .. } => {}
+            } => self.apply_map_update(version, owners, alive, rt),
+            Msg::Response { .. }
+            | Msg::Heartbeat { .. }
+            | Msg::MapRequest
+            | Msg::TakeOverDone { .. } => {}
         }
+    }
+
+    /// Records the reply for RIFL replay and sends it.
+    fn respond<R: Runtime<Msg = Msg>>(
+        &mut self,
+        client: NodeId,
+        seq: u64,
+        reply: Reply,
+        rt: &mut R,
+    ) {
+        let entry = self.rifl_last.entry(client.0 as u64).or_insert((seq, None));
+        if seq >= entry.0 {
+            *entry = (seq, Some(reply.clone()));
+        }
+        rt.send(client, Msg::Response { seq, reply });
     }
 
     fn handle_request<R: Runtime<Msg = Msg>>(
@@ -570,7 +920,10 @@ impl Server {
         rt: &mut R,
     ) {
         let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
-        if self.owners[bucket] != self.index {
+        // An unsynced restart serves nothing; a server that has seen its
+        // own death in the map serves nothing until readmitted.
+        if !self.synced || !self.alive[self.index] || self.owners[bucket] != self.index {
+            self.counters.wrong_owner += 1;
             rt.send(
                 client,
                 Msg::Response {
@@ -580,16 +933,49 @@ impl Server {
             );
             return;
         }
+        // RIFL: duplicates of finished ops replay the recorded reply;
+        // duplicates of the in-flight op re-drive replication; older
+        // sequences are dead retransmissions.
+        let rifl = self.rifl_last.get(&(client.0 as u64)).cloned();
+        if let Some((last_seq, recorded)) = rifl {
+            if seq < last_seq {
+                self.counters.stale_rifl_drops += 1;
+                return;
+            }
+            if seq == last_seq {
+                if let Some(reply) = recorded {
+                    self.counters.rifl_replays += 1;
+                    rt.send(client, Msg::Response { seq, reply });
+                    return;
+                }
+                let token = (client.0 as u64, seq);
+                if let Some(p) = self.pending.get(&token) {
+                    self.counters.pending_resends += 1;
+                    let segment = p.segment;
+                    let bytes = p.bytes.clone();
+                    let waiting: Vec<usize> = p.waiting.iter().copied().collect();
+                    for b in waiting {
+                        rt.send(
+                            server_id(b),
+                            Msg::Replicate {
+                                segment,
+                                bytes: bytes.clone(),
+                                token,
+                            },
+                        );
+                    }
+                    return;
+                }
+                // No recorded reply and nothing pending: the op was shed
+                // during an ownership change; process it afresh (the
+                // store's completion record makes a re-apply idempotent).
+            }
+        }
+        self.rifl_last.insert(client.0 as u64, (seq, None));
         match op {
             ClientOp::Get { key } => {
                 let value = self.store.read(PROTO_TABLE, &key).map(|o| o.value.to_vec());
-                rt.send(
-                    client,
-                    Msg::Response {
-                        seq,
-                        reply: Reply::Value(value),
-                    },
-                );
+                self.respond(client, seq, Reply::Value(value), rt);
             }
             ClientOp::Put { key, value } => {
                 let completion = CompletionId {
@@ -607,7 +993,10 @@ impl Server {
                     version: outcome.version,
                     completion: Some(completion),
                 });
-                self.replicate_entry(&entry, client, seq, rt);
+                let reply = Reply::Done {
+                    version: outcome.version.0,
+                };
+                self.replicate_entry(&entry, client, seq, bucket, reply, rt);
             }
             ClientOp::Del { key } => {
                 match self
@@ -616,15 +1005,8 @@ impl Server {
                     .expect("tombstone fits in log")
                 {
                     None => {
-                        // Nothing to delete (or a retry of an applied
-                        // delete): answer immediately.
-                        rt.send(
-                            client,
-                            Msg::Response {
-                                seq,
-                                reply: Reply::Done,
-                            },
-                        );
+                        // Nothing to delete: answer immediately.
+                        self.respond(client, seq, Reply::Done { version: 0 }, rt);
                     }
                     Some(version) => {
                         let entry = LogEntry::Tombstone(TombstoneRecord {
@@ -635,40 +1017,62 @@ impl Server {
                             // the dead segment is a local-cleaner detail.
                             dead_segment: SegmentId(0),
                         });
-                        self.replicate_entry(&entry, client, seq, rt);
+                        let reply = Reply::Done { version: version.0 };
+                        self.replicate_entry(&entry, client, seq, bucket, reply, rt);
                     }
                 }
             }
         }
     }
 
+    fn handle_replicate<R: Runtime<Msg = Msg>>(
+        &mut self,
+        from: NodeId,
+        segment: u64,
+        bytes: Vec<u8>,
+        token: (u64, u64),
+        rt: &mut R,
+    ) {
+        let Some(master) = from.0.checked_sub(1) else {
+            return;
+        };
+        if master >= self.cfg.servers {
+            return;
+        }
+        if self.fenced.contains(&master) {
+            // The master is dead as far as this backup is concerned; an
+            // ack here could let a zombie confirm a write that recovery
+            // will never see.
+            self.counters.fenced_drops += 1;
+            return;
+        }
+        let slot = self.staged.entry((master, segment)).or_default();
+        if token == REPLICA_RESEED {
+            // A reseed carries the master's full segment image. Segments
+            // are append-only, so a longer image strictly supersedes a
+            // shorter one; never let a reordered stale reseed truncate.
+            if bytes.len() > slot.len() {
+                *slot = bytes;
+            }
+        } else {
+            slot.extend_from_slice(&bytes);
+            rt.send(from, Msg::ReplicateAck { token });
+        }
+    }
+
     /// Serializes `entry`, stages it on `R` ring backups, and registers the
-    /// client response to fire when every ack is in. A retry of a pending
-    /// write re-replicates to the *current* alive targets, so a backup
-    /// death cannot wedge the op.
+    /// client response to fire when every ack is in. A duplicate of a
+    /// pending write re-replicates to the still-waiting targets, so a lost
+    /// `Replicate` or ack cannot wedge the op.
     fn replicate_entry<R: Runtime<Msg = Msg>>(
         &mut self,
         entry: &LogEntry,
         client: NodeId,
         seq: u64,
+        bucket: usize,
+        reply: Reply,
         rt: &mut R,
     ) {
-        let targets = replica_targets(
-            self.index,
-            self.cfg.servers,
-            self.cfg.replication,
-            &self.alive,
-        );
-        if targets.is_empty() {
-            rt.send(
-                client,
-                Msg::Response {
-                    seq,
-                    reply: Reply::Done,
-                },
-            );
-            return;
-        }
         let mut bytes = Vec::new();
         entry.serialize_into(&mut bytes);
         if self.cur_segment_bytes + bytes.len() > self.cfg.log.segment_bytes {
@@ -676,13 +1080,33 @@ impl Server {
             self.cur_segment_bytes = 0;
         }
         self.cur_segment_bytes += bytes.len();
+        // Mirror what the backups will hold, for later re-seeding.
+        self.sent_log
+            .entry(self.cur_segment)
+            .or_default()
+            .extend_from_slice(&bytes);
+        let targets = replica_targets(
+            self.index,
+            self.cfg.servers,
+            self.cfg.replication,
+            &self.alive,
+        );
+        if targets.is_empty() {
+            self.respond(client, seq, reply, rt);
+            return;
+        }
         let token = (client.0 as u64, seq);
         self.pending.insert(
             token,
             PendingWrite {
                 client,
                 seq,
+                bucket,
+                segment: self.cur_segment,
+                bytes: bytes.clone(),
+                reply,
                 waiting: targets.iter().copied().collect(),
+                acked: BTreeSet::new(),
             },
         );
         for b in targets {
@@ -697,16 +1121,128 @@ impl Server {
         }
     }
 
+    fn apply_map_update<R: Runtime<Msg = Msg>>(
+        &mut self,
+        version: u64,
+        owners: Vec<usize>,
+        alive: Vec<bool>,
+        rt: &mut R,
+    ) {
+        if version <= self.map_version {
+            return;
+        }
+        self.map_version = version;
+        self.owners = owners;
+        self.alive = alive;
+        self.synced = true;
+        // Backup role: fence dead masters, unfence readmitted ones.
+        for (m, &up) in self.alive.iter().enumerate() {
+            if up {
+                self.fenced.remove(&m);
+            } else {
+                self.fenced.insert(m);
+            }
+        }
+        self.retarget_replication(rt);
+    }
+
+    /// Reacts to a map change in the master role: sheds pending writes we
+    /// can no longer answer for, and re-seeds + re-points replication when
+    /// the replica target set changed.
+    fn retarget_replication<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
+        let me_alive = self.alive[self.index];
+        let shed: Vec<(u64, u64)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| !me_alive || self.owners[p.bucket] != self.index)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in shed {
+            // No response: the client will retry against the new owner,
+            // which recovers (or re-applies idempotently) the op.
+            self.pending.remove(&token);
+            self.counters.pending_dropped += 1;
+        }
+        if !me_alive {
+            return;
+        }
+        let targets = replica_targets(
+            self.index,
+            self.cfg.servers,
+            self.cfg.replication,
+            &self.alive,
+        );
+        if targets == self.last_targets {
+            return;
+        }
+        self.last_targets = targets.clone();
+        self.counters.reseeds += 1;
+        // Backfill the whole log onto the current target set so a freshly
+        // adopted backup holds everything, not just future writes.
+        for (&segment, bytes) in &self.sent_log {
+            if bytes.is_empty() {
+                continue;
+            }
+            for &b in &targets {
+                rt.send(
+                    server_id(b),
+                    Msg::Replicate {
+                        segment,
+                        bytes: bytes.clone(),
+                        token: REPLICA_RESEED,
+                    },
+                );
+            }
+        }
+        // Re-point pending ack-gated writes at the new targets.
+        let tokens: Vec<(u64, u64)> = self.pending.keys().copied().collect();
+        for token in tokens {
+            let p = self.pending.get_mut(&token).expect("present");
+            p.waiting = targets
+                .iter()
+                .copied()
+                .filter(|b| !p.acked.contains(b))
+                .collect();
+            if p.waiting.is_empty() {
+                let p = self.pending.remove(&token).expect("present");
+                self.respond(p.client, p.seq, p.reply, rt);
+            } else {
+                let segment = p.segment;
+                let bytes = p.bytes.clone();
+                let waiting: Vec<usize> = p.waiting.iter().copied().collect();
+                for b in waiting {
+                    rt.send(
+                        server_id(b),
+                        Msg::Replicate {
+                            segment,
+                            bytes: bytes.clone(),
+                            token,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
     fn begin_takeover<R: Runtime<Msg = Msg>>(
         &mut self,
         crashed: usize,
         buckets: Vec<usize>,
         survivors: Vec<usize>,
+        round: u64,
         rt: &mut R,
     ) {
+        if let Some(existing) = self.recovery.get(&crashed) {
+            if existing.round >= round {
+                return; // stale re-send of a round already in progress
+            }
+        }
+        // We know the master is dead even if the MapUpdate raced.
+        self.fenced.insert(crashed);
         let mut fetch = RecoveryFetch {
             crashed,
             buckets,
+            round,
             awaiting: survivors
                 .iter()
                 .copied()
@@ -722,12 +1258,12 @@ impl Server {
         }
         let peers: Vec<usize> = fetch.awaiting.iter().copied().collect();
         let done = peers.is_empty();
-        self.recovery = Some(fetch);
+        self.recovery.insert(crashed, fetch);
         for s in peers {
             rt.send(server_id(s), Msg::FetchSegments { crashed });
         }
         if done {
-            self.finish_takeover(rt);
+            self.finish_takeover(crashed, rt);
         }
     }
 
@@ -738,24 +1274,27 @@ impl Server {
         segments: Vec<(u64, Vec<u8>)>,
         rt: &mut R,
     ) {
-        let Some(fetch) = self.recovery.as_mut() else {
+        let Some(survivor) = from.0.checked_sub(1) else {
             return;
         };
-        if fetch.crashed != crashed {
+        let Some(fetch) = self.recovery.get_mut(&crashed) else {
             return;
-        }
-        fetch.awaiting.remove(&(from.0 - 1));
+        };
+        fetch.awaiting.remove(&survivor);
         fetch.collected.extend(segments);
         if fetch.awaiting.is_empty() {
-            self.finish_takeover(rt);
+            self.finish_takeover(crashed, rt);
         }
     }
 
     /// Replays every collected entry that hashes into the assigned buckets.
     /// Replicas overlap (R copies of each segment); `replay_object` /
     /// `replay_tombstone` are version-guarded, so duplicates are no-ops.
-    fn finish_takeover<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
-        let fetch = self.recovery.take().expect("takeover in progress");
+    fn finish_takeover<R: Runtime<Msg = Msg>>(&mut self, crashed: usize, rt: &mut R) {
+        let fetch = self
+            .recovery
+            .remove(&crashed)
+            .expect("takeover in progress");
         let bucket_set: BTreeSet<usize> = fetch.buckets.iter().copied().collect();
         let mut reseed = Vec::new();
         for (_seg, bytes) in &fetch.collected {
@@ -780,28 +1319,30 @@ impl Server {
                         .expect("replayed tombstone fits"),
                 };
                 if applied {
-                    if let LogEntry::Object(o) = &entry {
-                        reseed.push(LogEntry::Object(o.clone()));
-                    }
+                    // Tombstones must travel with the objects they kill:
+                    // reseeding only the object would resurrect deleted
+                    // keys in the *next* recovery of this server.
+                    reseed.push(entry.clone());
                 }
             }
         }
         // Restore durability of the recovered data: stream the surviving
-        // entries to this server's own backups, fire-and-forget.
+        // entries to this server's own backups, fire-and-forget. The bytes
+        // also join `sent_log` so later target changes re-seed them too.
         let targets = replica_targets(
             self.index,
             self.cfg.servers,
             self.cfg.replication,
             &self.alive,
         );
-        if !targets.is_empty() && !reseed.is_empty() {
+        if !reseed.is_empty() {
             self.cur_segment += 1;
-            self.cur_segment_bytes = 0;
             let mut bytes = Vec::new();
             for entry in &reseed {
                 entry.serialize_into(&mut bytes);
             }
             self.cur_segment_bytes = bytes.len();
+            self.sent_log.insert(self.cur_segment, bytes.clone());
             for b in targets {
                 rt.send(
                     server_id(b),
@@ -818,6 +1359,7 @@ impl Server {
             Msg::TakeOverDone {
                 crashed: fetch.crashed,
                 buckets: fetch.buckets,
+                round: fetch.round,
             },
         );
     }
@@ -827,10 +1369,29 @@ impl Server {
 // Scripted client
 // ---------------------------------------------------------------------
 
+/// Observable event counters on a client (exported into the metrics
+/// registry by the engine harnesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Requests re-sent after a retry timeout.
+    pub retries: u64,
+    /// Retries issued with a grown (above-base) backoff delay.
+    pub backoffs: u64,
+    /// Ops abandoned entirely (never incremented by [`ScriptClient`],
+    /// which retries forever; the threaded `MiniClient` counts here).
+    pub giveups: u64,
+    /// Tablet-map refreshes requested from the coordinator.
+    pub map_requests: u64,
+    /// `WrongOwner` responses received.
+    pub wrong_owner: u64,
+}
+
 /// A client that executes a fixed op script with RIFL retries: each op is
-/// re-sent with the *same* sequence number until a usable response arrives.
-/// Used by both engines for the cross-engine equivalence test; the threaded
-/// engine's synchronous `MiniClient` handle follows the same wire protocol.
+/// re-sent with the *same* sequence number until a usable response arrives,
+/// backing off exponentially (capped, jittered) between attempts. Used by
+/// both engines for the cross-engine equivalence test and the chaos suite;
+/// the threaded engine's synchronous `MiniClient` handle follows the same
+/// wire protocol.
 #[derive(Debug)]
 pub struct ScriptClient {
     /// Client index (node id is `client_id(servers, index)`).
@@ -842,8 +1403,14 @@ pub struct ScriptClient {
     map_version: u64,
     in_flight: Option<u64>,
     last_sent: SimTime,
+    attempt: u32,
+    retry_delay: SimDuration,
     /// Replies recorded per completed op, in script order.
     pub results: Vec<Reply>,
+    /// Acked operations in program order, for the invariant checker.
+    pub history: Vec<OpRecord>,
+    /// Event counters.
+    pub counters: ClientCounters,
     /// True once every scripted op has completed.
     pub done: bool,
 }
@@ -852,6 +1419,7 @@ impl ScriptClient {
     /// Creates client `index` over `script`.
     pub fn new(index: usize, cfg: ProtocolConfig, script: Vec<ClientOp>) -> Self {
         let owners: Vec<usize> = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        let retry_delay = cfg.retry_timeout;
         ScriptClient {
             index,
             cfg,
@@ -861,14 +1429,58 @@ impl ScriptClient {
             map_version: 0,
             in_flight: None,
             last_sent: SimTime::ZERO,
+            attempt: 0,
+            retry_delay,
             results: Vec::new(),
+            history: Vec::new(),
+            counters: ClientCounters::default(),
             done: false,
         }
+    }
+
+    /// The recorded history plus, if an op is still in flight, a trailing
+    /// unacked record for it — the exact shape
+    /// [`check_histories`](rmc_chaos::check_histories) expects.
+    pub fn full_history(&self) -> Vec<OpRecord> {
+        let mut h = self.history.clone();
+        if !self.done && self.in_flight.is_some() {
+            if let Some(op) = self.script.get(self.next) {
+                h.push(OpRecord {
+                    key: op.key().to_vec(),
+                    kind: match op {
+                        ClientOp::Put { value, .. } => OpKind::Put(value.clone()),
+                        ClientOp::Del { .. } => OpKind::Del,
+                        ClientOp::Get { .. } => OpKind::Get,
+                    },
+                    acked: false,
+                    version: 0,
+                    read: None,
+                    retries: u64::from(self.attempt),
+                });
+            }
+        }
+        h
     }
 
     /// Issues the first op (called once by the engine).
     pub fn on_start<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
         self.issue(rt);
+    }
+
+    /// The capped exponential backoff delay (plus deterministic jitter)
+    /// used before retry number `attempt` of `seq`.
+    fn backoff_delay(&self, seq: u64, attempt: u32) -> SimDuration {
+        let base = self.cfg.retry_timeout;
+        let raw = base.mul_f64(f64::from(1u32 << attempt.min(6)));
+        let capped = if raw > self.cfg.retry_backoff_cap {
+            self.cfg.retry_backoff_cap
+        } else {
+            raw
+        };
+        let jitter = retry_jitter(self.index, seq, attempt, base.as_nanos() / 2);
+        capped
+            .checked_add(SimDuration::from_nanos(jitter))
+            .unwrap_or(SimDuration::MAX)
     }
 
     fn issue<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
@@ -879,8 +1491,10 @@ impl ScriptClient {
         }
         let seq = self.next as u64 + 1;
         self.in_flight = Some(seq);
+        self.attempt = 0;
+        self.retry_delay = self.backoff_delay(seq, 0);
         self.send_current(rt);
-        rt.set_timer(self.cfg.retry_timeout);
+        rt.set_timer(self.retry_delay);
     }
 
     fn send_current<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
@@ -897,6 +1511,52 @@ impl ScriptClient {
         );
     }
 
+    fn record_ack(&mut self, reply: &Reply) {
+        let op = &self.script[self.next];
+        let retries = u64::from(self.attempt);
+        let rec = match (op, reply) {
+            (ClientOp::Put { key, value }, Reply::Done { version }) => OpRecord {
+                key: key.clone(),
+                kind: OpKind::Put(value.clone()),
+                acked: true,
+                version: *version,
+                read: None,
+                retries,
+            },
+            (ClientOp::Del { key }, Reply::Done { version }) => OpRecord {
+                key: key.clone(),
+                kind: OpKind::Del,
+                acked: true,
+                version: *version,
+                read: None,
+                retries,
+            },
+            (ClientOp::Get { key }, Reply::Value(v)) => OpRecord {
+                key: key.clone(),
+                kind: OpKind::Get,
+                acked: true,
+                version: 0,
+                read: Some(v.clone()),
+                retries,
+            },
+            // A reply of the wrong shape is a protocol bug; record the op
+            // with version 0 so the checker flags it.
+            (op, _) => OpRecord {
+                key: op.key().to_vec(),
+                kind: match op {
+                    ClientOp::Put { value, .. } => OpKind::Put(value.clone()),
+                    ClientOp::Del { .. } => OpKind::Del,
+                    ClientOp::Get { .. } => OpKind::Get,
+                },
+                acked: true,
+                version: 0,
+                read: None,
+                retries,
+            },
+        };
+        self.history.push(rec);
+    }
+
     /// Handles responses and map updates.
     pub fn on_message<R: Runtime<Msg = Msg>>(&mut self, _from: NodeId, msg: Msg, rt: &mut R) {
         match msg {
@@ -905,10 +1565,14 @@ impl ScriptClient {
                     return; // stale duplicate from an earlier retry
                 }
                 if reply == Reply::WrongOwner {
-                    // Routing raced a recovery; the timer will retry after
-                    // the map settles.
+                    // Routing raced a recovery: ask for a fresh map; the
+                    // timer will retry after it lands.
+                    self.counters.wrong_owner += 1;
+                    self.counters.map_requests += 1;
+                    rt.send(coordinator_id(), Msg::MapRequest);
                     return;
                 }
+                self.record_ack(&reply);
                 self.results.push(reply);
                 self.next += 1;
                 self.issue(rt);
@@ -923,16 +1587,28 @@ impl ScriptClient {
         }
     }
 
-    /// Retry tick: re-sends the in-flight op (same sequence) if it has been
-    /// outstanding for a full retry window.
+    /// Retry tick: re-sends the in-flight op (same sequence) once it has
+    /// been outstanding for the current backoff delay, then grows the
+    /// delay.
     pub fn on_timer<R: Runtime<Msg = Msg>>(&mut self, rt: &mut R) {
         if self.done || self.in_flight.is_none() {
             return;
         }
-        if rt.now() - self.last_sent >= self.cfg.retry_timeout {
+        if rt.now().saturating_since(self.last_sent) >= self.retry_delay {
+            let seq = self.in_flight.expect("in flight");
+            self.attempt = self.attempt.saturating_add(1);
+            self.counters.retries += 1;
+            if self.attempt > 1 {
+                self.counters.backoffs += 1;
+            }
+            self.retry_delay = self.backoff_delay(seq, self.attempt);
+            // The map may be why we're stuck; refresh it alongside the
+            // retry.
+            self.counters.map_requests += 1;
+            rt.send(coordinator_id(), Msg::MapRequest);
             self.send_current(rt);
         }
-        rt.set_timer(self.cfg.retry_timeout);
+        rt.set_timer(self.retry_delay);
     }
 }
 
@@ -1000,10 +1676,10 @@ impl AnyNode {
     }
 }
 
-/// The live `key -> value` map a set of surviving servers serves, judged by
-/// `owners` (only the current owner's copy of a key counts). This is the
-/// artifact the cross-engine equivalence test compares.
-pub fn live_map<'a, I>(servers: I, owners: &[usize]) -> BTreeMap<Vec<u8>, Vec<u8>>
+/// The live `key -> (value, version)` map a set of surviving servers
+/// serves, judged by `owners` (only the current owner's copy of a key
+/// counts). The invariant checker compares client histories against this.
+pub fn live_map_versioned<'a, I>(servers: I, owners: &[usize]) -> BTreeMap<Vec<u8>, (Vec<u8>, u64)>
 where
     I: IntoIterator<Item = &'a Server>,
 {
@@ -1012,11 +1688,23 @@ where
         for obj in server.store.live_objects() {
             let bucket = bucket_for(PROTO_TABLE, &obj.key, owners.len());
             if owners[bucket] == server.index {
-                map.insert(obj.key.to_vec(), obj.value.to_vec());
+                map.insert(obj.key.to_vec(), (obj.value.to_vec(), obj.version.0));
             }
         }
     }
     map
+}
+
+/// The live `key -> value` map (see [`live_map_versioned`]). This is the
+/// artifact the cross-engine equivalence test compares.
+pub fn live_map<'a, I>(servers: I, owners: &[usize]) -> BTreeMap<Vec<u8>, Vec<u8>>
+where
+    I: IntoIterator<Item = &'a Server>,
+{
+    live_map_versioned(servers, owners)
+        .into_iter()
+        .map(|(k, (v, _))| (k, v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1045,5 +1733,323 @@ mod tests {
             assert!(seen.insert(client_id(servers, c)));
         }
         assert_eq!(seen.len(), 1 + servers + 4);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for client in 0..4 {
+            for seq in 1..10 {
+                for attempt in 0..8 {
+                    let a = retry_jitter(client, seq, attempt, 1000);
+                    let b = retry_jitter(client, seq, attempt, 1000);
+                    assert_eq!(a, b);
+                    assert!(a < 1000);
+                }
+            }
+        }
+        // Different inputs actually spread.
+        let distinct: BTreeSet<u64> = (0..32).map(|a| retry_jitter(1, 7, a, 1_000_000)).collect();
+        assert!(distinct.len() > 16);
+    }
+
+    /// Minimal recording engine for driving a node directly in tests.
+    struct TestRt {
+        me: NodeId,
+        now: SimTime,
+        sent: Vec<(NodeId, Msg)>,
+        timers: Vec<SimDuration>,
+    }
+
+    impl TestRt {
+        fn new(me: NodeId) -> Self {
+            TestRt {
+                me,
+                now: SimTime::from_millis(1),
+                sent: Vec::new(),
+                timers: Vec::new(),
+            }
+        }
+        fn drain(&mut self) -> Vec<(NodeId, Msg)> {
+            std::mem::take(&mut self.sent)
+        }
+    }
+
+    impl Runtime for TestRt {
+        type Msg = Msg;
+        fn node(&self) -> NodeId {
+            self.me
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, msg: Msg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, after: SimDuration) {
+            self.timers.push(after);
+        }
+    }
+
+    /// Finds a key that hashes to a bucket owned by server 0 under the
+    /// initial round-robin map.
+    fn key_owned_by_zero(cfg: &ProtocolConfig) -> Vec<u8> {
+        for i in 0..10_000u32 {
+            let key = format!("k{i}").into_bytes();
+            if bucket_for(PROTO_TABLE, &key, cfg.buckets).is_multiple_of(cfg.servers) {
+                return key;
+            }
+        }
+        panic!("no key found");
+    }
+
+    #[test]
+    fn duplicate_request_replays_the_original_version_and_applies_once() {
+        let cfg = ProtocolConfig::new(3, 1, 2);
+        let client = client_id(3, 0);
+        let key = key_owned_by_zero(&cfg);
+        let mut server = Server::new(0, cfg.clone());
+        let mut rt = TestRt::new(server_id(0));
+
+        let put = ClientOp::Put {
+            key: key.clone(),
+            value: b"v".to_vec(),
+        };
+        server.on_message(
+            client,
+            Msg::Request {
+                seq: 1,
+                op: put.clone(),
+            },
+            &mut rt,
+        );
+        // Two backup replicates out, no response yet.
+        let out = rt.drain();
+        let token = (client.0 as u64, 1);
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, Msg::Replicate { token: t, .. } if *t == token))
+                .count(),
+            2
+        );
+        // Both backups ack; the response carries the assigned version.
+        server.on_message(server_id(1), Msg::ReplicateAck { token }, &mut rt);
+        server.on_message(server_id(2), Msg::ReplicateAck { token }, &mut rt);
+        let out = rt.drain();
+        let first_version = match &out[..] {
+            [(
+                to,
+                Msg::Response {
+                    seq: 1,
+                    reply: Reply::Done { version },
+                },
+            )] if *to == client => *version,
+            other => panic!("expected one Done response, got {other:?}"),
+        };
+        assert_eq!(first_version, 1);
+
+        // A duplicate *delivery* of the same request (not a timeout retry):
+        // same version echoed, nothing re-applied, nothing re-replicated.
+        server.on_message(client, Msg::Request { seq: 1, op: put }, &mut rt);
+        let out = rt.drain();
+        match &out[..] {
+            [(
+                to,
+                Msg::Response {
+                    seq: 1,
+                    reply: Reply::Done { version },
+                },
+            )] if *to == client => {
+                assert_eq!(*version, first_version);
+            }
+            other => panic!("expected replayed Done, got {other:?}"),
+        }
+        assert_eq!(server.counters.rifl_replays, 1);
+        assert_eq!(server.store.live_objects().count(), 1);
+        let obj = server.store.read(PROTO_TABLE, &key).expect("live");
+        assert_eq!(obj.version.0, first_version);
+    }
+
+    #[test]
+    fn older_duplicate_sequences_are_dropped_not_reapplied() {
+        let cfg = ProtocolConfig::new(3, 1, 0); // replication 0: instant acks
+        let client = client_id(3, 0);
+        let key = key_owned_by_zero(&cfg);
+        let mut server = Server::new(0, cfg);
+        let mut rt = TestRt::new(server_id(0));
+
+        let put = |v: &[u8]| ClientOp::Put {
+            key: key.clone(),
+            value: v.to_vec(),
+        };
+        server.on_message(
+            client,
+            Msg::Request {
+                seq: 1,
+                op: put(b"a"),
+            },
+            &mut rt,
+        );
+        server.on_message(
+            client,
+            Msg::Request {
+                seq: 2,
+                op: put(b"b"),
+            },
+            &mut rt,
+        );
+        rt.drain();
+        // A late network duplicate of seq 1 must not resurrect value "a":
+        // the store's completion record only remembers the *last* seq, so
+        // without the RIFL guard this would re-apply.
+        server.on_message(
+            client,
+            Msg::Request {
+                seq: 1,
+                op: put(b"a"),
+            },
+            &mut rt,
+        );
+        assert!(rt.drain().is_empty(), "stale duplicate gets no reply");
+        assert_eq!(server.counters.stale_rifl_drops, 1);
+        let obj = server.store.read(PROTO_TABLE, &key).expect("live");
+        assert_eq!(&obj.value[..], b"b");
+        assert_eq!(obj.version.0, 2);
+    }
+
+    #[test]
+    fn fenced_masters_get_no_acks() {
+        let cfg = ProtocolConfig::new(3, 1, 2);
+        let mut backup = Server::new(1, cfg);
+        let mut rt = TestRt::new(server_id(1));
+        // Recovery fetches server 0's segments: the fetch itself fences.
+        backup.on_message(server_id(2), Msg::FetchSegments { crashed: 0 }, &mut rt);
+        rt.drain();
+        backup.on_message(
+            server_id(0),
+            Msg::Replicate {
+                segment: 0,
+                bytes: vec![1, 2, 3],
+                token: (9, 9),
+            },
+            &mut rt,
+        );
+        assert!(rt.drain().is_empty(), "no ack for a fenced master");
+        assert_eq!(backup.counters.fenced_drops, 1);
+    }
+
+    #[test]
+    fn client_backoff_grows_and_caps() {
+        let cfg = ProtocolConfig::new(3, 1, 2);
+        let client = ScriptClient::new(0, cfg.clone(), vec![]);
+        let base = cfg.retry_timeout;
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..6 {
+            let d = client.backoff_delay(1, attempt);
+            assert!(d >= base, "attempt {attempt} below base");
+            // Strictly growing until the cap region (jitter < base/2 can
+            // never cancel a doubling).
+            assert!(d > prev, "attempt {attempt} did not grow");
+            prev = d;
+        }
+        let capped = client.backoff_delay(1, 20);
+        let bound = cfg
+            .retry_backoff_cap
+            .checked_add(base)
+            .expect("no overflow");
+        assert!(capped <= bound);
+    }
+
+    #[test]
+    fn coordinator_detects_restarts_and_ignores_zombie_epochs() {
+        let cfg = ProtocolConfig::new(3, 0, 1);
+        let mut coord = CoordinatorNode::new(cfg);
+        let mut rt = TestRt::new(coordinator_id());
+        coord.on_start(&mut rt);
+        // Server 0 restarts (epoch 1): its old incarnation must be
+        // recovered even though the failure detector never fired.
+        coord.on_message(
+            server_id(0),
+            Msg::Heartbeat {
+                epoch: 1,
+                map_version: 0,
+            },
+            &mut rt,
+        );
+        assert_eq!(coord.counters.restarts_detected, 1);
+        assert!(!coord.coord.is_alive(0));
+        assert!(coord.recovery_pending());
+        let out = rt.drain();
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, Msg::TakeOver { crashed: 0, .. })),
+            "restart triggers recovery of the old incarnation"
+        );
+        // A zombie beacon from the old incarnation is rejected.
+        coord.on_message(
+            server_id(0),
+            Msg::Heartbeat {
+                epoch: 0,
+                map_version: 0,
+            },
+            &mut rt,
+        );
+        assert_eq!(coord.counters.stale_heartbeats, 1);
+    }
+
+    #[test]
+    fn coordinator_readmits_after_recovery_completes() {
+        let cfg = ProtocolConfig::new(3, 0, 1);
+        let buckets = cfg.buckets;
+        let mut coord = CoordinatorNode::new(cfg);
+        let mut rt = TestRt::new(coordinator_id());
+        coord.on_start(&mut rt);
+        coord.on_message(
+            server_id(0),
+            Msg::Heartbeat {
+                epoch: 1,
+                map_version: 0,
+            },
+            &mut rt,
+        );
+        // Collect the TakeOvers and complete them.
+        let takeovers: Vec<(usize, Vec<usize>, u64)> = rt
+            .drain()
+            .into_iter()
+            .filter_map(|(to, m)| match m {
+                Msg::TakeOver { buckets, round, .. } => Some((to.0 - 1, buckets, round)),
+                _ => None,
+            })
+            .collect();
+        assert!(!takeovers.is_empty());
+        for (owner, bks, round) in takeovers {
+            coord.on_message(
+                server_id(owner),
+                Msg::TakeOverDone {
+                    crashed: 0,
+                    buckets: bks,
+                    round,
+                },
+                &mut rt,
+            );
+        }
+        assert!(!coord.recovery_pending());
+        // The next heartbeat of the new incarnation readmits it
+        // bucket-less.
+        coord.on_message(
+            server_id(0),
+            Msg::Heartbeat {
+                epoch: 1,
+                map_version: 0,
+            },
+            &mut rt,
+        );
+        assert_eq!(coord.counters.readmissions, 1);
+        assert!(coord.coord.is_alive(0));
+        let owners = coord.coord.owners_snapshot();
+        assert_eq!(owners.len(), buckets);
+        assert!(
+            owners.iter().all(|&o| o != 0),
+            "readmitted server owns nothing"
+        );
     }
 }

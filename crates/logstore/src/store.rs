@@ -178,6 +178,14 @@ pub struct Store {
     /// Per-client last completed write (RIFL-style duplicate suppression):
     /// client id → (seq, version assigned). Rebuilt from the log on replay.
     pub(crate) completions: BTreeMap<u64, (u64, Version)>,
+    /// Version floor for deleted keys, by key hash: a key re-created after a
+    /// delete must continue its version chain, not restart at
+    /// [`Version::FIRST`] — otherwise a tombstone from the first life would
+    /// kill the second life when recovery replays segments out of order.
+    /// Entries are dropped again once the key is re-written above the floor;
+    /// hash collisions only ever raise a version, never lower one, so they
+    /// are harmless.
+    pub(crate) dead_versions: BTreeMap<u64, Version>,
 }
 
 impl Store {
@@ -196,6 +204,7 @@ impl Store {
             stats: Counters::default(),
             ordered,
             completions: BTreeMap::new(),
+            dead_versions: BTreeMap::new(),
         }
     }
 
@@ -337,7 +346,14 @@ impl Store {
             }
         }
         let existing = self.find(table, key);
-        let version = existing.map_or(Version::FIRST, |(_, _, v)| v.next());
+        let hash_for_floor = key_hash(table, key).0;
+        let floor = self.dead_versions.get(&hash_for_floor).copied();
+        let version = match (existing.map(|(_, _, v)| v), floor) {
+            (Some(v), Some(f)) => v.max(f).next(),
+            (Some(v), None) => v.next(),
+            (None, Some(f)) => f.next(),
+            (None, None) => Version::FIRST,
+        };
         let entry = LogEntry::Object(ObjectRecord {
             table,
             key: Bytes::copy_from_slice(key),
@@ -379,6 +395,8 @@ impl Store {
         if let Some(c) = completion {
             self.completions.insert(c.client, (c.seq, version));
         }
+        // The new object outversions any tombstone floor; drop the entry.
+        self.dead_versions.remove(&hash_for_floor);
         self.stats.writes += 1;
         Ok(WriteOutcome {
             version,
@@ -459,6 +477,10 @@ impl Store {
         if let Some(ordered) = self.ordered.as_mut() {
             ordered.remove(&(table.0, key.to_vec()));
         }
+        // Floor any future re-creation of this key at the deleted version so
+        // the key's version chain stays monotone across delete/recreate.
+        let floor = self.dead_versions.entry(hash.0).or_insert(old_version);
+        *floor = (*floor).max(old_version);
         self.stats.deletes += 1;
         Ok(Some(old_version))
     }
@@ -476,9 +498,16 @@ impl Store {
                 return Ok(false);
             }
         }
+        let hash = key_hash(rec.table, &rec.key);
+        // A tombstone replayed earlier (possibly from a different segment)
+        // may already have killed this version; replay order must not matter.
+        if let Some(&floor) = self.dead_versions.get(&hash.0) {
+            if rec.version <= floor {
+                return Ok(false);
+            }
+        }
         let entry = LogEntry::Object(rec.clone());
         let out = self.append_with_cleaning(&entry)?;
-        let hash = key_hash(rec.table, &rec.key);
         match existing {
             Some((old_pos, old_size, _)) => {
                 if self.index.update(hash, old_pos, out.position) {
@@ -503,6 +532,8 @@ impl Store {
                 self.completions.insert(c.client, (c.seq, rec.version));
             }
         }
+        // The replayed object outversions any recorded floor.
+        self.dead_versions.remove(&hash.0);
         Ok(true)
     }
 
@@ -513,13 +544,20 @@ impl Store {
     ///
     /// [`StoreError::OutOfMemory`] when the tombstone cannot be appended.
     pub fn replay_tombstone(&mut self, t: &TombstoneRecord) -> Result<bool, StoreError> {
-        match self.find(t.table, &t.key) {
+        let applied = match self.find(t.table, &t.key) {
             Some((_, _, v)) if v <= t.version => {
                 self.delete(t.table, &t.key)?;
-                Ok(true)
+                true
             }
-            _ => Ok(false),
-        }
+            _ => false,
+        };
+        // Even when nothing was deleted (the object may simply not have been
+        // replayed yet), record the floor so a later replay of the killed
+        // version is rejected — replay order across segments must not matter.
+        let hash = key_hash(t.table, &t.key).0;
+        let floor = self.dead_versions.entry(hash).or_insert(t.version);
+        *floor = (*floor).max(t.version);
+        Ok(applied)
     }
 
     /// Iterates over all live objects (order unspecified). Intended for
@@ -646,16 +684,71 @@ mod tests {
     }
 
     #[test]
-    fn write_after_delete_restarts_from_version_one() {
-        // RAMCloud actually continues versions monotonically per key via the
-        // tombstone, but within one store lifetime a re-created key starting
-        // over is acceptable as long as ordering within a life is monotone.
+    fn write_after_delete_continues_the_version_chain() {
+        // RAMCloud continues versions monotonically per key across deletes:
+        // a re-created key must outversion its own tombstone, or recovery
+        // replaying segments out of order could kill the second life with a
+        // tombstone from the first.
         let mut s = tiny_store();
         s.write(T, b"k", b"v").unwrap();
+        s.write(T, b"k", b"vv").unwrap();
         s.delete(T, b"k").unwrap();
         let out = s.write(T, b"k", b"v2").unwrap();
-        assert_eq!(out.version, Version::FIRST);
+        assert_eq!(out.version, Version(3));
         assert_eq!(&s.read(T, b"k").unwrap().value[..], b"v2");
+        // The floor entry is dropped once outversioned.
+        assert!(s.dead_versions.is_empty());
+        // Deleting again raises the floor to the new version.
+        s.delete(T, b"k").unwrap();
+        let again = s.write(T, b"k", b"v3").unwrap();
+        assert_eq!(again.version, Version(4));
+    }
+
+    #[test]
+    fn replay_is_order_independent_across_delete_recreate() {
+        // Life 1: put k@v1, tombstone@v1. Life 2: put k@v2 (the re-created
+        // key, now version-chained above the tombstone). Recovery may replay
+        // the segments in any order; the key must survive in every order.
+        let obj_v1 = ObjectRecord {
+            table: T,
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"life1"),
+            version: Version(1),
+            completion: None,
+        };
+        let tomb_v1 = TombstoneRecord {
+            table: T,
+            key: Bytes::from_static(b"k"),
+            version: Version(1),
+            dead_segment: SegmentId(0),
+        };
+        let obj_v2 = ObjectRecord {
+            value: Bytes::from_static(b"life2"),
+            version: Version(2),
+            ..obj_v1.clone()
+        };
+
+        // Order A: second life first, then the first life's records.
+        let mut s = tiny_store();
+        assert!(s.replay_object(&obj_v2).unwrap());
+        assert!(!s.replay_object(&obj_v1).unwrap());
+        assert!(!s.replay_tombstone(&tomb_v1).unwrap());
+        assert_eq!(&s.read(T, b"k").unwrap().value[..], b"life2");
+
+        // Order B: tombstone before either object.
+        let mut s = tiny_store();
+        assert!(!s.replay_tombstone(&tomb_v1).unwrap());
+        assert!(!s.replay_object(&obj_v1).unwrap(), "v1 is floored");
+        assert!(s.replay_object(&obj_v2).unwrap());
+        assert_eq!(&s.read(T, b"k").unwrap().value[..], b"life2");
+
+        // Order C: in-order replay still converges identically.
+        let mut s = tiny_store();
+        assert!(s.replay_object(&obj_v1).unwrap());
+        assert!(s.replay_tombstone(&tomb_v1).unwrap());
+        assert!(s.replay_object(&obj_v2).unwrap());
+        assert_eq!(&s.read(T, b"k").unwrap().value[..], b"life2");
+        assert_eq!(s.read(T, b"k").unwrap().version, Version(2));
     }
 
     #[test]

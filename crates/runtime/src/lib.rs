@@ -28,6 +28,7 @@
 mod clock;
 mod counter;
 mod metrics;
+mod registry;
 mod rng;
 mod runtime;
 mod time;
@@ -35,6 +36,7 @@ mod time;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use counter::StripedCounter;
 pub use metrics::{BinnedUsage, Histogram, RateMeter, Summary, TimeSeries};
+pub use registry::{CounterHandle, MetricsRegistry};
 pub use rng::SimRng;
 pub use runtime::{NodeId, Runtime};
 pub use time::{SimDuration, SimTime};

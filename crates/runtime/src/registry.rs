@@ -1,0 +1,140 @@
+//! A process-wide named-counter registry shared across threads and engines.
+//!
+//! Protocol nodes count events (retries, backoffs, epoch-mismatch drops,
+//! fenced replicas, …) without knowing which engine hosts them. The sim
+//! engine owns all nodes on one thread; the threaded engine spreads them
+//! over real threads — so handles are `Arc<AtomicU64>` and cloning a
+//! registry shares the underlying counters. Counter names are dotted paths
+//! (`"client.3.retries"`, `"net.epoch_mismatch"`); a snapshot returns every
+//! counter, and [`MetricsRegistry::sum`] aggregates a per-node family by
+//! prefix + suffix.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One named counter. Cheap to clone; increments are lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A clonable registry of named [`CounterHandle`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rmc_runtime::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let retries = reg.counter("client.0.retries");
+/// retries.incr();
+/// reg.counter("client.1.retries").add(2);
+/// assert_eq!(reg.sum("client.", ".retries"), 3);
+/// assert_eq!(reg.snapshot()["client.0.retries"], 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Arc<Mutex<BTreeMap<String, CounterHandle>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first use.
+    /// The same name always yields handles onto the same underlying value.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Current value of `name`, or 0 when it was never created.
+    pub fn get(&self, name: &str) -> u64 {
+        let map = self.counters.lock().expect("metrics registry poisoned");
+        map.get(name).map_or(0, CounterHandle::get)
+    }
+
+    /// Sums every counter whose name starts with `prefix` and ends with
+    /// `suffix` — aggregating a per-node family like
+    /// `("client.", ".retries")` over all clients.
+    pub fn sum(&self, prefix: &str, suffix: &str) -> u64 {
+        let map = self.counters.lock().expect("metrics registry poisoned");
+        map.iter()
+            .filter(|(name, _)| name.starts_with(prefix) && name.ends_with(suffix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        let map = self.counters.lock().expect("metrics registry poisoned");
+        map.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_counter() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.incr();
+        b.add(4);
+        assert_eq!(reg.get("x"), 5);
+        assert_eq!(reg.get("never"), 0);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let reg = MetricsRegistry::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter(&format!("node.{t}.events"));
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.sum("node.", ".events"), 4000);
+        assert_eq!(reg.snapshot().len(), 4);
+    }
+
+    #[test]
+    fn sum_filters_by_prefix_and_suffix() {
+        let reg = MetricsRegistry::new();
+        reg.counter("client.0.retries").add(1);
+        reg.counter("client.1.retries").add(2);
+        reg.counter("client.1.giveups").add(7);
+        reg.counter("server.1.retries").add(9);
+        assert_eq!(reg.sum("client.", ".retries"), 3);
+        assert_eq!(reg.sum("client.", ".giveups"), 7);
+        assert_eq!(reg.sum("", ".retries"), 12);
+    }
+}

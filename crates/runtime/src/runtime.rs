@@ -51,6 +51,16 @@ pub trait Runtime {
     /// point; re-arming before expiry moves the deadline to the earlier of
     /// the two.
     fn set_timer(&mut self, after: SimDuration);
+
+    /// Sends `msg` to `to`, asking the engine to hold it for an extra
+    /// `delay` before delivery. Engines that cannot schedule a deferred
+    /// send — or that model latency elsewhere — may deliver immediately;
+    /// the default does exactly that. Fault-injection layers use this to
+    /// express message *delay* and *reorder* without owning a scheduler.
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Self::Msg) {
+        let _ = delay;
+        self.send(to, msg);
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +111,17 @@ mod tests {
         rt.set_timer(SimDuration::from_millis(3));
         assert_eq!(rt.sent, vec![(NodeId(2), 7)]);
         assert_eq!(rt.timer, Some(SimDuration::from_millis(3)));
+    }
+
+    #[test]
+    fn send_after_defaults_to_immediate_send() {
+        let mut rt = Recorder {
+            node: NodeId(0),
+            now: SimTime::ZERO,
+            sent: Vec::new(),
+            timer: None,
+        };
+        rt.send_after(SimDuration::from_millis(50), NodeId(3), 42);
+        assert_eq!(rt.sent, vec![(NodeId(3), 42)]);
     }
 }

@@ -11,19 +11,51 @@
 //! the coordinator detects the missing heartbeats, partitions the will,
 //! and the recovery masters replay the staged segment replicas.
 //!
+//! ## Restarts and incarnation epochs
+//!
+//! [`MiniCluster::restart_server`] boots a fresh incarnation of a killed
+//! server on the *same* channel. Every delivery is stamped at send time
+//! with the destination's incarnation number; the node loop drops any
+//! message stamped for a previous life (counted as `net.epoch_mismatch` in
+//! the shared [`MetricsRegistry`]), so traffic in flight across a restart
+//! can never leak into the new incarnation — mirroring the simulated
+//! engine's semantics.
+//!
+//! ## Fault injection
+//!
+//! [`MiniCluster::start_chaos`] runs the cluster under an `rmc_chaos`
+//! [`FaultPlan`]: each node judges its outgoing messages through a
+//! [`FaultRuntime`] wrapper around its [`ThreadRuntime`] (per-node seeded
+//! fault streams; partitions are a pure schedule and therefore consistent
+//! across nodes), and fault delays ride a shared delay-line thread via
+//! [`Runtime::send_after`]. Unlike the simulated engine, the interleaving
+//! here is not reproducible — the threaded engine *degrades gracefully*:
+//! the same fault semantics apply and the committed-write invariants must
+//! still hold, but the exact schedule differs run to run.
+//! [`MiniCluster::run_plan`] additionally drives the plan's crash/restart
+//! schedule on the wall clock.
+//!
 //! [`MiniClient`] is a synchronous handle speaking the same wire protocol
-//! (RIFL retries with a stable sequence number), usable as a YCSB
-//! `KvBackend` via a small pool.
+//! (RIFL retries with a stable sequence number under capped exponential
+//! backoff with deterministic jitter), usable as a YCSB `KvBackend` via a
+//! small pool.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rmc_chaos::{FaultPlan, FaultRuntime, FaultState, OpRecord};
 use rmc_core::coordinator::bucket_for;
-use rmc_core::protocol::{server_id, AnyNode, ClientOp, Msg, ProtocolConfig, Reply, PROTO_TABLE};
-use rmc_runtime::{Clock, NodeId, Runtime, SimDuration, SimTime, WallClock};
+use rmc_core::protocol::{
+    coordinator_id, msg_class, retry_jitter, server_id, AnyNode, ClientOp, Msg, ProtocolConfig,
+    Reply, Server, PROTO_TABLE,
+};
+use rmc_runtime::{
+    Clock, CounterHandle, MetricsRegistry, NodeId, Runtime, SimDuration, SimTime, WallClock,
+};
 
 /// Control envelope delivered to a node thread's channel.
 #[derive(Debug)]
@@ -34,22 +66,138 @@ pub enum Control {
         from: NodeId,
         /// The message.
         msg: Msg,
+        /// The destination incarnation the sender addressed. A receiver
+        /// whose incarnation differs drops the message: it was in flight
+        /// toward a previous life of this node.
+        dst_epoch: u64,
     },
-    /// Crash the node: the thread exits immediately, dropping its queue —
-    /// exactly what a dead machine does.
-    Kill,
+    /// Crash the node: the thread exits immediately. The channel stays
+    /// open (the cluster holds a keep-alive receiver), so traffic to the
+    /// dead node queues up exactly like packets to a dead NIC — and is
+    /// discarded by epoch mismatch if the node ever restarts.
+    Kill {
+        /// The incarnation this kill is aimed at; a restarted incarnation
+        /// ignores a stale kill.
+        epoch: u64,
+    },
     /// Graceful stop: the thread reports its final state and exits.
     Shutdown,
 }
 
-/// The threaded [`Runtime`]: `send` pushes onto the destination's channel,
-/// `now` reads the shared wall clock, and `set_timer` bounds the node
-/// loop's `recv_timeout`.
+/// Idle poll granularity when no timer is armed (keeps dead-letter
+/// detection responsive without busy-waiting).
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// A fault-delayed delivery parked on the delay-line thread's heap,
+/// ordered earliest-due first.
+#[derive(Debug)]
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    to: usize,
+    ctl: Control,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    // Reversed: `BinaryHeap` is a max-heap and the earliest due time must
+    // surface first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The delay-line thread: parks fault-delayed messages and releases each
+/// onto its destination channel when due. Exits once every sender handle
+/// is gone and the heap has drained.
+fn delay_line(rx: Receiver<(Duration, usize, Control)>, peers: Vec<Sender<Control>>) {
+    let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut open = true;
+    while open || !heap.is_empty() {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|top| top.due <= now) {
+            let d = heap.pop().expect("peeked");
+            let _ = peers[d.to].send(d.ctl);
+        }
+        let wait = heap
+            .peek()
+            .map_or(IDLE_POLL, |t| t.due.saturating_duration_since(now));
+        if open {
+            match rx.recv_timeout(wait) {
+                Ok((delay, to, ctl)) => {
+                    seq += 1;
+                    heap.push(Delayed {
+                        due: Instant::now() + delay,
+                        seq,
+                        to,
+                        ctl,
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+        } else if !wait.is_zero() {
+            thread::sleep(wait);
+        }
+    }
+}
+
+/// The shared transport fabric: destination channels, incarnation numbers,
+/// the wall clock, the metrics registry, and (under chaos) the delay line.
+#[derive(Debug)]
+struct Fabric {
+    peers: Vec<Sender<Control>>,
+    incarnations: Vec<AtomicU64>,
+    registry: MetricsRegistry,
+    clock: WallClock,
+    delay_tx: Option<Sender<(Duration, usize, Control)>>,
+}
+
+impl Fabric {
+    /// Posts a message, stamping it with the destination's current
+    /// incarnation. A nonzero `extra` defers delivery through the delay
+    /// line when one exists; otherwise delivery is immediate (the
+    /// [`Runtime::send_after`] degraded contract).
+    fn post(&self, from: NodeId, to: NodeId, msg: Msg, extra: SimDuration) {
+        let Some(tx) = self.peers.get(to.0) else {
+            return;
+        };
+        let dst_epoch = self.incarnations[to.0].load(Ordering::Relaxed);
+        let ctl = Control::Deliver {
+            from,
+            msg,
+            dst_epoch,
+        };
+        match &self.delay_tx {
+            Some(dtx) if !extra.is_zero() => {
+                let _ = dtx.send((Duration::from_nanos(extra.as_nanos()), to.0, ctl));
+            }
+            _ => {
+                let _ = tx.send(ctl);
+            }
+        }
+    }
+}
+
+/// The threaded [`Runtime`]: `send` stamps the destination's incarnation
+/// and pushes onto its channel, `now` reads the shared wall clock,
+/// `set_timer` bounds the node loop's `recv_timeout`, and `send_after`
+/// parks the message on the cluster's delay line (fault-injected delays).
 #[derive(Debug)]
 pub struct ThreadRuntime {
     me: NodeId,
-    clock: Arc<WallClock>,
-    peers: Arc<Vec<Sender<Control>>>,
+    fabric: Arc<Fabric>,
     deadline: Option<SimTime>,
 }
 
@@ -61,55 +209,98 @@ impl Runtime for ThreadRuntime {
     }
 
     fn now(&self) -> SimTime {
-        self.clock.now()
+        self.fabric.clock.now()
     }
 
     fn send(&mut self, to: NodeId, msg: Msg) {
-        if let Some(tx) = self.peers.get(to.0) {
-            // A dead node's receiver is dropped; the failed send is the
-            // NIC dropping the packet.
-            let _ = tx.send(Control::Deliver { from: self.me, msg });
-        }
+        self.fabric.post(self.me, to, msg, SimDuration::ZERO);
     }
 
     fn set_timer(&mut self, after: SimDuration) {
-        let at = self.clock.now() + after;
+        let at = self.fabric.clock.now() + after;
         self.deadline = Some(match self.deadline {
             Some(cur) if cur <= at => cur,
             _ => at,
         });
     }
+
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Msg) {
+        self.fabric.post(self.me, to, msg, delay);
+    }
 }
 
-/// A server's live key/value pairs, tagged with its index.
-pub type ServerDump = (usize, Vec<(Vec<u8>, Vec<u8>)>);
+/// A server's live `(key, value, version)` triples, tagged with its index.
+pub type ServerDump = (usize, Vec<(Vec<u8>, Vec<u8>, u64)>);
 
 /// What a node thread hands back on graceful shutdown.
 #[derive(Debug)]
 pub struct NodeReport {
     /// The node's id.
     pub node: NodeId,
-    /// Server role: `(index, live key/value pairs)` from its real store.
+    /// Server role: `(index, live objects)` from its real store.
     pub server: Option<ServerDump>,
     /// Coordinator role: final `bucket -> owner` map.
     pub owners: Option<Vec<usize>>,
-    /// Scripted-client role: `(per-op replies, finished)`.
-    pub client: Option<(Vec<Reply>, bool)>,
+    /// Scripted-client role: `(per-op replies, finished, op history)`.
+    pub client: Option<(Vec<Reply>, bool, Vec<OpRecord>)>,
 }
 
-fn report(node: AnyNode, id: NodeId) -> NodeReport {
+/// Builds the shutdown report and exports the node's protocol counters
+/// (and, under chaos, its fault-judge stats) into the shared registry —
+/// under the same dotted-path names `proto_sim::SimNet::metrics` uses.
+fn report(
+    node: AnyNode,
+    id: NodeId,
+    faults: Option<&FaultState>,
+    reg: &MetricsRegistry,
+) -> NodeReport {
+    if let Some(f) = faults {
+        let s = f.stats;
+        reg.counter("faults.judged").add(s.judged);
+        reg.counter("faults.partition_drops").add(s.partition_drops);
+        reg.counter("faults.random_drops").add(s.random_drops);
+        reg.counter("faults.backup_write_drops")
+            .add(s.backup_write_drops);
+        reg.counter("faults.delayed").add(s.delayed);
+        reg.counter("faults.duplicated").add(s.duplicated);
+    }
     match node {
-        AnyNode::Coordinator(c) => NodeReport {
-            node: id,
-            server: None,
-            owners: Some(c.coord.owners_snapshot()),
-            client: None,
-        },
+        AnyNode::Coordinator(c) => {
+            let k = c.counters;
+            reg.counter("coord.stale_heartbeats")
+                .add(k.stale_heartbeats);
+            reg.counter("coord.restarts_detected")
+                .add(k.restarts_detected);
+            reg.counter("coord.readmissions").add(k.readmissions);
+            reg.counter("coord.recovery_retries")
+                .add(k.recovery_retries);
+            reg.counter("coord.map_requests").add(k.map_requests);
+            NodeReport {
+                node: id,
+                server: None,
+                owners: Some(c.coord.owners_snapshot()),
+                client: None,
+            }
+        }
         AnyNode::Server(s) => {
+            let (i, k) = (s.index, s.counters);
+            reg.counter(&format!("server.{i}.fenced_drops"))
+                .add(k.fenced_drops);
+            reg.counter(&format!("server.{i}.stale_rifl_drops"))
+                .add(k.stale_rifl_drops);
+            reg.counter(&format!("server.{i}.rifl_replays"))
+                .add(k.rifl_replays);
+            reg.counter(&format!("server.{i}.wrong_owner"))
+                .add(k.wrong_owner);
+            reg.counter(&format!("server.{i}.reseeds")).add(k.reseeds);
+            reg.counter(&format!("server.{i}.pending_dropped"))
+                .add(k.pending_dropped);
+            reg.counter(&format!("server.{i}.pending_resends"))
+                .add(k.pending_resends);
             let live = s
                 .store
                 .live_objects()
-                .map(|o| (o.key.to_vec(), o.value.to_vec()))
+                .map(|o| (o.key.to_vec(), o.value.to_vec(), o.version.0))
                 .collect();
             NodeReport {
                 node: id,
@@ -118,28 +309,41 @@ fn report(node: AnyNode, id: NodeId) -> NodeReport {
                 client: None,
             }
         }
-        AnyNode::Client(c) => NodeReport {
-            node: id,
-            server: None,
-            owners: None,
-            client: Some((c.results, c.done)),
-        },
+        AnyNode::Client(c) => {
+            let (i, k) = (c.index, c.counters);
+            reg.counter(&format!("client.{i}.retries")).add(k.retries);
+            reg.counter(&format!("client.{i}.backoffs")).add(k.backoffs);
+            reg.counter(&format!("client.{i}.giveups")).add(k.giveups);
+            reg.counter(&format!("client.{i}.map_requests"))
+                .add(k.map_requests);
+            reg.counter(&format!("client.{i}.wrong_owner"))
+                .add(k.wrong_owner);
+            let history = c.full_history();
+            NodeReport {
+                node: id,
+                server: None,
+                owners: None,
+                client: Some((c.results, c.done, history)),
+            }
+        }
     }
 }
-
-/// Idle poll granularity when no timer is armed (keeps dead-letter
-/// detection responsive without busy-waiting).
-const IDLE_POLL: Duration = Duration::from_millis(25);
 
 fn node_loop(
     mut node: AnyNode,
     mut rt: ThreadRuntime,
     rx: Receiver<Control>,
     done_tx: Option<Sender<usize>>,
+    my_epoch: u64,
+    mut faults: Option<FaultState>,
 ) -> Option<NodeReport> {
     let id = rt.me;
+    let stale = rt.fabric.registry.counter("net.epoch_mismatch");
     let mut notified = false;
-    node.on_start(&mut rt);
+    match faults.as_mut() {
+        Some(f) => node.on_start(&mut FaultRuntime::new(&mut rt, f, msg_class)),
+        None => node.on_start(&mut rt),
+    }
     loop {
         if let (Some(tx), AnyNode::Client(c)) = (&done_tx, &node) {
             if c.done && !notified {
@@ -149,7 +353,7 @@ fn node_loop(
         }
         let timeout = match rt.deadline {
             Some(d) => {
-                let now = rt.clock.now();
+                let now = rt.fabric.clock.now();
                 if d <= now {
                     Duration::ZERO
                 } else {
@@ -159,20 +363,63 @@ fn node_loop(
             None => IDLE_POLL,
         };
         match rx.recv_timeout(timeout) {
-            Ok(Control::Deliver { from, msg }) => node.on_message(from, msg, &mut rt),
-            Ok(Control::Kill) => return None,
-            Ok(Control::Shutdown) => return Some(report(node, id)),
+            Ok(Control::Deliver {
+                from,
+                msg,
+                dst_epoch,
+            }) => {
+                if dst_epoch != my_epoch {
+                    // In flight across a restart: the message belongs to a
+                    // previous incarnation and must never reach this one.
+                    stale.incr();
+                    continue;
+                }
+                match faults.as_mut() {
+                    Some(f) => {
+                        node.on_message(from, msg, &mut FaultRuntime::new(&mut rt, f, msg_class))
+                    }
+                    None => node.on_message(from, msg, &mut rt),
+                }
+            }
+            Ok(Control::Kill { epoch }) => {
+                if epoch == my_epoch {
+                    return None;
+                }
+                // A kill aimed at a previous incarnation: ignore.
+            }
+            Ok(Control::Shutdown) => {
+                return Some(report(node, id, faults.as_ref(), &rt.fabric.registry))
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(d) = rt.deadline {
-                    if rt.clock.now() >= d {
+                    if rt.fabric.clock.now() >= d {
                         rt.deadline = None;
-                        node.on_timer(&mut rt);
+                        match faults.as_mut() {
+                            Some(f) => node.on_timer(&mut FaultRuntime::new(&mut rt, f, msg_class)),
+                            None => node.on_timer(&mut rt),
+                        }
                     }
                 }
             }
             Err(RecvTimeoutError::Disconnected) => return None,
         }
     }
+}
+
+/// Derives the per-node fault interpreter for a chaos run. Each node (and
+/// each incarnation) judges its own sends with an independent RNG stream;
+/// partitions are a pure schedule shared by every stream, so the cut links
+/// stay consistent cluster-wide.
+fn node_faults(plan: Option<&FaultPlan>, node: NodeId, epoch: u64) -> Option<FaultState> {
+    plan.map(|p| {
+        let mut p = p.clone();
+        p.seed ^= (node.0 as u64 + 1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(epoch.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let mut f = FaultState::new(p);
+        f.trace_enabled = false;
+        f
+    })
 }
 
 /// Aggregated final state of a shut-down mini-cluster.
@@ -184,8 +431,17 @@ pub struct ClusterReport {
     /// of surviving servers' stores, owner-filtered — directly comparable
     /// with `rmc_core::proto_sim::SimNet::live_map`.
     pub live: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Like [`ClusterReport::live`] but carrying versions — the state the
+    /// chaos invariant checker judges client histories against.
+    pub live_versioned: BTreeMap<Vec<u8>, (Vec<u8>, u64)>,
     /// Scripted clients' `(index, replies, finished)`, in index order.
     pub clients: Vec<(usize, Vec<Reply>, bool)>,
+    /// Scripted clients' op histories in index order, for
+    /// `rmc_chaos::check_histories`.
+    pub histories: Vec<Vec<OpRecord>>,
+    /// The cluster's metrics registry: live client-handle counters plus
+    /// every node's protocol counters exported at shutdown.
+    pub metrics: MetricsRegistry,
 }
 
 /// A running mini-cluster: coordinator + servers (+ optional scripted
@@ -193,7 +449,11 @@ pub struct ClusterReport {
 #[derive(Debug)]
 pub struct MiniCluster {
     cfg: ProtocolConfig,
-    peers: Arc<Vec<Sender<Control>>>,
+    fabric: Arc<Fabric>,
+    plan: Option<FaultPlan>,
+    /// One receiver clone per channel so a killed node's queue survives
+    /// until (and across) a restart.
+    keepalive: Vec<Receiver<Control>>,
     handles: Vec<(NodeId, JoinHandle<Option<NodeReport>>)>,
     done_rx: Receiver<usize>,
 }
@@ -202,53 +462,127 @@ impl MiniCluster {
     /// Starts coordinator and server threads; returns the cluster plus one
     /// synchronous [`MiniClient`] handle per configured client.
     pub fn start(cfg: ProtocolConfig) -> (MiniCluster, Vec<MiniClient>) {
-        Self::launch(cfg, None)
+        Self::launch(cfg, None, None)
     }
 
     /// Starts the full cluster with scripted client threads (the threaded
     /// half of the cross-engine equivalence test). Await completion with
     /// [`MiniCluster::wait_for_scripted_clients`].
     pub fn start_scripted(cfg: ProtocolConfig, scripts: Vec<Vec<ClientOp>>) -> MiniCluster {
-        Self::launch(cfg, Some(scripts)).0
+        Self::launch(cfg, Some(scripts), None).0
+    }
+
+    /// Starts a scripted cluster under the message-level faults of `plan`
+    /// (drops, duplicates, delays, partitions, backup-write failures). The
+    /// plan's crash schedule is *not* applied — drive it with
+    /// [`MiniCluster::kill_server`] / [`MiniCluster::restart_server`], or
+    /// use [`MiniCluster::run_plan`] for the whole thing.
+    pub fn start_chaos(
+        cfg: ProtocolConfig,
+        scripts: Vec<Vec<ClientOp>>,
+        plan: &FaultPlan,
+    ) -> MiniCluster {
+        Self::launch(cfg, Some(scripts), Some(plan)).0
+    }
+
+    /// Runs a scripted cluster under the full [`FaultPlan`] — message
+    /// faults via [`MiniCluster::start_chaos`] plus the plan's crash and
+    /// restart schedule driven on the wall clock — then waits for every
+    /// script to finish (panicking after `client_timeout`), lets detection
+    /// and recovery settle, and returns the final report.
+    pub fn run_plan(
+        cfg: ProtocolConfig,
+        scripts: Vec<Vec<ClientOp>>,
+        plan: &FaultPlan,
+        client_timeout: Duration,
+    ) -> ClusterReport {
+        enum Ev {
+            Kill(usize),
+            Restart(usize),
+        }
+        let mut cluster = Self::launch(cfg, Some(scripts), Some(plan)).0;
+        let mut events: Vec<(SimTime, Ev)> = Vec::new();
+        for c in &plan.crashes {
+            events.push((c.at, Ev::Kill(c.server)));
+            if let Some(after) = c.restart_after {
+                events.push((c.at.saturating_add(after), Ev::Restart(c.server)));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+        for (at, ev) in events {
+            loop {
+                let now = cluster.fabric.clock.now();
+                if now >= at {
+                    break;
+                }
+                thread::sleep(Duration::from_nanos((at - now).as_nanos()));
+            }
+            match ev {
+                Ev::Kill(s) => cluster.kill_server(s),
+                Ev::Restart(s) => cluster.restart_server(s),
+            }
+        }
+        cluster.wait_for_scripted_clients(client_timeout);
+        // Scripts can finish before the last failure is even detected; give
+        // detection + recovery + re-replication time to settle so the
+        // report reflects a converged cluster.
+        let settle = Duration::from_nanos(cluster.cfg.failure_timeout.as_nanos())
+            .saturating_mul(4)
+            .saturating_add(Duration::from_millis(500));
+        thread::sleep(settle);
+        cluster.shutdown()
     }
 
     fn launch(
         cfg: ProtocolConfig,
         scripts: Option<Vec<Vec<ClientOp>>>,
+        plan: Option<&FaultPlan>,
     ) -> (MiniCluster, Vec<MiniClient>) {
         let scripted = scripts.is_some();
         let nodes = AnyNode::build_cluster(&cfg, scripts.unwrap_or_default());
-        let clock = Arc::new(WallClock::new());
         let total = 1 + cfg.servers + cfg.clients;
         let mut txs = Vec::with_capacity(total);
-        let mut rxs = Vec::with_capacity(total);
+        let mut keepalive = Vec::with_capacity(total);
         for _ in 0..total {
             let (tx, rx) = unbounded();
             txs.push(tx);
-            rxs.push(rx);
+            keepalive.push(rx);
         }
-        let peers: Arc<Vec<Sender<Control>>> = Arc::new(txs);
+        let delay_tx = plan.map(|_| {
+            let (dtx, drx) = unbounded();
+            let peers = txs.clone();
+            thread::Builder::new()
+                .name("mini-delay-line".into())
+                .spawn(move || delay_line(drx, peers))
+                .expect("spawn delay line");
+            dtx
+        });
+        let fabric = Arc::new(Fabric {
+            peers: txs,
+            incarnations: (0..total).map(|_| AtomicU64::new(0)).collect(),
+            registry: MetricsRegistry::new(),
+            clock: WallClock::new(),
+            delay_tx,
+        });
         let (done_tx, done_rx) = unbounded();
         let mut handles = Vec::new();
         let mut clients = Vec::new();
-        let mut rxs = rxs.into_iter();
         for (i, node) in nodes.into_iter().enumerate() {
-            let rx = rxs.next().expect("one receiver per node");
+            let rx = keepalive[i].clone();
             let is_client = matches!(node, AnyNode::Client(_));
             if is_client && !scripted {
                 // Sync handle instead of a thread; drop the state machine.
                 clients.push(MiniClient::new(
                     NodeId(i),
                     cfg.clone(),
-                    Arc::clone(&peers),
+                    Arc::clone(&fabric),
                     rx,
                 ));
                 continue;
             }
             let rt = ThreadRuntime {
                 me: NodeId(i),
-                clock: Arc::clone(&clock),
-                peers: Arc::clone(&peers),
+                fabric: Arc::clone(&fabric),
                 deadline: None,
             };
             let dt = if is_client {
@@ -256,16 +590,19 @@ impl MiniCluster {
             } else {
                 None
             };
+            let faults = node_faults(plan, NodeId(i), 0);
             let handle = thread::Builder::new()
                 .name(format!("mini-{}", NodeId(i)))
-                .spawn(move || node_loop(node, rt, rx, dt))
+                .spawn(move || node_loop(node, rt, rx, dt, 0, faults))
                 .expect("spawn mini-cluster node");
             handles.push((NodeId(i), handle));
         }
         (
             MiniCluster {
                 cfg,
-                peers,
+                fabric,
+                plan: plan.cloned(),
+                keepalive,
                 handles,
                 done_rx,
             },
@@ -278,11 +615,56 @@ impl MiniCluster {
         &self.cfg
     }
 
-    /// Crashes server `index`: its thread exits without a goodbye and its
-    /// queue is dropped. The coordinator notices via missed heartbeats and
-    /// runs will-based recovery.
+    /// The shared metrics registry (live counters; each node's protocol
+    /// counters are exported into it at shutdown).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.fabric.registry.clone()
+    }
+
+    /// Crashes server `index`: its thread exits without a goodbye. The
+    /// coordinator notices via missed heartbeats and runs will-based
+    /// recovery; traffic toward the dead node queues on its channel and is
+    /// rejected by epoch mismatch if the node restarts.
     pub fn kill_server(&self, index: usize) {
-        let _ = self.peers[server_id(index).0].send(Control::Kill);
+        let id = server_id(index);
+        let epoch = self.fabric.incarnations[id.0].load(Ordering::Relaxed);
+        let _ = self.fabric.peers[id.0].send(Control::Kill { epoch });
+    }
+
+    /// Boots a fresh incarnation of a previously killed server on its
+    /// original channel: bumps the incarnation (orphaning every in-flight
+    /// message addressed to the previous life — they are dropped and
+    /// counted as `net.epoch_mismatch`) and spawns a [`Server::restarted`]
+    /// with an empty store that stays unsynced until the coordinator
+    /// readmits it. A no-op if the previous incarnation is still running
+    /// after a short wait.
+    pub fn restart_server(&mut self, index: usize) {
+        let id = server_id(index);
+        if let Some((_, h)) = self.handles.iter().rev().find(|(hid, _)| *hid == id) {
+            // Wait briefly for an in-flight kill to land; if the server is
+            // genuinely alive, restarting would double-drive the channel.
+            let deadline = Instant::now() + Duration::from_millis(200);
+            while !h.is_finished() {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let epoch = self.fabric.incarnations[id.0].fetch_add(1, Ordering::SeqCst) + 1;
+        let node = AnyNode::Server(Server::restarted(index, self.cfg.clone(), epoch));
+        let rx = self.keepalive[id.0].clone();
+        let rt = ThreadRuntime {
+            me: id,
+            fabric: Arc::clone(&self.fabric),
+            deadline: None,
+        };
+        let faults = node_faults(self.plan.as_ref(), id, epoch);
+        let handle = thread::Builder::new()
+            .name(format!("mini-{id}-e{epoch}"))
+            .spawn(move || node_loop(node, rt, rx, None, epoch, faults))
+            .expect("spawn restarted mini-cluster node");
+        self.handles.push((id, handle));
     }
 
     /// Blocks until every scripted client finished its script, or panics
@@ -306,7 +688,7 @@ impl MiniCluster {
     /// state.
     pub fn shutdown(self) -> ClusterReport {
         for (id, _) in &self.handles {
-            let _ = self.peers[id.0].send(Control::Shutdown);
+            let _ = self.fabric.peers[id.0].send(Control::Shutdown);
         }
         let mut owners = Vec::new();
         let mut servers: Vec<ServerDump> = Vec::new();
@@ -321,70 +703,133 @@ impl MiniCluster {
             if let Some(s) = rep.server {
                 servers.push(s);
             }
-            if let Some((results, done)) = rep.client {
-                clients.push((id.0, results, done));
+            if let Some((results, done, history)) = rep.client {
+                clients.push((id.0, results, done, history));
             }
         }
-        clients.sort_unstable_by_key(|(i, _, _)| *i);
+        clients.sort_unstable_by_key(|(i, _, _, _)| *i);
         let buckets = owners.len().max(1);
-        let mut live = BTreeMap::new();
+        let mut live_versioned = BTreeMap::new();
         for (index, objects) in servers {
-            for (key, value) in objects {
+            for (key, value, version) in objects {
                 if owners[bucket_for(PROTO_TABLE, &key, buckets)] == index {
-                    live.insert(key, value);
+                    live_versioned.insert(key, (value, version));
                 }
             }
         }
+        let live = live_versioned
+            .iter()
+            .map(|(k, (v, _))| (k.clone(), v.clone()))
+            .collect();
+        let histories = clients.iter().map(|(_, _, _, h)| h.clone()).collect();
         ClusterReport {
             owners,
             live,
-            clients,
+            live_versioned,
+            clients: clients.into_iter().map(|(i, r, d, _)| (i, r, d)).collect(),
+            histories,
+            metrics: self.fabric.registry.clone(),
         }
     }
 }
 
+/// The capped exponential backoff window (plus deterministic jitter) a
+/// [`MiniClient`] waits before retry number `attempt` of `seq` — the same
+/// schedule `ScriptClient` uses, on wall-clock durations.
+fn client_backoff(cfg: &ProtocolConfig, index: usize, seq: u64, attempt: u32) -> Duration {
+    let base = cfg.retry_timeout;
+    let raw = base.mul_f64(f64::from(1u32 << attempt.min(6)));
+    let capped = if raw > cfg.retry_backoff_cap {
+        cfg.retry_backoff_cap
+    } else {
+        raw
+    };
+    let jitter = retry_jitter(index, seq, attempt, base.as_nanos() / 2);
+    Duration::from_nanos(capped.as_nanos().saturating_add(jitter))
+}
+
 /// A synchronous client handle: `put`/`get`/`del` follow the wire protocol
 /// (route by bucket, retry unanswered requests with the *same* sequence
-/// number, absorb map updates), blocking the calling thread until the op
-/// completes.
+/// number under capped exponential backoff with deterministic jitter,
+/// absorb map updates), blocking the calling thread until the op
+/// completes. Retry, backoff, map-request, and give-up events are counted
+/// in the cluster's [`MetricsRegistry`] under `client.<i>.*`.
 #[derive(Debug)]
 pub struct MiniClient {
     me: NodeId,
+    index: usize,
     cfg: ProtocolConfig,
-    peers: Arc<Vec<Sender<Control>>>,
+    fabric: Arc<Fabric>,
     rx: Receiver<Control>,
     owners: Vec<usize>,
     map_version: u64,
     seq: u64,
+    last: Option<(u64, ClientOp)>,
+    op_budget: Duration,
+    retries: CounterHandle,
+    backoffs: CounterHandle,
+    giveups: CounterHandle,
+    map_requests: CounterHandle,
+    wrong_owner: CounterHandle,
 }
 
 impl MiniClient {
-    fn new(
-        me: NodeId,
-        cfg: ProtocolConfig,
-        peers: Arc<Vec<Sender<Control>>>,
-        rx: Receiver<Control>,
-    ) -> Self {
+    fn new(me: NodeId, cfg: ProtocolConfig, fabric: Arc<Fabric>, rx: Receiver<Control>) -> Self {
         let owners = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        let index = me.0 - 1 - cfg.servers;
+        // Liveness bound: a healthy cluster answers in microseconds; even
+        // a crash only blocks until recovery. Far beyond that, fail loudly
+        // instead of hanging the caller.
+        let op_budget = Duration::from_nanos(cfg.retry_timeout.as_nanos()).saturating_mul(200);
+        let reg = &fabric.registry;
+        let c = |suffix: &str| reg.counter(&format!("client.{index}.{suffix}"));
+        let (retries, backoffs, giveups, map_requests, wrong_owner) = (
+            c("retries"),
+            c("backoffs"),
+            c("giveups"),
+            c("map_requests"),
+            c("wrong_owner"),
+        );
         MiniClient {
             me,
+            index,
             cfg,
-            peers,
+            fabric,
             rx,
             owners,
             map_version: 0,
             seq: 0,
+            last: None,
+            op_budget,
+            retries,
+            backoffs,
+            giveups,
+            map_requests,
+            wrong_owner,
         }
+    }
+
+    /// Overrides the per-op give-up budget (default: 200 × the base retry
+    /// timeout). Past the budget an op returns an error and counts a
+    /// `client.<i>.giveups`.
+    pub fn set_op_budget(&mut self, budget: Duration) {
+        self.op_budget = budget;
     }
 
     /// Writes `key = value`; returns once the write is applied and fully
     /// replicated.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.put_versioned(key, value).map(|_| ())
+    }
+
+    /// Writes `key = value` and returns the version the write was applied
+    /// at.
+    pub fn put_versioned(&mut self, key: &[u8], value: &[u8]) -> Result<u64, String> {
         match self.request(ClientOp::Put {
             key: key.to_vec(),
             value: value.to_vec(),
         })? {
-            Reply::Done => Ok(()),
+            Reply::Done { version } => Ok(version),
             other => Err(format!("unexpected put reply: {other:?}")),
         }
     }
@@ -400,37 +845,69 @@ impl MiniClient {
     /// Deletes `key` (absent keys are fine).
     pub fn del(&mut self, key: &[u8]) -> Result<(), String> {
         match self.request(ClientOp::Del { key: key.to_vec() })? {
-            Reply::Done => Ok(()),
+            Reply::Done { .. } => Ok(()),
             other => Err(format!("unexpected del reply: {other:?}")),
         }
+    }
+
+    /// Re-sends the last request verbatim — same sequence number, same op —
+    /// as a *network-duplicated* (not retried) delivery, and returns the
+    /// server's answer. RIFL must replay the originally recorded reply
+    /// without re-applying the op.
+    pub fn duplicate_last(&mut self) -> Result<Reply, String> {
+        let (seq, op) = self
+            .last
+            .clone()
+            .ok_or_else(|| "no prior request to duplicate".to_owned())?;
+        self.do_request(seq, op)
     }
 
     fn request(&mut self, op: ClientOp) -> Result<Reply, String> {
         self.seq += 1;
         let seq = self.seq;
-        let retry = Duration::from_nanos(self.cfg.retry_timeout.as_nanos());
-        // Liveness bound: a healthy cluster answers in microseconds; even
-        // a crash only blocks until recovery. Far beyond that, fail loudly
-        // instead of hanging the caller.
-        let give_up = Instant::now() + retry * 200;
+        self.last = Some((seq, op.clone()));
+        self.do_request(seq, op)
+    }
+
+    fn do_request(&mut self, seq: u64, op: ClientOp) -> Result<Reply, String> {
+        let give_up = Instant::now() + self.op_budget;
+        let mut attempt: u32 = 0;
         loop {
             if Instant::now() >= give_up {
-                return Err(format!("request {seq} timed out past recovery bounds"));
+                self.giveups.incr();
+                return Err(format!("request {seq} exhausted its retry budget"));
+            }
+            if attempt > 0 {
+                self.retries.incr();
+                if attempt > 1 {
+                    self.backoffs.incr();
+                }
+                // The map may be why we're stuck; refresh it alongside the
+                // retry.
+                self.map_requests.incr();
+                self.fabric.post(
+                    self.me,
+                    coordinator_id(),
+                    Msg::MapRequest,
+                    SimDuration::ZERO,
+                );
             }
             let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
             let owner = self.owners[bucket];
-            let _ = self.peers[server_id(owner).0].send(Control::Deliver {
-                from: self.me,
-                msg: Msg::Request {
+            self.fabric.post(
+                self.me,
+                server_id(owner),
+                Msg::Request {
                     seq,
                     op: op.clone(),
                 },
-            });
-            let attempt_ends = Instant::now() + retry;
+                SimDuration::ZERO,
+            );
+            let attempt_ends = Instant::now() + client_backoff(&self.cfg, self.index, seq, attempt);
             loop {
                 let left = attempt_ends.saturating_duration_since(Instant::now());
                 if left.is_zero() {
-                    break; // re-send, same seq
+                    break; // re-send, same seq, grown backoff
                 }
                 match self.rx.recv_timeout(left) {
                     Ok(Control::Deliver {
@@ -442,10 +919,17 @@ impl MiniClient {
                         }
                         match reply {
                             Reply::WrongOwner => {
-                                // Routing raced a recovery: wait out the
-                                // attempt window for a map update.
-                                thread::sleep(retry / 4);
-                                break;
+                                // Routing raced a recovery: ask for a fresh
+                                // map and wait out the window for the
+                                // update to land.
+                                self.wrong_owner.incr();
+                                self.map_requests.incr();
+                                self.fabric.post(
+                                    self.me,
+                                    coordinator_id(),
+                                    Msg::MapRequest,
+                                    SimDuration::ZERO,
+                                );
                             }
                             other => return Ok(other),
                         }
@@ -463,7 +947,7 @@ impl MiniClient {
                         }
                     }
                     Ok(Control::Deliver { .. }) => {}
-                    Ok(Control::Kill) | Ok(Control::Shutdown) => {
+                    Ok(Control::Kill { .. }) | Ok(Control::Shutdown) => {
                         return Err("client handle terminated".into());
                     }
                     Err(RecvTimeoutError::Timeout) => break, // re-send, same seq
@@ -472,6 +956,7 @@ impl MiniClient {
                     }
                 }
             }
+            attempt = attempt.saturating_add(1);
         }
     }
 }
@@ -530,11 +1015,104 @@ mod tests {
             c.put(&k, &v).unwrap();
             expected.insert(k, v);
         }
+        let metrics = cluster.metrics();
         let report = cluster.shutdown();
         assert!(report.owners.iter().all(|&o| o != 1), "victim owns nothing");
         assert_eq!(
             report.live, expected,
             "recovery restored the exact live set"
+        );
+        // Riding out the crash required retrying against the dead owner.
+        assert!(
+            metrics.sum("client.", ".retries") > 0,
+            "crash recovery without a single client retry"
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_caps() {
+        let cfg = small_cfg(3, 1, 1);
+        let base = Duration::from_nanos(cfg.retry_timeout.as_nanos());
+        let cap = Duration::from_nanos(cfg.retry_backoff_cap.as_nanos());
+        // Strict doubling dominates jitter until the cap binds
+        // (50ms · 2^3 = 400ms > 320ms).
+        let mut prev = Duration::ZERO;
+        for attempt in 0..3 {
+            let d = client_backoff(&cfg, 0, 1, attempt);
+            assert!(d > prev, "attempt {attempt} did not grow: {d:?}");
+            prev = d;
+        }
+        let capped = client_backoff(&cfg, 0, 1, 20);
+        assert!(capped >= cap && capped <= cap + base, "{capped:?}");
+        // Jitter is deterministic: the same (client, seq, attempt) always
+        // waits the same window…
+        assert_eq!(client_backoff(&cfg, 1, 7, 3), client_backoff(&cfg, 1, 7, 3));
+        // …and distinct clients de-synchronize.
+        assert_ne!(client_backoff(&cfg, 0, 7, 3), client_backoff(&cfg, 1, 7, 3));
+    }
+
+    #[test]
+    fn give_up_is_counted_and_reported() {
+        // A single server with no replicas: killing it leaves nothing to
+        // recover onto (the coordinator refuses to declare the last server
+        // dead), so a write can only give up.
+        let (cluster, mut clients) = MiniCluster::start(small_cfg(1, 1, 0));
+        let c = &mut clients[0];
+        c.put(b"k", b"v").unwrap();
+        cluster.kill_server(0);
+        c.set_op_budget(Duration::from_millis(400));
+        let err = c.put(b"k", b"w");
+        assert!(err.is_err(), "write to a dead single-server cluster");
+        assert_eq!(cluster.metrics().sum("client.", ".giveups"), 1);
+        assert!(cluster.metrics().sum("client.", ".retries") > 0);
+    }
+
+    #[test]
+    fn restart_rejects_stale_in_flight_messages() {
+        let (mut cluster, mut clients) = MiniCluster::start(small_cfg(3, 1, 2));
+        let c = &mut clients[0];
+        let mut expected = BTreeMap::new();
+        for i in 0..60 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        cluster.kill_server(1);
+        // Keep writing while the victim is dead: retries, map updates, and
+        // replication traffic addressed to the old incarnation pile up on
+        // its channel.
+        for i in 60..80 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        cluster.restart_server(1);
+        // Let the restarted incarnation drain its stale queue and be
+        // readmitted via its epoch-stamped heartbeats.
+        thread::sleep(Duration::from_millis(600));
+        for i in 80..90 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.live, expected, "no write lost across the restart");
+        assert!(
+            report.metrics.get("net.epoch_mismatch") > 0,
+            "stale in-flight messages must be dropped by epoch, not delivered"
+        );
+        assert!(
+            report.metrics.get("coord.restarts_detected") > 0,
+            "the coordinator must notice the epoch jump"
         );
     }
 }

@@ -1,0 +1,217 @@
+//! Chaos under the threaded engine: the same fault plans, state machines,
+//! and invariant checker as the deterministic suite in
+//! `rmc-core/tests/chaos_invariants.rs`, but on real threads and the wall
+//! clock.
+//!
+//! The threaded engine cannot replay a plan bit-for-bit — scheduling is
+//! the OS's business — so these tests check *graceful degradation*: under
+//! drops, duplicates, delays, partitions, backup-write failures, and
+//! crash/restart schedules, every acked write survives, versions stay
+//! monotone, RIFL never double-applies, and the cluster converges.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rmc_chaos::{check_histories, Crash, FaultPlan, PlanShape};
+use rmc_core::protocol::{server_id, ClientOp, ProtocolConfig, Reply};
+use rmc_runtime::{SimDuration, SimTime};
+use rmc_standalone::MiniCluster;
+
+const SERVERS: usize = 4;
+const CLIENTS: usize = 2;
+const REPLICATION: usize = 2;
+const OPS_PER_CLIENT: usize = 16;
+
+/// Timings that tolerate thread-scheduling jitter: a heartbeat missed to a
+/// busy scheduler must not read as a death.
+fn chaos_cfg() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::new(SERVERS, CLIENTS, REPLICATION);
+    cfg.heartbeat_interval = SimDuration::from_millis(15);
+    cfg.failure_timeout = SimDuration::from_millis(150);
+    cfg.retry_timeout = SimDuration::from_millis(50);
+    cfg
+}
+
+/// Per-client scripts over disjoint key namespaces (the checker treats
+/// each key as single-writer): puts, overwrites, deletes, and reads.
+fn scripts() -> Vec<Vec<ClientOp>> {
+    (0..CLIENTS)
+        .map(|c| {
+            let key = |i: usize| format!("c{c}k{i:03}").into_bytes();
+            let mut s = Vec::new();
+            for i in 0..OPS_PER_CLIENT {
+                s.push(ClientOp::Put {
+                    key: key(i),
+                    value: format!("c{c}v{i}").into_bytes(),
+                });
+                if i % 3 == 0 {
+                    s.push(ClientOp::Get { key: key(i) });
+                }
+                if i % 4 == 3 {
+                    s.push(ClientOp::Put {
+                        key: key(i - 1),
+                        value: format!("c{c}w{i}").into_bytes(),
+                    });
+                }
+                if i % 5 == 4 {
+                    s.push(ClientOp::Del { key: key(i - 2) });
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Satellite: a *duplicated* (not merely retried) write returns the
+/// originally-assigned version and applies exactly once — the threaded
+/// half of the RIFL exactly-once guarantee (the simulated half lives in
+/// `rmc-core`'s protocol tests).
+#[test]
+fn duplicated_write_returns_original_version_threaded() {
+    let (cluster, mut clients) = MiniCluster::start(chaos_cfg());
+    let c = &mut clients[0];
+    let v1 = c.put_versioned(b"dup-key", b"first").unwrap();
+    let v2 = c.put_versioned(b"dup-key", b"second").unwrap();
+    assert!(v2 > v1, "versions must advance: {v1} then {v2}");
+    // Replay the second write's exact request (same RIFL sequence number)
+    // several times: every copy must echo the recorded reply, not bump the
+    // version again.
+    for _ in 0..3 {
+        match c.duplicate_last().unwrap() {
+            Reply::Done { version } => assert_eq!(version, v2, "duplicate must echo v2"),
+            other => panic!("unexpected duplicate reply: {other:?}"),
+        }
+    }
+    assert_eq!(c.get(b"dup-key").unwrap(), Some(b"second".to_vec()));
+    let report = cluster.shutdown();
+    assert_eq!(
+        report.live_versioned.get(b"dup-key".as_slice()),
+        Some(&(b"second".to_vec(), v2)),
+        "the store must hold the original version, applied once"
+    );
+    let replays: u64 = (0..SERVERS)
+        .map(|i| report.metrics.get(&format!("server.{i}.rifl_replays")))
+        .sum();
+    assert!(replays >= 3, "RIFL must have replayed the recorded reply");
+}
+
+/// Satellite: killing a backup mid-replication re-replicates its segments
+/// onto fresh targets, and a subsequent crash of the master still recovers
+/// the full live set from the re-replicated copies.
+#[test]
+fn backup_death_re_replicates_then_master_crash_recovers() {
+    let (cluster, mut clients) = MiniCluster::start(chaos_cfg());
+    let c = &mut clients[0];
+    let mut expected = BTreeMap::new();
+    // Seed writes so master 1 has segments replicated onto {2, 3}.
+    for i in 0..40 {
+        let (k, v) = (
+            format!("key{i:03}").into_bytes(),
+            format!("val{i}").into_bytes(),
+        );
+        c.put(&k, &v).unwrap();
+        expected.insert(k, v);
+    }
+    // Kill server 2 — a backup of master 1 — mid-stream, keep writing.
+    cluster.kill_server(2);
+    for i in 40..70 {
+        let (k, v) = (
+            format!("key{i:03}").into_bytes(),
+            format!("val{i}").into_bytes(),
+        );
+        c.put(&k, &v).unwrap();
+        expected.insert(k, v);
+    }
+    // Let the survivors finish re-targeting their replicas off server 2.
+    std::thread::sleep(Duration::from_millis(700));
+    // Now crash master 1: its data must be recoverable from the
+    // re-replicated copies alone.
+    cluster.kill_server(1);
+    for i in 70..90 {
+        let (k, v) = (
+            format!("key{i:03}").into_bytes(),
+            format!("val{i}").into_bytes(),
+        );
+        c.put(&k, &v).unwrap();
+        expected.insert(k, v);
+    }
+    let report = cluster.shutdown();
+    assert!(
+        report.owners.iter().all(|&o| o != 1 && o != 2),
+        "dead servers own nothing: {:?}",
+        report.owners
+    );
+    assert_eq!(
+        report.live, expected,
+        "acked writes must survive backup death followed by master crash"
+    );
+    let reseeds: u64 = (0..SERVERS)
+        .map(|i| report.metrics.get(&format!("server.{i}.reseeds")))
+        .sum();
+    assert!(
+        reseeds > 0,
+        "losing a backup must trigger re-replication of its segments"
+    );
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Tentpole acceptance (threaded half): generated fault plans — message
+/// faults plus a crash/restart schedule — degrade gracefully under real
+/// threads. The seeds are pinned for CI; override with
+/// `RMC_CHAOS_SEEDS=1,2,3` (comma-separated u64s, `0x` hex accepted).
+#[test]
+fn pinned_plans_degrade_gracefully_threaded() {
+    const PINNED: [u64; 4] = [
+        0x0000_0000_dead_beef,
+        0x3141_5926_5358_9793,
+        0x9e37_79b9_7f4a_7c15,
+        0xcafe_f00d_cafe_f00d,
+    ];
+    let seeds: Vec<u64> = match std::env::var("RMC_CHAOS_SEEDS") {
+        Ok(v) => v.split(',').filter_map(parse_seed).collect(),
+        Err(_) => PINNED.to_vec(),
+    };
+    assert!(!seeds.is_empty(), "no usable seeds in RMC_CHAOS_SEEDS");
+    let shape = PlanShape::new((0..SERVERS).map(server_id).collect(), REPLICATION);
+    for seed in seeds {
+        let mut plan = FaultPlan::generate(seed, &shape);
+        // Generated plans are tuned for simulated microsecond RTTs; on the
+        // wall clock a whole retry cycle is ~50ms, so stretch the schedule
+        // and soften per-message odds enough that scripts finish within
+        // the op budget while every fault class still fires.
+        plan.drop_prob = plan.drop_prob.min(0.02);
+        plan.dup_prob = plan.dup_prob.min(0.05);
+        plan.delay_prob = plan.delay_prob.min(0.05);
+        plan.max_delay = SimDuration::from_millis(20);
+        plan.backup_write_fail_prob = plan.backup_write_fail_prob.min(0.02);
+        plan.partitions.clear();
+        plan.crashes.clear();
+        plan.crashes.push(Crash {
+            at: SimTime::ZERO.saturating_add(SimDuration::from_millis(150)),
+            server: 1 + (seed % (SERVERS as u64 - 1)) as usize,
+            restart_after: Some(SimDuration::from_millis(600)),
+        });
+        plan.quiesce_at = SimTime::ZERO.saturating_add(SimDuration::from_secs(3600));
+
+        let report = MiniCluster::run_plan(chaos_cfg(), scripts(), &plan, Duration::from_secs(60));
+        assert!(
+            report.clients.iter().all(|(_, _, done)| *done),
+            "seed {seed:#018x}: scripts unfinished"
+        );
+        let violations = check_histories(&report.histories, &report.live_versioned, true);
+        assert!(
+            violations.is_empty(),
+            "seed {seed:#018x}: {violations:?}\nmetrics: {:?}",
+            report.metrics.snapshot()
+        );
+        let judged = report.metrics.get("faults.judged");
+        assert!(judged > 0, "seed {seed:#018x}: fault layer never engaged");
+    }
+}
