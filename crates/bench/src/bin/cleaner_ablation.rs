@@ -1,0 +1,403 @@
+//! Cleaner-ablation benchmark: what does moving log cleaning off the
+//! write path buy under memory pressure?
+//!
+//! Three configurations of the standalone server run the same write-heavy
+//! workload with the live set sized at ~2/3 of the log budget — the regime
+//! the paper's log-structured memory is designed for, where every segment
+//! of new writes forces a segment's worth of cleaning:
+//!
+//! - **inline** — the seed design: no cleaner threads, the writer that
+//!   crosses the free-slot threshold runs a full cleaning pass while
+//!   holding the shard's write lock;
+//! - **concurrent** — background per-shard cleaner threads drive the
+//!   two-level cleaner (in-memory compaction + combined cost-benefit
+//!   cleaning) concurrently with service threads;
+//! - **concurrent_no_compaction** — same threads, compaction level
+//!   disabled: every pass is a full combined clean.
+//!
+//! Emits `BENCH_cleaner.json` (schema checked by
+//! `rmc_bench::report::validate_cleaner_report`; CI's cleaner-smoke job
+//! re-validates it).
+//!
+//! Usage:
+//!   cleaner_ablation [--smoke] [--out PATH]   run, write the report
+//!   cleaner_ablation --check PATH             validate an existing report
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rmc_bench::json::{self, Json};
+use rmc_bench::kops;
+use rmc_bench::report::{validate_cleaner_report, SCHEMA_VERSION};
+use rmc_logstore::{CleanerConfig, LogConfig, TableId};
+use rmc_standalone::{Client, ServerConfig, StandaloneServer};
+use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
+use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
+
+const TABLE: TableId = TableId(1);
+
+struct StandaloneBackend {
+    client: Client,
+}
+
+impl KvBackend for StandaloneBackend {
+    fn read(&self, key: &[u8]) -> Result<bool, String> {
+        self.client
+            .read(TABLE, key)
+            .map(|r| r.is_some())
+            .map_err(|e| e.to_string())
+    }
+
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.client
+            .write(TABLE, key, value)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        self.client
+            .multiread(TABLE, &refs)
+            .map(|rs| rs.iter().filter(|r| r.is_some()).count())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiwrite(&self, ops: &[(Vec<u8>, Vec<u8>)]) -> Result<(), String> {
+        let refs: Vec<(&[u8], &[u8])> = ops
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        for outcome in self
+            .client
+            .multiwrite(TABLE, &refs)
+            .map_err(|e| e.to_string())?
+        {
+            outcome.map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Scale {
+    record_count: u64,
+    ops_per_client: u64,
+    clients: usize,
+    value_bytes: usize,
+    segment_bytes: usize,
+    max_segments: usize,
+    shards: usize,
+    worker_threads: usize,
+    smoke: bool,
+}
+
+/// Live set ≈ 2/3 of the log budget (see `live_fraction` in the report):
+/// the overwrite-only workload then churns several budgets' worth of data
+/// through the log, so throughput is cleaner-bound.
+const FULL: Scale = Scale {
+    record_count: 8192,
+    ops_per_client: 30_000,
+    clients: 2,
+    value_bytes: 256,
+    segment_bytes: 64 << 10,
+    max_segments: 32,
+    shards: 2,
+    worker_threads: 2,
+    smoke: false,
+};
+
+const SMOKE: Scale = Scale {
+    record_count: 2048,
+    ops_per_client: 2_000,
+    clients: 2,
+    value_bytes: 64,
+    segment_bytes: 16 << 10,
+    max_segments: 12,
+    shards: 2,
+    worker_threads: 2,
+    smoke: true,
+};
+
+impl Scale {
+    fn budget_bytes(&self) -> u64 {
+        (self.segment_bytes * self.max_segments * self.shards) as u64
+    }
+
+    /// Approximate live-set fraction of the budget (entry overhead is
+    /// key + ~40 B of header/checksum on top of the value).
+    fn live_fraction(&self) -> f64 {
+        let entry = self.value_bytes as u64 + 48;
+        (self.record_count * entry) as f64 / self.budget_bytes() as f64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    Inline,
+    Concurrent,
+    ConcurrentNoCompaction,
+}
+
+const VARIANTS: &[Variant] = &[
+    Variant::Inline,
+    Variant::Concurrent,
+    Variant::ConcurrentNoCompaction,
+];
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Inline => "inline",
+            Variant::Concurrent => "concurrent",
+            Variant::ConcurrentNoCompaction => "concurrent_no_compaction",
+        }
+    }
+
+    fn server_config(self, scale: Scale) -> ServerConfig {
+        ServerConfig {
+            worker_threads: scale.worker_threads,
+            shards: scale.shards,
+            log: LogConfig {
+                segment_bytes: scale.segment_bytes,
+                max_segments: scale.max_segments,
+                ordered_index: false,
+            },
+            concurrent_cleaning: self != Variant::Inline,
+            cleaner: CleanerConfig {
+                compaction: self != Variant::ConcurrentNoCompaction,
+                ..CleanerConfig::default()
+            },
+            ..ServerConfig::default()
+        }
+    }
+}
+
+struct Measurement {
+    variant: Variant,
+    summary: RunSummary,
+    /// Engine-side cleaner counters, aggregated across shards.
+    cleanings: u64,
+    segments_freed: u64,
+    segments_compacted: u64,
+    survivor_bytes: u64,
+    bytes_relocated: u64,
+    tombstones_dropped: u64,
+    /// Background-thread counters (zero in inline mode).
+    cleaner_passes: u64,
+    cleaner_busy_ns: u64,
+}
+
+fn run_variant(variant: Variant, scale: Scale) -> Result<Measurement, String> {
+    let server = StandaloneServer::start(variant.server_config(scale));
+    let spec = WorkloadSpec {
+        name: format!("cleaner-{}", variant.name()),
+        // Overwrite-only: the workload that exists to exercise cleaning.
+        mix: Mix {
+            read: 0.0,
+            update: 1.0,
+            insert: 0.0,
+            rmw: 0.0,
+            scan: 0.0,
+        },
+        distribution: Distribution::Uniform,
+        record_count: scale.record_count,
+        value_bytes: scale.value_bytes,
+        ops_per_client: scale.ops_per_client,
+    };
+    let backend = Arc::new(StandaloneBackend {
+        client: server.client(),
+    });
+    runner::load(&*backend, &spec, 1)?;
+    let summary = runner::run(
+        &backend,
+        &spec,
+        &RunnerConfig {
+            clients: scale.clients,
+            batch_size: 1,
+            seed: 42,
+        },
+    )?;
+    let stats = server.store().stats();
+    let metrics = server.metrics();
+    let m = Measurement {
+        variant,
+        summary,
+        cleanings: stats.cleanings,
+        segments_freed: stats.segments_freed,
+        segments_compacted: stats.segments_compacted,
+        survivor_bytes: stats.survivor_bytes,
+        bytes_relocated: stats.bytes_relocated,
+        tombstones_dropped: stats.tombstones_dropped,
+        cleaner_passes: metrics.sum("cleaner.", ".passes"),
+        cleaner_busy_ns: metrics.sum("cleaner.", ".busy_ns"),
+    };
+    server.shutdown();
+    println!(
+        "  {:<26} {:>9} ops/s  write p99 {:>8.1} us  cleanings={} freed={} compacted={}",
+        variant.name(),
+        kops(m.summary.throughput_ops_per_sec),
+        m.summary.writes.p99_us,
+        m.cleanings,
+        m.segments_freed,
+        m.segments_compacted,
+    );
+    Ok(m)
+}
+
+fn latency_json(lat: &LatencySummary) -> Json {
+    Json::obj(vec![
+        ("count", lat.count.into()),
+        ("mean", lat.mean_us.into()),
+        ("p50", lat.p50_us.into()),
+        ("p90", lat.p90_us.into()),
+        ("p99", lat.p99_us.into()),
+        ("max", lat.max_us.into()),
+    ])
+}
+
+fn report(measurements: &[Measurement], scale: Scale) -> Result<Json, String> {
+    let results: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                ("mode", m.variant.name().into()),
+                ("ops", m.summary.ops.into()),
+                ("elapsed_secs", m.summary.elapsed_secs.into()),
+                (
+                    "throughput_ops_per_sec",
+                    m.summary.throughput_ops_per_sec.into(),
+                ),
+                ("write_latency_us", latency_json(&m.summary.writes)),
+                ("cleanings", m.cleanings.into()),
+                ("segments_freed", m.segments_freed.into()),
+                ("segments_compacted", m.segments_compacted.into()),
+                ("survivor_bytes", m.survivor_bytes.into()),
+                ("bytes_relocated", m.bytes_relocated.into()),
+                ("tombstones_dropped", m.tombstones_dropped.into()),
+                ("cleaner_passes", m.cleaner_passes.into()),
+                ("cleaner_busy_ns", m.cleaner_busy_ns.into()),
+            ])
+        })
+        .collect();
+
+    let pick = |v: Variant| {
+        measurements
+            .iter()
+            .find(|m| m.variant == v)
+            .map(|m| m.summary.throughput_ops_per_sec)
+            .ok_or_else(|| format!("missing {} run", v.name()))
+    };
+    let inline = pick(Variant::Inline)?;
+    let concurrent = pick(Variant::Concurrent)?;
+    let speedup = concurrent / inline;
+    println!(
+        "\ncomparison (write-only, live set {:.0}% of budget): inline {} -> concurrent {} ops/s = {speedup:.2}x",
+        scale.live_fraction() * 100.0,
+        kops(inline),
+        kops(concurrent),
+    );
+
+    Ok(Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("benchmark", "cleaner_ablation".into()),
+        (
+            "config",
+            Json::obj(vec![
+                ("record_count", scale.record_count.into()),
+                ("ops_per_client", scale.ops_per_client.into()),
+                ("clients", scale.clients.into()),
+                ("value_bytes", scale.value_bytes.into()),
+                ("shards", scale.shards.into()),
+                ("worker_threads", scale.worker_threads.into()),
+                ("memory_budget_bytes", scale.budget_bytes().into()),
+                ("live_fraction", scale.live_fraction().into()),
+                ("smoke", scale.smoke.into()),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+        (
+            "comparison",
+            Json::obj(vec![
+                ("inline_ops_per_sec", inline.into()),
+                ("concurrent_ops_per_sec", concurrent.into()),
+                ("speedup", speedup.into()),
+            ]),
+        ),
+    ]))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text)?;
+    validate_cleaner_report(&doc)?;
+    println!("{path}: valid cleaner-ablation report");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = FULL;
+    let mut out = String::from("BENCH_cleaner.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = SMOKE,
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" if i + 1 < args.len() => {
+                i += 1;
+                check_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: cleaner_ablation [--smoke] [--out PATH] | --check PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        return match check(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "cleaner ablation ({}): {} records x {} B over {} KiB budget ({:.0}% live), {} clients x {} ops",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.record_count,
+        scale.value_bytes,
+        scale.budget_bytes() >> 10,
+        scale.live_fraction() * 100.0,
+        scale.clients,
+        scale.ops_per_client,
+    );
+    let outcome = (|| {
+        let measurements: Vec<Measurement> = VARIANTS
+            .iter()
+            .map(|&v| run_variant(v, scale))
+            .collect::<Result<_, _>>()?;
+        let doc = report(&measurements, scale)?;
+        // Never emit a report CI's validator would reject.
+        validate_cleaner_report(&doc)?;
+        std::fs::write(&out, format!("{doc}\n")).map_err(|e| format!("write {out}: {e}"))?;
+        println!("-> {out}");
+        Ok::<(), String>(())
+    })();
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -220,6 +220,26 @@ struct Measurement {
     read_fraction: f64,
     batch_size: usize,
     summary: RunSummary,
+    /// Background-cleaner counters snapshotted before shutdown.
+    cleaner: Json,
+}
+
+/// Sums the per-shard `cleaner.{shard}.*` counters into the report's
+/// cleaner block. Near-zero under this sweep's roomy log budget — the
+/// block exists so operators see cleaning activity (or its absence) next
+/// to the throughput it might explain; `cleaner_ablation` is the bench
+/// that forces real pressure.
+fn cleaner_json(server: &StandaloneServer) -> Json {
+    let m = server.metrics();
+    let sum = |name: &str| m.sum("cleaner.", &format!(".{name}"));
+    Json::obj(vec![
+        ("passes", sum("passes").into()),
+        ("segments_freed", sum("segments_freed").into()),
+        ("segments_compacted", sum("segments_compacted").into()),
+        ("bytes_relocated", sum("bytes_relocated").into()),
+        ("tombstones_dropped", sum("tombstones_dropped").into()),
+        ("busy_ns", sum("busy_ns").into()),
+    ])
 }
 
 fn run_one(
@@ -240,6 +260,7 @@ fn run_one(
         },
         queue_capacity: 1024,
         dispatch,
+        ..ServerConfig::default()
     });
     let spec = spec_for(mix, read_fraction, scale);
     let backend = Arc::new(StandaloneBackend {
@@ -255,6 +276,7 @@ fn run_one(
             seed: 42,
         },
     )?;
+    let cleaner = cleaner_json(&server);
     server.shutdown();
     println!(
         "  {:<14} workers={workers} mix={mix:<8} batch={batch_size:<3} {:>9} ops/s  read p99 {:>8.1} us",
@@ -269,6 +291,7 @@ fn run_one(
         read_fraction,
         batch_size,
         summary,
+        cleaner,
     })
 }
 
@@ -370,6 +393,7 @@ fn report(measurements: &[Measurement], mini: Json, scale: Scale) -> Result<Json
                 ),
                 ("read_latency_us", latency_json(&m.summary.reads)),
                 ("write_latency_us", latency_json(&m.summary.writes)),
+                ("cleaner", m.cleaner.clone()),
             ])
         })
         .collect();

@@ -92,6 +92,23 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
         }
         latency(result, &ctx, "read_latency_us")?;
         latency(result, &ctx, "write_latency_us")?;
+        // The background-cleaner block is optional (older reports predate
+        // it), but when present its counters must be non-negative.
+        if let Some(cleaner) = result.get("cleaner") {
+            let cctx = format!("{ctx}.cleaner");
+            for key in [
+                "passes",
+                "segments_freed",
+                "segments_compacted",
+                "bytes_relocated",
+                "tombstones_dropped",
+                "busy_ns",
+            ] {
+                if num(cleaner, &cctx, key)? < 0.0 {
+                    return Err(format!("{cctx}: \"{key}\" must be non-negative"));
+                }
+            }
+        }
     }
 
     let comparison = field(doc, "report", "comparison")?;
@@ -126,6 +143,106 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
         }
         latency(mini, "mini_cluster", "read_latency_us")?;
         latency(mini, "mini_cluster", "write_latency_us")?;
+    }
+    Ok(())
+}
+
+/// Validates a parsed `BENCH_cleaner.json` document (the cleaner-ablation
+/// benchmark: inline vs concurrent vs concurrent-without-compaction).
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_cleaner_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "cleaner_ablation" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in [
+        "record_count",
+        "ops_per_client",
+        "clients",
+        "value_bytes",
+        "shards",
+        "worker_threads",
+        "memory_budget_bytes",
+    ] {
+        if num(config, "config", key)? <= 0.0 {
+            return Err(format!("config: \"{key}\" must be positive"));
+        }
+    }
+    let live = num(config, "config", "live_fraction")?;
+    if !(0.0..=1.0).contains(&live) {
+        return Err("config: live_fraction out of range".into());
+    }
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    let mut seen_modes = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let mode = string(result, &ctx, "mode")?;
+        if !matches!(mode, "inline" | "concurrent" | "concurrent_no_compaction") {
+            return Err(format!("{ctx}: unknown mode {mode:?}"));
+        }
+        seen_modes.push(mode.to_owned());
+        if num(result, &ctx, "ops")? < 1.0 {
+            return Err(format!("{ctx}: \"ops\" must be >= 1"));
+        }
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(result, &ctx, key)? <= 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be positive"));
+            }
+        }
+        latency(result, &ctx, "write_latency_us")?;
+        for key in [
+            "cleanings",
+            "segments_freed",
+            "segments_compacted",
+            "survivor_bytes",
+            "bytes_relocated",
+            "tombstones_dropped",
+            "cleaner_passes",
+            "cleaner_busy_ns",
+        ] {
+            if num(result, &ctx, key)? < 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be non-negative"));
+            }
+        }
+        // Memory pressure must actually have engaged the cleaner.
+        if num(result, &ctx, "segments_freed")? == 0.0 {
+            return Err(format!("{ctx}: run never cleaned — no memory pressure"));
+        }
+        // In inline mode there are no cleaner threads to run passes.
+        if mode == "inline" && num(result, &ctx, "cleaner_passes")? != 0.0 {
+            return Err(format!("{ctx}: inline run reports background passes"));
+        }
+    }
+    for mode in ["inline", "concurrent"] {
+        if !seen_modes.iter().any(|m| m == mode) {
+            return Err(format!("results: missing \"{mode}\" run"));
+        }
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    let inline = num(comparison, "comparison", "inline_ops_per_sec")?;
+    let concurrent = num(comparison, "comparison", "concurrent_ops_per_sec")?;
+    let speedup = num(comparison, "comparison", "speedup")?;
+    if inline <= 0.0 || concurrent <= 0.0 {
+        return Err("comparison: throughputs must be positive".into());
+    }
+    if (speedup - concurrent / inline).abs() > 1e-6 * speedup.max(1.0) {
+        return Err("comparison: speedup != concurrent/inline".into());
     }
     Ok(())
 }
@@ -183,6 +300,71 @@ mod tests {
         let bad = MINI_OK.replace("\"replication\": 2", "\"replication\": 4");
         let err = validate_standalone_report(&parse(&with_mini(&bad)).unwrap()).unwrap_err();
         assert!(err.contains("replication"), "got {err}");
+    }
+
+    fn minimal_cleaner() -> String {
+        r#"{
+          "schema_version": 1,
+          "benchmark": "cleaner_ablation",
+          "config": {"record_count": 2048, "ops_per_client": 2000, "clients": 2,
+            "value_bytes": 64, "shards": 2, "worker_threads": 2,
+            "memory_budget_bytes": 393216, "live_fraction": 0.58, "smoke": true},
+          "results": [
+            {"mode": "inline", "ops": 4000, "elapsed_secs": 0.8,
+             "throughput_ops_per_sec": 5000.0,
+             "write_latency_us": {"count": 4000, "mean": 10.0, "p50": 6.0, "p90": 20.0, "p99": 90.0, "max": 400.0},
+             "cleanings": 40, "segments_freed": 40, "segments_compacted": 0,
+             "survivor_bytes": 100000, "bytes_relocated": 100000,
+             "tombstones_dropped": 0, "cleaner_passes": 0, "cleaner_busy_ns": 0},
+            {"mode": "concurrent", "ops": 4000, "elapsed_secs": 0.4,
+             "throughput_ops_per_sec": 10000.0,
+             "write_latency_us": {"count": 4000, "mean": 6.0, "p50": 5.0, "p90": 12.0, "p99": 30.0, "max": 90.0},
+             "cleanings": 50, "segments_freed": 45, "segments_compacted": 12,
+             "survivor_bytes": 120000, "bytes_relocated": 120000,
+             "tombstones_dropped": 0, "cleaner_passes": 50, "cleaner_busy_ns": 9000000}
+          ],
+          "comparison": {"inline_ops_per_sec": 5000.0,
+            "concurrent_ops_per_sec": 10000.0, "speedup": 2.0}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accepts_minimal_cleaner_report() {
+        validate_cleaner_report(&parse(&minimal_cleaner()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_cleaner_reports() {
+        for (needle, replacement, expect) in [
+            ("cleaner_ablation", "other_bench", "benchmark"),
+            ("\"mode\": \"inline\"", "\"mode\": \"magic\"", "mode"),
+            (
+                "\"mode\": \"concurrent\"",
+                "\"mode\": \"concurrent_no_compaction\"",
+                "missing \"concurrent\"",
+            ),
+            ("\"speedup\": 2.0", "\"speedup\": 1.0", "speedup"),
+            (
+                "\"segments_freed\": 40",
+                "\"segments_freed\": 0",
+                "never cleaned",
+            ),
+            (
+                "\"cleaner_passes\": 0,",
+                "\"cleaner_passes\": 3,",
+                "background passes",
+            ),
+            (
+                "\"live_fraction\": 0.58",
+                "\"live_fraction\": 1.7",
+                "live_fraction",
+            ),
+        ] {
+            let doc = minimal_cleaner().replace(needle, replacement);
+            let err = validate_cleaner_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
     }
 
     #[test]

@@ -145,7 +145,13 @@ impl Cluster {
                         max_segments: cfg.max_segments(),
                         ordered_index: false,
                     },
-                    CleanerConfig::default(),
+                    // The simulator plays the background cleaner thread
+                    // itself: one bounded clean_step per committed write
+                    // (below), never a full inline pass on the write path.
+                    CleanerConfig {
+                        proactive: false,
+                        ..CleanerConfig::default()
+                    },
                 );
                 ServerNode::new(id, store, DiskModel::new(cfg.disk.clone()), &cfg.calib)
             })
@@ -688,6 +694,15 @@ impl Cluster {
             .expect("write must fit (paper workloads sized under budget)");
         let nominal_entry = self.nominal_entry();
         self.nodes[node_id].mem_write.add(now, nominal_entry as f64);
+        // Stand-in for the background cleaner thread: one bounded step per
+        // committed write, a pure function of store state (no wall clock,
+        // no extra randomness), so traces stay seed-deterministic. Survivor
+        // copying is real memory traffic — charge it to the energy model.
+        if let Some(out) = self.nodes[node_id].store.clean_step() {
+            self.nodes[node_id]
+                .mem_write
+                .add(now, out.bytes_relocated as f64);
+        }
 
         if self.cfg.replication == 0 {
             self.nodes[node_id].adjust_writers(now, -1);

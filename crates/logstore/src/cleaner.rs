@@ -1,24 +1,58 @@
-//! The log cleaner.
+//! The log cleaner: two levels, runnable concurrently with readers.
 //!
 //! RAMCloud's log-structured memory reclaims dead space by *cleaning*: pick
-//! closed segments with low live-data utilization, relocate their live
-//! entries to the head of the log, update the index, and free the segments.
-//! Candidate selection uses the classic LFS cost-benefit score
+//! closed segments with little live data, relocate the live entries, update
+//! the index, and recycle the segments. This module implements cleaning at
+//! two levels, mirroring RAMCloud's design:
 //!
-//! ```text
-//! benefit / cost = (1 − u) · age / (1 + u)
-//! ```
+//! - **In-memory compaction** ([`CleanKind::Compact`]) squeezes the dead
+//!   bytes out of a *single* segment by copying its live entries into a
+//!   tightly packed survivor that charges the memory budget only its
+//!   seglet-rounded length. Cheap (one segment of work) and it frees bytes,
+//!   but never whole segment slots and never tombstones.
+//! - **Combined cleaning** ([`CleanKind::Combined`]) merges several victims
+//!   chosen by the classic LFS cost-benefit score
 //!
-//! where `u` is the segment's live fraction and `age` counts head rolls
-//! since the segment was created.
+//!   ```text
+//!   benefit / cost = (1 − u) · (age + 1) / (1 + u)
+//!   ```
+//!
+//!   (`u` = live fraction, age = head rolls since creation) into survivor
+//!   segments, dropping expired tombstones along the way and freeing whole
+//!   slots.
+//!
+//! A balancer ([`Store::clean_pressure`]) picks the level from free-slot
+//! pressure and the write rate since the last pass.
+//!
+//! # The concurrent protocol
+//!
+//! Cleaning is split into three phases so that a background thread can do
+//! the expensive byte-copying without stalling service threads:
+//!
+//! 1. [`Store::prepare_clean`] (`&self`, brief shared lock): select victims,
+//!    snapshot them, pre-filter entry liveness against the index, and
+//!    reserve survivor segment ids.
+//! 2. [`CleanPlan::build`] (no lock at all): memcpy the live entries into
+//!    survivor segments.
+//! 3. [`Store::apply_clean`] (`&mut self`, brief exclusive lock): re-verify
+//!    each relocation against the index (entries may have died in the
+//!    meantime), atomically swing the index, install the survivors, retire
+//!    the victims into an epoch-stamped limbo list, and reclaim whatever
+//!    the epoch scheme (see [`crate::epoch`]) already allows.
+//!
+//! [`Store::clean_step`] runs all three back-to-back under one borrow — the
+//! deterministic driver used by the simulated engine and by tests.
 //!
 //! The paper's workloads were deliberately sized *not* to trigger the
-//! cleaner (Section III-C) — but any adoptable implementation needs one, and
-//! the cleaner ablation benchmark measures what the paper avoided.
+//! cleaner (Section III-C) — the cleaner-ablation benchmark measures
+//! exactly what the paper avoided.
+
+use std::collections::BTreeMap;
 
 use crate::entry::LogEntry;
+use crate::segment::Segment;
 use crate::store::Store;
-use crate::types::SegmentId;
+use crate::types::{key_hash, KeyHash, LogPosition, SegmentId};
 
 /// Cleaner policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +69,17 @@ pub struct CleanerConfig {
     /// Do not clean segments with live fraction above this (cleaning them
     /// costs almost a full segment of writes for almost no gain).
     pub max_candidate_utilization: f64,
+    /// Enable the cheap in-memory compaction level. When off, every pass is
+    /// a combined clean.
+    pub compaction: bool,
+    /// Most victims merged by one combined pass.
+    pub max_victims: usize,
+    /// Clean synchronously on the write path when free slots fall to
+    /// `min_free_slots`. Turned off when a background cleaner thread (or
+    /// the simulator's per-event [`Store::clean_step`] hook) owns cleaning;
+    /// the write path then cleans inline only as a last resort before
+    /// reporting out-of-memory.
+    pub proactive: bool,
 }
 
 impl Default for CleanerConfig {
@@ -44,19 +89,253 @@ impl Default for CleanerConfig {
             min_free_slots: 2,
             target_free_slots: 4,
             max_candidate_utilization: 0.97,
+            compaction: true,
+            max_victims: 8,
+            proactive: true,
         }
     }
+}
+
+/// A degenerate [`CleanerConfig`] rejected by [`CleanerConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CleanerConfigError {
+    /// `min_free_slots` exceeds `target_free_slots`: every pass would stop
+    /// short of its own trigger and the cleaner would spin forever.
+    MinAboveTarget {
+        /// The configured `min_free_slots`.
+        min: usize,
+        /// The configured `target_free_slots`.
+        target: usize,
+    },
+    /// `target_free_slots` is not below the total segment slots: the target
+    /// is unreachable (the head always occupies a slot) and the cleaner
+    /// would spin forever.
+    TargetAboveCapacity {
+        /// The configured `target_free_slots`.
+        target: usize,
+        /// The log's `max_segments`.
+        max_segments: usize,
+    },
+    /// `max_victims` is zero: a combined pass could never pick a victim.
+    NoVictims,
+    /// `max_candidate_utilization` outside `(0, 1]`.
+    BadUtilization(f64),
+}
+
+impl std::fmt::Display for CleanerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CleanerConfigError::MinAboveTarget { min, target } => write!(
+                f,
+                "min_free_slots ({min}) exceeds target_free_slots ({target})"
+            ),
+            CleanerConfigError::TargetAboveCapacity {
+                target,
+                max_segments,
+            } => write!(
+                f,
+                "target_free_slots ({target}) must be below max_segments ({max_segments})"
+            ),
+            CleanerConfigError::NoVictims => write!(f, "max_victims must be at least 1"),
+            CleanerConfigError::BadUtilization(u) => {
+                write!(f, "max_candidate_utilization ({u}) must be in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CleanerConfigError {}
+
+impl CleanerConfig {
+    /// Checks the knobs against a log of `max_segments` slots. A disabled
+    /// cleaner is always valid — its knobs are never consulted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CleanerConfigError`] found.
+    pub fn validate(&self, max_segments: usize) -> Result<(), CleanerConfigError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.min_free_slots > self.target_free_slots {
+            return Err(CleanerConfigError::MinAboveTarget {
+                min: self.min_free_slots,
+                target: self.target_free_slots,
+            });
+        }
+        if self.target_free_slots >= max_segments {
+            return Err(CleanerConfigError::TargetAboveCapacity {
+                target: self.target_free_slots,
+                max_segments,
+            });
+        }
+        if self.max_victims == 0 {
+            return Err(CleanerConfigError::NoVictims);
+        }
+        if !(self.max_candidate_utilization > 0.0 && self.max_candidate_utilization <= 1.0) {
+            return Err(CleanerConfigError::BadUtilization(
+                self.max_candidate_utilization,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which cleaning level a pass runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanKind {
+    /// In-memory compaction: one victim, frees bytes but no slots.
+    Compact,
+    /// Combined cost-benefit cleaning: multiple victims, frees whole slots
+    /// and drops expired tombstones.
+    Combined,
 }
 
 /// What one cleaning invocation accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CleanOutcome {
-    /// Segments freed.
+    /// Segments whose memory was actually reclaimed (epoch-safe).
     pub segments_freed: u64,
-    /// Live bytes relocated to the head.
+    /// Live bytes copied into survivors (or, for the inline cleaner, to the
+    /// log head).
     pub bytes_relocated: u64,
     /// Tombstones found safe to drop.
     pub tombstones_dropped: u64,
+    /// Victims processed by the in-memory compaction level.
+    pub segments_compacted: u64,
+    /// Bytes of survivor segments installed.
+    pub survivor_bytes: u64,
+}
+
+/// One entry scheduled for relocation, located inside a snapshotted victim.
+#[derive(Debug, Clone, Copy)]
+struct PlannedItem {
+    victim_idx: usize,
+    offset: u32,
+    len: usize,
+    /// Index entry to swing for a live object; `None` for a kept tombstone
+    /// (tombstones have no index entry).
+    swing: Option<KeyHash>,
+}
+
+/// Phase-1 output: victims snapshotted, liveness pre-filtered, survivor ids
+/// reserved. Owns everything it needs, so [`CleanPlan::build`] runs with no
+/// reference to the store at all.
+#[derive(Debug)]
+pub struct CleanPlan {
+    kind: CleanKind,
+    victims: Vec<SegmentId>,
+    victim_segments: Vec<Segment>,
+    survivor_ids: Vec<SegmentId>,
+    segment_bytes: usize,
+    items: Vec<PlannedItem>,
+    tombstones_droppable: u64,
+}
+
+impl CleanPlan {
+    /// The selected victim segments (for tests and diagnostics).
+    pub fn victims(&self) -> &[SegmentId] {
+        &self.victims
+    }
+
+    /// Phase 2: copies every planned entry into tightly packed survivor
+    /// segments. Pure computation over the snapshot — run it without any
+    /// lock held.
+    pub fn build(self) -> PreparedClean {
+        let CleanPlan {
+            kind,
+            victims,
+            victim_segments,
+            survivor_ids,
+            segment_bytes,
+            items,
+            tombstones_droppable,
+        } = self;
+        let mut ids = survivor_ids.into_iter();
+        let mut survivors: Vec<Segment> = Vec::new();
+        let mut current: Option<Segment> = None;
+        let mut relocations = Vec::new();
+        let mut kept_tombstones = Vec::new();
+        let mut bytes_relocated = 0u64;
+        for item in items {
+            let src = victim_segments[item.victim_idx].as_bytes();
+            let raw = &src[item.offset as usize..item.offset as usize + item.len];
+            loop {
+                let seg = current.get_or_insert_with(|| {
+                    Segment::new(
+                        ids.next().expect("survivor ids are over-reserved"),
+                        segment_bytes,
+                    )
+                });
+                match seg.append_raw(raw) {
+                    Ok(off) => {
+                        let new = LogPosition {
+                            segment: seg.id(),
+                            offset: off,
+                        };
+                        let old = LogPosition {
+                            segment: victims[item.victim_idx],
+                            offset: item.offset,
+                        };
+                        match item.swing {
+                            Some(hash) => relocations.push(Relocation {
+                                hash,
+                                old,
+                                new,
+                                size: item.len,
+                            }),
+                            None => kept_tombstones.push((new, item.len)),
+                        }
+                        bytes_relocated += item.len as u64;
+                        break;
+                    }
+                    Err(_) => {
+                        let mut full = current.take().expect("just inserted");
+                        full.close();
+                        survivors.push(full);
+                    }
+                }
+            }
+        }
+        if let Some(mut last) = current {
+            last.close();
+            if !last.is_empty() {
+                survivors.push(last);
+            }
+        }
+        PreparedClean {
+            kind,
+            victims,
+            survivors,
+            relocations,
+            kept_tombstones,
+            tombstones_dropped: tombstones_droppable,
+            bytes_relocated,
+        }
+    }
+}
+
+/// One index swing scheduled by the cleaner: the entry at `old` was copied
+/// to `new`; the swing commits only if the index still points at `old`.
+#[derive(Debug, Clone, Copy)]
+struct Relocation {
+    hash: KeyHash,
+    old: LogPosition,
+    new: LogPosition,
+    size: usize,
+}
+
+/// Phase-2 output: survivor segments fully built, awaiting the brief
+/// exclusive [`Store::apply_clean`].
+#[derive(Debug)]
+pub struct PreparedClean {
+    kind: CleanKind,
+    victims: Vec<SegmentId>,
+    survivors: Vec<Segment>,
+    relocations: Vec<Relocation>,
+    kept_tombstones: Vec<(LogPosition, usize)>,
+    tombstones_dropped: u64,
+    bytes_relocated: u64,
 }
 
 impl Store {
@@ -70,12 +349,312 @@ impl Store {
         Some((1.0 - u) * (age + 1.0) / (1.0 + u))
     }
 
-    /// Runs the cleaner until the free-slot target is met or no candidate
-    /// remains. Returns what was accomplished (possibly nothing).
+    /// The balancer: decides whether cleaning is warranted right now and at
+    /// which level. `None` means no pressure.
+    ///
+    /// Policy: no cleaning at or above `target_free_slots` free slots. At
+    /// or below the hard reserve (`min_free_slots`), combined cleaning —
+    /// only it frees whole slots and drops tombstones. In between, the
+    /// cheap in-memory compaction level squeezes dead bytes out of a
+    /// single segment *if* one has decayed enough to be worth copying
+    /// (see [`Store::prepare_clean`]); otherwise the balancer deliberately
+    /// waits — cleaning a segment later always costs less, because more of
+    /// it has died. The recent write rate does not move the trigger (it
+    /// would chase the free-slot count one-for-one and fire on every
+    /// segment close); it deepens each combined pass instead, so a fast
+    /// writer gets more slots per pass rather than earlier, younger
+    /// victims.
+    pub fn clean_pressure(&self) -> Option<CleanKind> {
+        if !self.cleaner.enabled {
+            return None;
+        }
+        let free = self.log.free_segment_slots();
+        if free >= self.cleaner.target_free_slots {
+            return None;
+        }
+        if free <= self.cleaner.min_free_slots || !self.cleaner.compaction {
+            return Some(CleanKind::Combined);
+        }
+        Some(CleanKind::Compact)
+    }
+
+    /// Phase 1 of a concurrent clean: pick victims, snapshot them,
+    /// pre-filter liveness, reserve survivor ids. Runs under `&self` — a
+    /// shared lock suffices. Returns `None` when no victim qualifies.
+    ///
+    /// Tombstone droppability is decided here, which is safe even though
+    /// the store keeps mutating: segment ids are never reused, so "the dead
+    /// object's segment is gone (or is a victim of this very pass)" can
+    /// only become *more* true by apply time.
+    pub fn prepare_clean(&self, kind: CleanKind) -> Option<CleanPlan> {
+        if !self.cleaner.enabled {
+            return None;
+        }
+        let segment_bytes = self.log.config().segment_bytes;
+        let victims: Vec<SegmentId> = match kind {
+            CleanKind::Compact => {
+                // The single closed segment whose seglet-rounded live bytes
+                // undercut its current charge the most. Compacting copies
+                // the victim's whole live set, so demand a gain of at least
+                // half a segment: that bounds the copy at one byte written
+                // per byte reclaimed. A lower bar re-copies mostly-live
+                // segments for seglet crumbs, and the churn costs more than
+                // the bytes it returns.
+                let seglet = self.log.seglet_bytes();
+                let min_gain = seglet.max(segment_bytes / 2);
+                self.log
+                    .closed_segment_ids()
+                    .into_iter()
+                    .filter_map(|id| {
+                        let charge = self.log.segment_charged_bytes(id)?;
+                        let live = self.log.live_bytes(id);
+                        let packed = live.div_ceil(seglet).saturating_mul(seglet);
+                        let gain = charge.checked_sub(packed)?;
+                        (gain >= min_gain).then_some((id, gain))
+                    })
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                    .map(|(id, _)| vec![id])
+                    .unwrap_or_default()
+            }
+            CleanKind::Combined => {
+                let mut scored: Vec<(SegmentId, f64)> = self
+                    .log
+                    .closed_segment_ids()
+                    .into_iter()
+                    .filter_map(|id| self.cost_benefit(id).map(|s| (id, s)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                // Take the fewest victims (best score first) whose projected
+                // byte gain covers the free-slot deficit. Cleaning deeper
+                // into the candidate list than the deficit demands copies
+                // nearly-live segments for marginal returns — the dominant
+                // write-amplification cost at high memory utilization. The
+                // write rate enters here (not in the trigger): a fast writer
+                // since the last pass widens the deficit, buying more slots
+                // per pass instead of starting passes earlier.
+                let seglet = self.log.seglet_bytes();
+                let burst_slots = ((self.log.total_appended_bytes() - self.last_clean_appended)
+                    / segment_bytes.max(1) as u64) as usize;
+                let deficit_bytes = self
+                    .cleaner
+                    .target_free_slots
+                    .saturating_sub(self.log.free_segment_slots())
+                    .max(1)
+                    .saturating_add(burst_slots.min(2))
+                    .saturating_mul(segment_bytes);
+                let mut victims = Vec::new();
+                let mut gain = 0usize;
+                for (id, _) in scored {
+                    if victims.len() >= self.cleaner.max_victims || gain >= deficit_bytes {
+                        break;
+                    }
+                    let charge = self.log.segment_charged_bytes(id).unwrap_or(segment_bytes);
+                    let live = self.log.live_bytes(id);
+                    let packed = live.div_ceil(seglet).saturating_mul(seglet);
+                    gain += charge.saturating_sub(packed);
+                    victims.push(id);
+                }
+                victims
+            }
+        };
+        if victims.is_empty() {
+            return None;
+        }
+        let victim_segments: Vec<Segment> = victims
+            .iter()
+            .map(|&id| self.log.segment(id).expect("victim is allocated").clone())
+            .collect();
+        let mut items = Vec::new();
+        let mut tombstones_droppable = 0u64;
+        let mut copy_bytes = 0usize;
+        for (vi, seg) in victim_segments.iter().enumerate() {
+            let victim = victims[vi];
+            for (offset, entry) in seg.iter() {
+                let pos = LogPosition {
+                    segment: victim,
+                    offset,
+                };
+                let len = entry.serialized_len();
+                match entry {
+                    LogEntry::Object(ref o) => {
+                        let hash = key_hash(o.table, &o.key);
+                        if self.index.candidates(hash).any(|p| p == pos) {
+                            items.push(PlannedItem {
+                                victim_idx: vi,
+                                offset,
+                                len,
+                                swing: Some(hash),
+                            });
+                            copy_bytes += len;
+                        }
+                    }
+                    LogEntry::Tombstone(ref t) => {
+                        let droppable = victims.contains(&t.dead_segment)
+                            || !self.log.contains_segment(t.dead_segment);
+                        if droppable {
+                            tombstones_droppable += 1;
+                        } else {
+                            items.push(PlannedItem {
+                                victim_idx: vi,
+                                offset,
+                                len,
+                                swing: None,
+                            });
+                            copy_bytes += len;
+                        }
+                    }
+                }
+            }
+        }
+        // Over-reserve survivor ids for the worst first-fit packing (every
+        // closed survivor at least half full). Unused ids are simply never
+        // minted into segments; ids are cheap and never reused anyway.
+        let n_ids = copy_bytes.div_ceil(segment_bytes) * 2 + 2;
+        let survivor_ids = (0..n_ids).map(|_| self.log.reserve_segment_id()).collect();
+        Some(CleanPlan {
+            kind,
+            victims,
+            victim_segments,
+            survivor_ids,
+            segment_bytes,
+            items,
+            tombstones_droppable,
+        })
+    }
+
+    /// Phase 3 of a concurrent clean: re-verify and swing the index,
+    /// install survivors, retire victims into epoch limbo, and reclaim
+    /// whatever is already epoch-safe. Brief — no byte copying happens
+    /// here.
+    ///
+    /// Returns `None` (a clean no-op) when a victim vanished between
+    /// prepare and apply — an inline emergency clean on the write path beat
+    /// this pass to it and already relocated the victim's live entries.
+    pub fn apply_clean(&mut self, prepared: PreparedClean) -> Option<CleanOutcome> {
+        if prepared
+            .victims
+            .iter()
+            .any(|&v| !self.log.contains_segment(v))
+        {
+            return None;
+        }
+        let PreparedClean {
+            kind,
+            victims,
+            survivors,
+            relocations,
+            kept_tombstones,
+            tombstones_dropped,
+            bytes_relocated,
+        } = prepared;
+        // Verified-live bytes per survivor. An entry that died between
+        // prepare and apply (overwritten or deleted by a service thread)
+        // fails its index swing and its survivor copy is dead on arrival.
+        let mut live: BTreeMap<SegmentId, usize> = BTreeMap::new();
+        for r in &relocations {
+            if self.index.update(r.hash, r.old, r.new) {
+                *live.entry(r.new.segment).or_default() += r.size;
+            }
+        }
+        for &(pos, size) in &kept_tombstones {
+            *live.entry(pos.segment).or_default() += size;
+        }
+        let mut survivor_bytes = 0u64;
+        for seg in survivors {
+            let live_bytes = live.get(&seg.id()).copied().unwrap_or(0);
+            if live_bytes == 0 {
+                // Nothing live landed here (every relocation died and no
+                // tombstone was kept): no index entry references the
+                // survivor, so drop it instead of installing garbage.
+                continue;
+            }
+            survivor_bytes += seg.len() as u64;
+            self.log.install_survivor(seg, live_bytes);
+        }
+        let epoch_now = self.epoch.current();
+        for &v in &victims {
+            self.log.retire_segment(v, epoch_now);
+        }
+        // Flip the epoch twice. The standalone server calls this holding
+        // the shard's write lock, so no reader is pinned and both advances
+        // succeed — victims reclaim immediately. A pinned reader defers
+        // reclamation to a later pass; that deferral is the whole point.
+        self.epoch.try_advance();
+        self.epoch.try_advance();
+        let reclaimed = self.log.reclaim_retired(self.epoch.safe_epoch());
+        let outcome = CleanOutcome {
+            segments_freed: reclaimed as u64,
+            bytes_relocated,
+            tombstones_dropped,
+            segments_compacted: if kind == CleanKind::Compact {
+                victims.len() as u64
+            } else {
+                0
+            },
+            survivor_bytes,
+        };
+        self.stats.cleanings += 1;
+        self.stats.segments_freed += outcome.segments_freed;
+        self.stats.bytes_relocated += outcome.bytes_relocated;
+        self.stats.tombstones_dropped += outcome.tombstones_dropped;
+        self.stats.segments_compacted += outcome.segments_compacted;
+        self.stats.survivor_bytes += outcome.survivor_bytes;
+        self.last_clean_appended = self.log.total_appended_bytes();
+        Some(outcome)
+    }
+
+    /// Advances the reclamation epoch as far as pinned readers allow and
+    /// reclaims every limbo segment that became safe. The write path calls
+    /// this as a last-ditch measure before declaring out-of-memory.
+    pub fn reclaim_now(&mut self) -> usize {
+        self.epoch.try_advance();
+        self.epoch.try_advance();
+        let n = self.log.reclaim_retired(self.epoch.safe_epoch());
+        self.stats.segments_freed += n as u64;
+        n
+    }
+
+    /// Runs at most one full cleaning pass (prepare → build → apply under a
+    /// single borrow) if the balancer sees pressure, reclaiming any
+    /// previously deferred limbo segments first. Deterministic: a pure
+    /// function of store state, which is what lets the simulated engine
+    /// drive cleaning per-event and stay bit-identical across runs.
+    pub fn clean_step(&mut self) -> Option<CleanOutcome> {
+        let reclaimed = if self.log.limbo_segments() > 0 {
+            self.reclaim_now() as u64
+        } else {
+            0
+        };
+        // No fallback from Compact to Combined here: if no segment has
+        // decayed enough to be worth compacting, waiting is the right move —
+        // combined cleaning kicks in on its own once free slots reach the
+        // hard reserve, and by then the victims are deader and cheaper.
+        let stepped = self.clean_pressure().and_then(|kind| {
+            let plan = self.prepare_clean(kind)?;
+            self.apply_clean(plan.build())
+        });
+        match (stepped, reclaimed) {
+            (Some(mut out), r) => {
+                out.segments_freed += r;
+                Some(out)
+            }
+            (None, 0) => None,
+            (None, r) => Some(CleanOutcome {
+                segments_freed: r,
+                ..CleanOutcome::default()
+            }),
+        }
+    }
+
+    /// Runs the synchronous inline cleaner until the free-slot target is
+    /// met or no candidate remains. Returns what was accomplished (possibly
+    /// nothing). This is the legacy single-threaded path, still used by the
+    /// write path as an emergency backstop and by stores configured with
+    /// `proactive: true`.
     ///
     /// Invariants: live data is never lost, deleted data is never
     /// resurrected, and versions are preserved — the property tests in
-    /// `tests/cleaner_props.rs` pin all three.
+    /// `tests/props.rs` pin all three.
     pub fn clean(&mut self) -> CleanOutcome {
         let mut outcome = CleanOutcome::default();
         if !self.cleaner.enabled {
@@ -98,11 +677,13 @@ impl Store {
         self.stats.segments_freed += outcome.segments_freed;
         self.stats.bytes_relocated += outcome.bytes_relocated;
         self.stats.tombstones_dropped += outcome.tombstones_dropped;
+        self.last_clean_appended = self.log.total_appended_bytes();
         outcome
     }
 
-    /// Relocates the live contents of `victim` and frees it. Returns `false`
-    /// if relocation ran out of space (the victim is left intact).
+    /// Relocates the live contents of `victim` to the log head and frees
+    /// it. Returns `false` if relocation ran out of space (the victim is
+    /// left intact).
     fn clean_segment(&mut self, victim: SegmentId, outcome: &mut CleanOutcome) -> bool {
         let Some(segment) = self.log.segment(victim) else {
             return false;
@@ -164,13 +745,17 @@ mod tests {
     const T: TableId = TableId(1);
 
     fn churn_store(max_segments: usize) -> Store {
+        churn_store_with(max_segments, CleanerConfig::default())
+    }
+
+    fn churn_store_with(max_segments: usize, cleaner: CleanerConfig) -> Store {
         Store::with_cleaner(
             LogConfig {
                 segment_bytes: 512,
                 max_segments,
                 ordered_index: false,
             },
-            CleanerConfig::default(),
+            cleaner,
         )
     }
 
@@ -258,12 +843,8 @@ mod tests {
 
     #[test]
     fn disabled_cleaner_never_cleans() {
-        let mut s = Store::with_cleaner(
-            LogConfig {
-                segment_bytes: 512,
-                max_segments: 8,
-                ordered_index: false,
-            },
+        let mut s = churn_store_with(
+            8,
             CleanerConfig {
                 enabled: false,
                 ..CleanerConfig::default()
@@ -272,12 +853,14 @@ mod tests {
         let out = s.clean();
         assert_eq!(out, CleanOutcome::default());
         assert_eq!(s.stats().cleanings, 0);
+        assert_eq!(s.clean_pressure(), None);
+        assert!(s.prepare_clean(CleanKind::Combined).is_none());
     }
 
     #[test]
     fn fully_live_log_reports_out_of_memory() {
         // Distinct keys, no dead data: the cleaner cannot help.
-        let mut s = churn_store(4);
+        let mut s = churn_store(6);
         let val = vec![7u8; 128];
         let mut result = Ok(());
         for i in 0..40 {
@@ -312,5 +895,262 @@ mod tests {
         let best_id = best_id.expect("some candidate");
         let u = s.log().segment_utilization(best_id).unwrap();
         assert!(u < 0.6, "best candidate should be mostly dead, u={u}");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_knobs() {
+        let base = CleanerConfig::default();
+        assert!(base.validate(64).is_ok());
+        assert_eq!(
+            CleanerConfig {
+                min_free_slots: 5,
+                target_free_slots: 4,
+                ..base
+            }
+            .validate(64),
+            Err(CleanerConfigError::MinAboveTarget { min: 5, target: 4 })
+        );
+        assert_eq!(
+            CleanerConfig {
+                target_free_slots: 64,
+                ..base
+            }
+            .validate(64),
+            Err(CleanerConfigError::TargetAboveCapacity {
+                target: 64,
+                max_segments: 64
+            })
+        );
+        assert_eq!(
+            CleanerConfig {
+                max_victims: 0,
+                ..base
+            }
+            .validate(64),
+            Err(CleanerConfigError::NoVictims)
+        );
+        for bad in [0.0, -0.5, 1.5] {
+            assert_eq!(
+                CleanerConfig {
+                    max_candidate_utilization: bad,
+                    ..base
+                }
+                .validate(64),
+                Err(CleanerConfigError::BadUtilization(bad))
+            );
+        }
+        // A disabled cleaner never consults its knobs, so any values pass.
+        assert!(CleanerConfig {
+            enabled: false,
+            min_free_slots: 100,
+            target_free_slots: 99,
+            max_victims: 0,
+            ..base
+        }
+        .validate(2)
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cleaner config")]
+    fn degenerate_config_panics_at_store_construction() {
+        // Default target_free_slots (4) is not below max_segments (4): the
+        // cleaner could never reach its target and would spin forever.
+        let _ = churn_store(4);
+    }
+
+    #[test]
+    fn balancer_levels_track_pressure_and_write_rate() {
+        let mut s = churn_store_with(
+            16,
+            CleanerConfig {
+                proactive: false,
+                ..CleanerConfig::default()
+            },
+        );
+        assert_eq!(s.clean_pressure(), None, "fresh store: no pressure");
+        // Fill until free slots dip just below the target (4): modest
+        // pressure picks the cheap compaction level.
+        let mut i = 0u64;
+        while s.log().free_segment_slots() >= 4 {
+            s.write(T, format!("k{i}").as_bytes(), &[0u8; 64]).unwrap();
+            i += 1;
+        }
+        assert_eq!(s.clean_pressure(), Some(CleanKind::Compact));
+        // At the hard reserve (min_free_slots = 2), only combined cleaning
+        // frees whole slots.
+        while s.log().free_segment_slots() > 2 {
+            s.write(T, format!("k{i}").as_bytes(), &[0u8; 64]).unwrap();
+            i += 1;
+        }
+        assert_eq!(s.clean_pressure(), Some(CleanKind::Combined));
+        // Compaction disabled: combined at any pressure level.
+        s.cleaner.compaction = false;
+        assert_eq!(s.clean_pressure(), Some(CleanKind::Combined));
+        // The write rate widens the combined pass instead of moving the
+        // trigger: a burst since the last pass plans more victims.
+        s.cleaner.compaction = true;
+        s.last_clean_appended = s.log().total_appended_bytes();
+        let quiet = s
+            .prepare_clean(CleanKind::Combined)
+            .map(|p| p.victims.len());
+        s.last_clean_appended = 0;
+        let bursty = s
+            .prepare_clean(CleanKind::Combined)
+            .map(|p| p.victims.len());
+        assert!(
+            bursty >= quiet,
+            "a write burst must not shrink the pass: quiet={quiet:?} bursty={bursty:?}"
+        );
+    }
+
+    #[test]
+    fn compaction_step_frees_bytes_but_not_slots() {
+        let mut s = churn_store_with(
+            16,
+            CleanerConfig {
+                proactive: false,
+                ..CleanerConfig::default()
+            },
+        );
+        for i in 0..40 {
+            s.write(T, format!("k{i}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        // Delete every other key so no segment is fully dead: the compact
+        // victim must copy its surviving entries into a survivor segment.
+        for i in (0..40).step_by(2) {
+            s.delete(T, format!("k{i}").as_bytes()).unwrap();
+        }
+        let charged_before = s.log().charged_bytes();
+        let plan = s
+            .prepare_clean(CleanKind::Compact)
+            .expect("deleted keys left dead bytes to squeeze");
+        assert_eq!(plan.victims().len(), 1, "compaction takes a single victim");
+        let out = s.apply_clean(plan.build()).expect("no competing cleaner");
+        assert_eq!(out.segments_compacted, 1);
+        assert!(out.survivor_bytes > 0);
+        assert!(
+            s.log().charged_bytes() < charged_before,
+            "compaction must return bytes to the budget"
+        );
+        // Every key still reads back correctly.
+        for i in 0..40 {
+            let got = s.read(T, format!("k{i}").as_bytes());
+            if i % 2 == 0 {
+                assert!(got.is_none());
+            } else {
+                assert!(got.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn step_cleaning_bounds_memory_under_churn() {
+        // Drive cleaning exclusively through clean_step (as the simulator
+        // and the background threads do): memory must stay bounded and all
+        // live data intact.
+        let mut s = churn_store_with(
+            16,
+            CleanerConfig {
+                proactive: false,
+                ..CleanerConfig::default()
+            },
+        );
+        for round in 0..400 {
+            for k in 0..8 {
+                s.write(
+                    T,
+                    format!("key{k}").as_bytes(),
+                    format!("value-{round}").as_bytes(),
+                )
+                .unwrap();
+            }
+            let _ = s.clean_step();
+        }
+        for k in 0..8 {
+            let got = s.read(T, format!("key{k}").as_bytes()).unwrap();
+            assert_eq!(&got.value[..], b"value-399");
+        }
+        let stats = s.stats();
+        assert!(stats.cleanings > 0);
+        assert!(stats.segments_freed > 0);
+        assert!(
+            s.log().charged_bytes() <= s.log().budget_bytes(),
+            "memory stays within budget"
+        );
+        assert_eq!(
+            s.log().limbo_segments(),
+            0,
+            "with no pinned readers every pass reclaims its own victims"
+        );
+    }
+
+    #[test]
+    fn apply_aborts_when_a_victim_vanished() {
+        let mut s = churn_store_with(
+            16,
+            CleanerConfig {
+                proactive: false,
+                ..CleanerConfig::default()
+            },
+        );
+        for round in 0..40 {
+            for k in 0..8 {
+                s.write(
+                    T,
+                    format!("key{k}").as_bytes(),
+                    format!("v{round}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        let plan = s.prepare_clean(CleanKind::Combined).expect("candidates");
+        let victim = plan.victims()[0];
+        // Simulate an inline emergency clean winning the race.
+        s.log.free_segment(victim);
+        let cleanings_before = s.stats().cleanings;
+        assert!(
+            s.apply_clean(plan.build()).is_none(),
+            "stale plan must be discarded, not applied"
+        );
+        assert_eq!(s.stats().cleanings, cleanings_before);
+    }
+
+    #[test]
+    fn pinned_readers_delay_segment_reclamation() {
+        let mut s = churn_store_with(
+            16,
+            CleanerConfig {
+                proactive: false,
+                ..CleanerConfig::default()
+            },
+        );
+        for round in 0..100 {
+            for k in 0..8 {
+                s.write(
+                    T,
+                    format!("key{k}").as_bytes(),
+                    format!("v{round}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        // A reader mid-lookup: pin through a clone of the tracker handle,
+        // exactly as an observer outside the store borrow would.
+        let epochs = std::sync::Arc::clone(&s.epoch);
+        let guard = epochs.pin();
+        let plan = s.prepare_clean(CleanKind::Combined).expect("candidates");
+        let n_victims = plan.victims().len();
+        let out = s.apply_clean(plan.build()).expect("victims intact");
+        assert_eq!(
+            out.segments_freed, 0,
+            "a pinned reader must hold reclamation back"
+        );
+        assert_eq!(s.log().limbo_segments(), n_victims);
+        assert!(s.reclamation_lag() >= 1);
+        drop(guard);
+        assert_eq!(s.reclaim_now(), n_victims);
+        assert_eq!(s.log().limbo_segments(), 0);
+        assert_eq!(s.reclamation_lag(), 0);
     }
 }

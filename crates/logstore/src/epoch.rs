@@ -1,0 +1,227 @@
+//! Epoch-based reclamation for segments retired by the concurrent cleaner.
+//!
+//! The standalone server's read fast path calls [`crate::Store::read`]
+//! through `&self` — no lock is taken inside the store, and the cleaner may
+//! be swinging index entries and retiring victim segments on another
+//! thread. Freed segment memory therefore cannot be recycled the moment the
+//! cleaner is done with it: a reader that resolved a [`crate::LogPosition`]
+//! just before the swing may still be parsing bytes out of the victim.
+//!
+//! The classic answer (RAMCloud uses the same scheme for its hash-table and
+//! log teardown) is *epochs*: readers pin the current epoch for the duration
+//! of one lookup, the cleaner moves retired segments to a limbo list stamped
+//! with the epoch at retirement, and limbo memory is only reclaimed once the
+//! global epoch has advanced **two** steps past the stamp — which can only
+//! happen after every reader that could have seen the old position has
+//! unpinned.
+//!
+//! The tracker is two counters ("banks") indexed by epoch parity plus the
+//! global epoch. Pinning increments the bank of the current epoch;
+//! advancing from epoch `e` to `e + 1` requires the *other* bank (which
+//! holds only readers from epoch `e − 1`) to be empty. Hence once the
+//! global epoch reaches `r + 2`, no reader pinned at epoch ≤ `r` remains,
+//! and garbage retired at `r` is safe — see [`EpochTracker::safe_epoch`].
+//!
+//! Everything is relaxed-to-acquire atomics: pinning a read costs two
+//! uncontended atomic RMWs and no lock, preserving the lock-free read path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks the global reclamation epoch and the readers pinned in each
+/// epoch-parity bank.
+///
+/// The counter starts at 2, not 0: `safe_epoch()` is `current − 2`
+/// saturating, and starting higher guarantees the saturated value can never
+/// equal a retirement stamp before two genuine advances have happened.
+///
+/// # Examples
+///
+/// ```
+/// use rmc_logstore::EpochTracker;
+///
+/// let epochs = EpochTracker::new();
+/// let retired_at = epochs.current();
+/// let guard = epochs.pin();
+/// // A reader is pinned: the epoch cannot advance twice, so garbage
+/// // retired now is not yet safe.
+/// assert!(epochs.try_advance());
+/// assert!(!epochs.try_advance());
+/// assert!(epochs.safe_epoch() < retired_at);
+/// drop(guard);
+/// assert!(epochs.try_advance());
+/// assert!(epochs.safe_epoch() >= retired_at);
+/// ```
+#[derive(Debug)]
+pub struct EpochTracker {
+    /// The global epoch, monotonically increasing.
+    global: AtomicU64,
+    /// Pinned-reader counts, indexed by epoch parity.
+    active: [AtomicU64; 2],
+}
+
+impl Default for EpochTracker {
+    fn default() -> Self {
+        EpochTracker {
+            global: AtomicU64::new(2),
+            active: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+impl EpochTracker {
+    /// Creates a tracker with no pinned readers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current global epoch.
+    pub fn current(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// The newest epoch whose retired garbage is certainly unreachable:
+    /// `current − 2` (saturating). Garbage retired at epoch `r` may be
+    /// reclaimed once `safe_epoch() ≥ r`.
+    pub fn safe_epoch(&self) -> u64 {
+        self.current().saturating_sub(2)
+    }
+
+    /// Pins the current epoch for the lifetime of the returned guard.
+    /// Lock-free; called on every read.
+    pub fn pin(&self) -> EpochGuard<'_> {
+        loop {
+            let e = self.global.load(Ordering::Acquire);
+            let bank = (e & 1) as usize;
+            self.active[bank].fetch_add(1, Ordering::AcqRel);
+            // If the epoch advanced between the load and the increment we
+            // may have pinned the wrong bank; undo and retry. Advancing is
+            // rare (cleaner passes), so this loop almost never iterates.
+            if self.global.load(Ordering::Acquire) == e {
+                return EpochGuard {
+                    tracker: self,
+                    bank,
+                };
+            }
+            self.active[bank].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Attempts to advance the global epoch by one. Fails (returning
+    /// `false`) while readers pinned two epochs ago are still active.
+    pub fn try_advance(&self) -> bool {
+        let e = self.global.load(Ordering::Acquire);
+        // New readers of epoch e+1 will pin bank (e+1)&1; it must hold no
+        // stragglers from epoch e−1 or their pins would be misattributed.
+        let next_bank = ((e + 1) & 1) as usize;
+        if self.active[next_bank].load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        self.global
+            .compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Readers currently pinned (both banks).
+    pub fn pinned_readers(&self) -> u64 {
+        self.active[0].load(Ordering::Acquire) + self.active[1].load(Ordering::Acquire)
+    }
+}
+
+/// RAII pin on an epoch; dropping it unpins. See [`EpochTracker::pin`].
+#[derive(Debug)]
+pub struct EpochGuard<'a> {
+    tracker: &'a EpochTracker,
+    bank: usize,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        self.tracker.active[self.bank].fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn advances_freely_with_no_readers() {
+        let t = EpochTracker::new();
+        let start = t.current();
+        for step in 1..=10 {
+            assert!(t.try_advance());
+            assert_eq!(t.current(), start + step);
+        }
+        assert_eq!(t.safe_epoch(), start + 8);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_the_second_advance() {
+        let t = EpochTracker::new();
+        let retired_at = t.current(); // epoch 2, bank 0
+        let g = t.pin();
+        assert!(t.try_advance(), "the odd bank is empty: 2 -> 3 may proceed");
+        assert!(
+            !t.try_advance(),
+            "advancing 3 -> 4 needs bank 0 empty, but a reader is pinned"
+        );
+        assert!(t.safe_epoch() < retired_at, "garbage not yet safe");
+        drop(g);
+        assert!(t.try_advance());
+        // Garbage retired before the pin is only now safe.
+        assert_eq!(t.safe_epoch(), retired_at);
+    }
+
+    #[test]
+    fn safe_epoch_trails_by_two() {
+        let t = EpochTracker::new();
+        assert_eq!(t.current(), 2);
+        assert_eq!(t.safe_epoch(), 0, "below every possible retirement stamp");
+        t.try_advance();
+        t.try_advance();
+        t.try_advance();
+        assert_eq!(t.current(), 5);
+        assert_eq!(t.safe_epoch(), 3);
+    }
+
+    #[test]
+    fn pin_counts_are_balanced() {
+        let t = EpochTracker::new();
+        {
+            let _a = t.pin();
+            let _b = t.pin();
+            assert_eq!(t.pinned_readers(), 2);
+        }
+        assert_eq!(t.pinned_readers(), 0);
+    }
+
+    #[test]
+    fn concurrent_pin_unpin_with_advances() {
+        let t = Arc::new(EpochTracker::new());
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        let _g = t.pin();
+                    }
+                })
+            })
+            .collect();
+        let start = t.current();
+        let mut advances = 0u64;
+        for _ in 0..10_000 {
+            if t.try_advance() {
+                advances += 1;
+            }
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(t.pinned_readers(), 0, "all pins must be released");
+        assert_eq!(t.current(), start + advances);
+        // With every reader gone the epoch advances freely again.
+        assert!(t.try_advance());
+    }
+}

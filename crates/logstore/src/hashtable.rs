@@ -8,10 +8,28 @@
 //! mappings coexist and the store disambiguates by reading the log and
 //! comparing keys.
 //!
-//! Implementation: open addressing with linear probing and tombstone slots,
-//! doubling at 70 % load.
+//! Implementation: open addressing with linear probing and tombstone slots.
+//! Resizing triggers at 70 % load (occupied + deleted) and always rehashes
+//! only occupied slots, purging `Deleted` tombstones; when tombstones are
+//! the majority of the load the table rehashes *in place* at the same size
+//! instead of doubling, so delete-heavy churn cannot balloon the table. The
+//! table keeps probe-length and resize counters (surfaced through
+//! `StoreStats`) so index degradation is observable.
 
 use crate::types::{KeyHash, LogPosition};
+
+/// Counters describing index probe work and resizes; see
+/// [`HashTable::probe_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Mutating probe operations performed (insert/update/remove).
+    pub probes: u64,
+    /// Extra slots walked past the home slot across those operations; the
+    /// ratio `probe_steps / probes` is the mean probe length.
+    pub probe_steps: u64,
+    /// Rehashes performed (both doubling and same-size tombstone purges).
+    pub resizes: u64,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
@@ -39,6 +57,7 @@ pub struct HashTable {
     len: usize,
     /// Occupied + deleted slots (drives resizing).
     used: usize,
+    stats: ProbeStats,
 }
 
 const INITIAL_CAPACITY: usize = 64;
@@ -57,6 +76,7 @@ impl HashTable {
             slots: vec![Slot::Empty; INITIAL_CAPACITY],
             len: 0,
             used: 0,
+            stats: ProbeStats::default(),
         }
     }
 
@@ -69,7 +89,13 @@ impl HashTable {
             slots: vec![Slot::Empty; target],
             len: 0,
             used: 0,
+            stats: ProbeStats::default(),
         }
+    }
+
+    /// Probe-work and resize counters accumulated so far.
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.stats
     }
 
     /// Number of stored mappings.
@@ -88,40 +114,62 @@ impl HashTable {
 
     fn maybe_grow(&mut self) {
         if self.used * 100 >= self.slots.len() * MAX_LOAD_PERCENT {
-            let new_cap = self.slots.len() * 2;
+            // Rehashing only occupied slots purges every tombstone. When
+            // live entries alone are under half the load threshold the load
+            // is tombstone-dominated: rehash at the same size instead of
+            // doubling, so delete churn reclaims probe length without
+            // ballooning memory.
+            let new_cap = if self.len * 100 * 2 < self.slots.len() * MAX_LOAD_PERCENT {
+                self.slots.len()
+            } else {
+                self.slots.len() * 2
+            };
             let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
             self.len = 0;
             self.used = 0;
+            self.stats.resizes += 1;
             for slot in old {
                 if let Slot::Occupied(h, p) = slot {
-                    self.insert_no_grow(h, p);
+                    // Uncounted: rehash walks are bookkeeping, not client
+                    // probe work.
+                    self.place(h, p);
                 }
             }
         }
     }
 
-    fn insert_no_grow(&mut self, hash: KeyHash, pos: LogPosition) {
+    /// Finds a free slot for `hash` and fills it; returns the probe steps
+    /// taken past the home slot.
+    fn place(&mut self, hash: KeyHash, pos: LogPosition) -> u64 {
         let mask = self.mask();
         let mut i = hash.0 as usize & mask;
+        let mut steps = 0u64;
         loop {
             match self.slots[i] {
                 Slot::Empty => {
                     self.slots[i] = Slot::Occupied(hash, pos);
                     self.len += 1;
                     self.used += 1;
-                    return;
+                    return steps;
                 }
                 Slot::Deleted => {
                     self.slots[i] = Slot::Occupied(hash, pos);
                     self.len += 1;
                     // `used` unchanged: the slot was already counted.
-                    return;
+                    return steps;
                 }
                 Slot::Occupied(..) => {
                     i = (i + 1) & mask;
+                    steps += 1;
                 }
             }
         }
+    }
+
+    fn insert_no_grow(&mut self, hash: KeyHash, pos: LogPosition) {
+        let steps = self.place(hash, pos);
+        self.stats.probes += 1;
+        self.stats.probe_steps += steps;
     }
 
     /// Adds a mapping. The caller is responsible for not inserting two
@@ -149,6 +197,7 @@ impl HashTable {
         let mask = self.mask();
         let mut i = hash.0 as usize & mask;
         let mut steps = 0;
+        self.stats.probes += 1;
         loop {
             match self.slots[i] {
                 Slot::Empty => return false,
@@ -159,6 +208,7 @@ impl HashTable {
                 _ => {
                     i = (i + 1) & mask;
                     steps += 1;
+                    self.stats.probe_steps += 1;
                     if steps > self.slots.len() {
                         return false;
                     }
@@ -172,6 +222,7 @@ impl HashTable {
         let mask = self.mask();
         let mut i = hash.0 as usize & mask;
         let mut steps = 0;
+        self.stats.probes += 1;
         loop {
             match self.slots[i] {
                 Slot::Empty => return false,
@@ -183,6 +234,7 @@ impl HashTable {
                 _ => {
                     i = (i + 1) & mask;
                     steps += 1;
+                    self.stats.probe_steps += 1;
                     if steps > self.slots.len() {
                         return false;
                     }
@@ -335,6 +387,76 @@ mod tests {
         assert!(ht.is_empty());
         // Reusing deleted slots keeps the table from ballooning.
         assert!(ht.slots.len() <= 4096, "table grew to {}", ht.slots.len());
+    }
+
+    #[test]
+    fn tombstone_dominated_load_rehashes_in_place() {
+        let mut ht = HashTable::new();
+        // Drive `used` to the load threshold with distinct hashes so every
+        // remove leaves a tombstone in a *different* slot (no reuse), while
+        // keeping only a handful of live entries.
+        let mut i = 0u64;
+        let start_cap = ht.slots.len();
+        // `maybe_grow` fires when used·100 ≥ capacity·MAX_LOAD_PERCENT and
+        // runs *before* the insert places its entry, so fill until `used`
+        // itself reaches the threshold; the next insert then rehashes.
+        while ht.used * 100 < start_cap * MAX_LOAD_PERCENT {
+            let h = KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15));
+            ht.insert(h, pos(i, 0));
+            if i >= 4 {
+                ht.remove(h, pos(i, 0));
+            }
+            i += 1;
+        }
+        assert_eq!(ht.slots.len(), start_cap, "not yet resized");
+        // The next insert crosses the threshold. Live entries are a small
+        // minority, so the rehash purges tombstones at the same size
+        // instead of doubling.
+        ht.insert(KeyHash(0xDEAD), pos(99, 0));
+        assert_eq!(ht.slots.len(), start_cap, "tombstone purge, not a double");
+        assert_eq!(ht.used, ht.len, "every tombstone dropped by the rehash");
+        assert_eq!(ht.probe_stats().resizes, 1);
+        // All live entries survive the purge.
+        for j in 0..4u64 {
+            let h = KeyHash(j.wrapping_mul(0x9E3779B97F4A7C15));
+            assert_eq!(ht.candidates(h).collect::<Vec<_>>(), vec![pos(j, 0)]);
+        }
+    }
+
+    #[test]
+    fn doubling_rehash_drops_tombstones_too() {
+        let mut ht = HashTable::new();
+        // Mostly-live load: the resize must double, and `used` must equal
+        // `len` afterwards (tombstones purged).
+        for i in 0..60u64 {
+            ht.insert(KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)), pos(i, 0));
+        }
+        ht.remove(KeyHash(0), pos(0, 0)); // may or may not exist; seed one tombstone
+        let before = ht.slots.len();
+        for i in 60..200u64 {
+            ht.insert(KeyHash(i.wrapping_mul(0x9E3779B97F4A7C15)), pos(i, 0));
+        }
+        assert!(ht.slots.len() > before);
+        assert_eq!(ht.used, ht.len);
+        assert!(ht.probe_stats().resizes >= 1);
+    }
+
+    #[test]
+    fn probe_counters_accumulate() {
+        let mut ht = HashTable::new();
+        // Colliding low bits force probe steps.
+        let base = 0x40u64;
+        for i in 0..4 {
+            ht.insert(KeyHash(base * (i + 1)), pos(i, 0));
+        }
+        let s = ht.probe_stats();
+        assert_eq!(s.probes, 4);
+        assert!(s.probe_steps >= 1 + 2 + 3, "chain of colliding hashes");
+        ht.update(KeyHash(base * 4), pos(3, 0), pos(9, 9));
+        ht.remove(KeyHash(base * 3), pos(2, 0));
+        let s2 = ht.probe_stats();
+        assert_eq!(s2.probes, 6);
+        assert!(s2.probe_steps > s.probe_steps);
     }
 
     #[test]

@@ -33,18 +33,22 @@
 
 pub mod cleaner;
 mod entry;
+pub mod epoch;
 mod hashtable;
 mod log;
 mod segment;
 mod store;
 mod types;
 
-pub use cleaner::{CleanOutcome, CleanerConfig};
+pub use cleaner::{
+    CleanKind, CleanOutcome, CleanPlan, CleanerConfig, CleanerConfigError, PreparedClean,
+};
 pub use entry::{
     crc32c, CompletionId, LogEntry, ObjectRecord, ParseEntryError, TombstoneRecord, HEADER_BYTES,
     MAX_KEY_BYTES, MAX_VALUE_BYTES,
 };
-pub use hashtable::{Candidates, HashTable};
+pub use epoch::{EpochGuard, EpochTracker};
+pub use hashtable::{Candidates, HashTable, ProbeStats};
 pub use log::{AppendOutcome, Log, LogConfig, LogFullError};
 pub use segment::{Segment, SegmentFullError, SegmentIter, DEFAULT_SEGMENT_BYTES};
 pub use store::{Store, StoreError, StoreStats, WriteOutcome};

@@ -8,10 +8,18 @@
 //! cleaner's cost-benefit policy.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::entry::LogEntry;
 use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
 use crate::types::{LogPosition, SegmentId};
+
+/// Seglets per segment: the granularity at which survivor segments are
+/// charged against the memory budget. RAMCloud's in-memory compaction exists
+/// precisely because memory can be reclaimed in units smaller than a whole
+/// segment; 64 seglets per segment mirrors its 128 KB seglets under 8 MB
+/// segments.
+const SEGLETS_PER_SEGMENT: usize = 64;
 
 /// Sizing of a master's log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +75,25 @@ struct SegmentStats {
     /// Sequence number at creation; proxy for age in the cost-benefit
     /// cleaner policy.
     created_seq: u64,
+    /// Bytes this segment charges against the memory budget. Full
+    /// `segment_bytes` for ordinary segments; seglet-rounded actual length
+    /// for compacted survivors (the source of compaction's memory gain).
+    charged_bytes: usize,
+}
+
+/// A retired segment awaiting epoch-safe reclamation. It still charges the
+/// budget (its memory genuinely cannot be recycled yet) and still holds its
+/// bytes, but it is no longer reachable through [`Log::read`].
+#[derive(Debug)]
+struct LimboSegment {
+    /// Epoch at retirement; reclaimable once the safe epoch reaches it.
+    epoch: u64,
+    /// Never read — held so the victim's bytes stay allocated while a
+    /// racing reader may still be parsing them; dropping this struct *is*
+    /// the reclamation.
+    #[allow(dead_code)]
+    segment: Segment,
+    charged_bytes: usize,
 }
 
 /// A bounded pool of append-only segments with live-byte accounting.
@@ -75,10 +102,16 @@ pub struct Log {
     config: LogConfig,
     segments: BTreeMap<SegmentId, Segment>,
     stats: BTreeMap<SegmentId, SegmentStats>,
+    /// Retired-but-not-yet-reclaimed segments, oldest epoch first.
+    limbo: Vec<LimboSegment>,
     head: SegmentId,
-    next_id: u64,
+    /// Atomic so the cleaner can reserve survivor ids through `&self`
+    /// (during its lock-free build phase ids must already be minted).
+    next_id: AtomicU64,
     append_seq: u64,
     total_appended_bytes: u64,
+    /// Sum of `charged_bytes` over allocated and limbo segments.
+    charged_total: usize,
 }
 
 impl Log {
@@ -93,15 +126,24 @@ impl Log {
         let mut segments = BTreeMap::new();
         segments.insert(head, Segment::new(head, config.segment_bytes));
         let mut stats = BTreeMap::new();
-        stats.insert(head, SegmentStats::default());
+        stats.insert(
+            head,
+            SegmentStats {
+                charged_bytes: config.segment_bytes,
+                ..SegmentStats::default()
+            },
+        );
+        let charged_total = config.segment_bytes;
         Log {
             config,
             segments,
             stats,
+            limbo: Vec::new(),
             head,
-            next_id: 1,
+            next_id: AtomicU64::new(1),
             append_seq: 0,
             total_appended_bytes: 0,
+            charged_total,
         }
     }
 
@@ -120,9 +162,28 @@ impl Log {
         self.segments.len()
     }
 
-    /// Segment slots still available before the memory budget is exhausted.
+    /// The memory budget in bytes: `segment_bytes × max_segments`.
+    pub fn budget_bytes(&self) -> usize {
+        self.config.segment_bytes * self.config.max_segments
+    }
+
+    /// Bytes currently charged against the budget (allocated segments at
+    /// their charge granularity, plus retired segments awaiting epoch-safe
+    /// reclamation).
+    pub fn charged_bytes(&self) -> usize {
+        self.charged_total
+    }
+
+    /// Seglet size: the charge granularity for compacted survivor segments.
+    pub fn seglet_bytes(&self) -> usize {
+        (self.config.segment_bytes / SEGLETS_PER_SEGMENT).max(1)
+    }
+
+    /// Whole-segment slots still available before the memory budget is
+    /// exhausted. Compacted survivors charge only their seglet-rounded
+    /// length, so freeing bytes via compaction grows this too.
     pub fn free_segment_slots(&self) -> usize {
-        self.config.max_segments - self.segments.len()
+        self.budget_bytes().saturating_sub(self.charged_total) / self.config.segment_bytes
     }
 
     /// Total bytes ever appended (including entries later cleaned).
@@ -143,7 +204,8 @@ impl Log {
         );
         let mut sealed = None;
         let head_id = self.head;
-        let at_capacity = self.segments.len() >= self.config.max_segments;
+        // A roll needs a whole segment's worth of unclaimed budget.
+        let at_capacity = self.charged_total + self.config.segment_bytes > self.budget_bytes();
         let head = self.segments.get_mut(&head_id).expect("head exists");
         let offset = match head.append(entry) {
             Ok(off) => off,
@@ -154,8 +216,7 @@ impl Log {
                 }
                 head.close();
                 sealed = Some(head_id);
-                let new_id = SegmentId(self.next_id);
-                self.next_id += 1;
+                let new_id = self.reserve_segment_id();
                 self.append_seq += 1;
                 let mut seg = Segment::new(new_id, self.config.segment_bytes);
                 let off = seg
@@ -167,8 +228,10 @@ impl Log {
                     SegmentStats {
                         live_bytes: 0,
                         created_seq: self.append_seq,
+                        charged_bytes: self.config.segment_bytes,
                     },
                 );
+                self.charged_total += self.config.segment_bytes;
                 self.head = new_id;
                 off
             }
@@ -212,6 +275,13 @@ impl Log {
         self.stats.get(&id).map(|s| s.live_bytes).unwrap_or(0)
     }
 
+    /// Bytes `id` currently charges against the budget: full
+    /// `segment_bytes` for ordinary segments, the seglet-rounded length for
+    /// compacted survivors. `None` for unknown segments.
+    pub fn segment_charged_bytes(&self, id: SegmentId) -> Option<usize> {
+        self.stats.get(&id).map(|s| s.charged_bytes)
+    }
+
     /// Adjusts the live-byte count of `id` by `delta`. The store calls this
     /// when an overwrite or delete makes an old entry obsolete.
     ///
@@ -247,7 +317,10 @@ impl Log {
         self.stats.get(&id).map(|s| self.append_seq - s.created_seq)
     }
 
-    /// Frees a segment after cleaning.
+    /// Frees a segment immediately after inline cleaning (the write path's
+    /// synchronous cleaner, which runs under `&mut self` with no concurrent
+    /// readers to protect). The concurrent cleaner uses
+    /// [`Log::retire_segment`] + [`Log::reclaim_retired`] instead.
     ///
     /// # Panics
     ///
@@ -255,13 +328,110 @@ impl Log {
     pub fn free_segment(&mut self, id: SegmentId) {
         assert_ne!(id, self.head, "cannot free the head segment");
         self.segments.remove(&id);
-        self.stats.remove(&id);
+        if let Some(s) = self.stats.remove(&id) {
+            self.charged_total -= s.charged_bytes;
+        }
     }
 
-    /// Memory utilization: fraction of the budget occupied by allocated
-    /// segments.
+    /// Retires a cleaned victim into the limbo list, stamped with `epoch`.
+    /// The segment becomes unreachable through [`Log::read`] but keeps its
+    /// memory (and its budget charge) until [`Log::reclaim_retired`] deems
+    /// the epoch safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to retire the head.
+    pub fn retire_segment(&mut self, id: SegmentId, epoch: u64) {
+        assert_ne!(id, self.head, "cannot retire the head segment");
+        let Some(segment) = self.segments.remove(&id) else {
+            return;
+        };
+        let charged_bytes = self
+            .stats
+            .remove(&id)
+            .map(|s| s.charged_bytes)
+            .unwrap_or(self.config.segment_bytes);
+        self.limbo.push(LimboSegment {
+            epoch,
+            segment,
+            charged_bytes,
+        });
+    }
+
+    /// Reclaims every limbo segment retired at or before `safe_epoch`,
+    /// returning the budget bytes to the free pool. Returns how many
+    /// segments were reclaimed.
+    pub fn reclaim_retired(&mut self, safe_epoch: u64) -> usize {
+        let before = self.limbo.len();
+        let mut reclaimed_bytes = 0usize;
+        self.limbo.retain(|l| {
+            if l.epoch <= safe_epoch {
+                reclaimed_bytes += l.charged_bytes;
+                false
+            } else {
+                true
+            }
+        });
+        self.charged_total -= reclaimed_bytes;
+        before - self.limbo.len()
+    }
+
+    /// Segments currently in limbo (retired, awaiting a safe epoch).
+    pub fn limbo_segments(&self) -> usize {
+        self.limbo.len()
+    }
+
+    /// The oldest retirement epoch still in limbo, if any — the input to the
+    /// reclamation-lag metric.
+    pub fn oldest_limbo_epoch(&self) -> Option<u64> {
+        self.limbo.iter().map(|l| l.epoch).min()
+    }
+
+    /// Reserves a fresh segment id through `&self` (ids are never reused).
+    /// The concurrent cleaner mints survivor ids during its locked prepare
+    /// phase and fills the segments without any lock held.
+    pub fn reserve_segment_id(&self) -> SegmentId {
+        SegmentId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Installs a closed survivor segment built by the cleaner. The survivor
+    /// charges only its seglet-rounded length against the budget — the
+    /// mechanism by which in-memory compaction frees bytes without freeing a
+    /// whole segment slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the survivor is not closed, is empty, or reuses a live id.
+    pub fn install_survivor(&mut self, segment: Segment, live_bytes: usize) {
+        assert!(segment.is_closed(), "survivors are installed closed");
+        assert!(!segment.is_empty(), "empty survivors must not be installed");
+        let id = segment.id();
+        assert!(
+            !self.segments.contains_key(&id),
+            "survivor id {id} already allocated"
+        );
+        let seglet = self.seglet_bytes();
+        let charged_bytes = segment
+            .len()
+            .div_ceil(seglet)
+            .saturating_mul(seglet)
+            .min(self.config.segment_bytes);
+        self.stats.insert(
+            id,
+            SegmentStats {
+                live_bytes,
+                created_seq: self.append_seq,
+                charged_bytes,
+            },
+        );
+        self.segments.insert(id, segment);
+        self.charged_total += charged_bytes;
+    }
+
+    /// Memory utilization: fraction of the budget charged by allocated and
+    /// limbo segments.
     pub fn memory_utilization(&self) -> f64 {
-        self.segments.len() as f64 / self.config.max_segments as f64
+        self.charged_total as f64 / self.budget_bytes() as f64
     }
 
     /// Closed (non-head) segment ids — the cleaner's candidate pool.
@@ -399,6 +569,98 @@ mod tests {
         let age_old = log.segment_age(first.position.segment).unwrap();
         let age_head = log.segment_age(log.head()).unwrap();
         assert!(age_old > age_head);
+    }
+
+    #[test]
+    fn retired_segments_keep_their_charge_until_reclaimed() {
+        let mut log = small_log(3);
+        let e = obj("key", 100);
+        let first = log.append(&e).unwrap();
+        log.append(&e).unwrap();
+        let victim = first.position.segment;
+        log.retire_segment(victim, 5);
+        // Unreachable immediately…
+        assert_eq!(log.read(first.position), None);
+        assert_eq!(log.limbo_segments(), 1);
+        assert_eq!(log.oldest_limbo_epoch(), Some(5));
+        // …but the budget is still charged: only 1 of 3 slots free.
+        assert_eq!(log.free_segment_slots(), 1);
+        // A too-early reclaim frees nothing.
+        assert_eq!(log.reclaim_retired(4), 0);
+        assert_eq!(log.free_segment_slots(), 1);
+        // The safe epoch releases the slot.
+        assert_eq!(log.reclaim_retired(5), 1);
+        assert_eq!(log.free_segment_slots(), 2);
+        assert_eq!(log.limbo_segments(), 0);
+        assert_eq!(log.oldest_limbo_epoch(), None);
+    }
+
+    #[test]
+    fn survivors_charge_seglet_rounded_bytes() {
+        let mut log = small_log(4);
+        // 256-byte segments -> 4-byte seglets.
+        assert_eq!(log.seglet_bytes(), 4);
+        let id = log.reserve_segment_id();
+        let mut seg = Segment::new(id, 256);
+        let e = obj("k", 10);
+        let mut raw = Vec::new();
+        e.serialize_into(&mut raw);
+        seg.append_raw(&raw).unwrap();
+        seg.close();
+        let len = seg.len();
+        let before = log.charged_bytes();
+        log.install_survivor(seg, len);
+        let charged = log.charged_bytes() - before;
+        assert!(charged >= len, "charge covers the survivor's bytes");
+        assert!(charged < 256, "compacted survivor charges less than a slot");
+        assert_eq!(charged % log.seglet_bytes(), 0, "seglet-rounded");
+        // The survivor is readable like any segment.
+        assert!(log
+            .read(LogPosition {
+                segment: id,
+                offset: 0
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn compaction_frees_budget_without_freeing_a_slot() {
+        // Replace a full-charge segment with a small survivor: allocated
+        // count stays, free slots grow once the victim is reclaimed.
+        let mut log = small_log(3);
+        let e = obj("key", 100);
+        let first = log.append(&e).unwrap();
+        log.append(&e).unwrap();
+        let victim = first.position.segment;
+        assert_eq!(log.free_segment_slots(), 1);
+        let sid = log.reserve_segment_id();
+        let mut surv = Segment::new(sid, 256);
+        let mut raw = Vec::new();
+        e.serialize_into(&mut raw);
+        surv.append_raw(&raw).unwrap();
+        surv.close();
+        let len = surv.len();
+        log.install_survivor(surv, len);
+        log.retire_segment(victim, 0);
+        assert_eq!(log.reclaim_retired(0), 1);
+        // Two "segments" allocated (head + survivor) of a 3-slot budget, but
+        // the survivor's partial charge leaves more than one slot free.
+        assert_eq!(log.allocated_segments(), 2);
+        assert!(log.free_segment_slots() >= 1);
+        assert!(log.memory_utilization() < 2.0 / 3.0);
+    }
+
+    #[test]
+    fn reserve_segment_id_is_monotone_and_shared_with_append() {
+        let log = small_log(4);
+        let a = log.reserve_segment_id();
+        let b = log.reserve_segment_id();
+        assert!(b.0 > a.0);
+        let mut log = log;
+        let e = obj("key", 100);
+        log.append(&e).unwrap();
+        let out = log.append(&e).unwrap(); // rolls
+        assert!(out.position.segment.0 > b.0, "roll uses the shared counter");
     }
 
     #[test]

@@ -121,6 +121,24 @@ impl Segment {
         Ok(offset)
     }
 
+    /// Appends pre-serialized entry bytes (a straight memcpy), returning the
+    /// byte offset. Used by the cleaner to relocate entries into survivor
+    /// segments without re-serializing; `bytes` must be exactly one valid
+    /// serialized entry, which the caller guarantees by copying it out of an
+    /// existing segment.
+    pub(crate) fn append_raw(&mut self, bytes: &[u8]) -> Result<u32, SegmentFullError> {
+        assert!(!self.closed, "append to closed segment {}", self.id);
+        if bytes.len() > self.free() {
+            return Err(SegmentFullError {
+                free: self.free(),
+                needed: bytes.len(),
+            });
+        }
+        let offset = self.buf.len() as u32;
+        self.buf.extend_from_slice(bytes);
+        Ok(offset)
+    }
+
     /// Reads the entry at `offset`.
     ///
     /// # Errors

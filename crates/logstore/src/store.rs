@@ -15,6 +15,7 @@ use crate::cleaner::CleanerConfig;
 use crate::entry::{
     CompletionId, LogEntry, ObjectRecord, TombstoneRecord, MAX_KEY_BYTES, MAX_VALUE_BYTES,
 };
+use crate::epoch::EpochTracker;
 use crate::hashtable::HashTable;
 use crate::log::{Log, LogConfig};
 use crate::types::{key_hash, LogPosition, SegmentId, TableId, Version};
@@ -80,6 +81,16 @@ pub struct StoreStats {
     pub segments_freed: u64,
     /// Tombstones dropped by the cleaner.
     pub tombstones_dropped: u64,
+    /// Victims processed by the in-memory compaction level.
+    pub segments_compacted: u64,
+    /// Bytes of survivor segments installed by the concurrent cleaner.
+    pub survivor_bytes: u64,
+    /// Hash-table operations (insert/update/remove) since creation.
+    pub index_probes: u64,
+    /// Extra probe steps those operations took beyond their home slot.
+    pub index_probe_steps: u64,
+    /// Hash-table rehashes (growth or in-place tombstone purges).
+    pub index_resizes: u64,
 }
 
 impl AddAssign for StoreStats {
@@ -97,6 +108,11 @@ impl AddAssign for StoreStats {
             bytes_relocated,
             segments_freed,
             tombstones_dropped,
+            segments_compacted,
+            survivor_bytes,
+            index_probes,
+            index_probe_steps,
+            index_resizes,
         } = other;
         self.writes += writes;
         self.overwrites += overwrites;
@@ -107,6 +123,11 @@ impl AddAssign for StoreStats {
         self.bytes_relocated += bytes_relocated;
         self.segments_freed += segments_freed;
         self.tombstones_dropped += tombstones_dropped;
+        self.segments_compacted += segments_compacted;
+        self.survivor_bytes += survivor_bytes;
+        self.index_probes += index_probes;
+        self.index_probe_steps += index_probe_steps;
+        self.index_resizes += index_resizes;
     }
 }
 
@@ -131,6 +152,8 @@ pub(crate) struct Counters {
     pub(crate) bytes_relocated: u64,
     pub(crate) segments_freed: u64,
     pub(crate) tombstones_dropped: u64,
+    pub(crate) segments_compacted: u64,
+    pub(crate) survivor_bytes: u64,
     pub(crate) read_hits: AtomicU64,
     pub(crate) read_misses: AtomicU64,
 }
@@ -147,6 +170,13 @@ impl Counters {
             bytes_relocated: self.bytes_relocated,
             segments_freed: self.segments_freed,
             tombstones_dropped: self.tombstones_dropped,
+            segments_compacted: self.segments_compacted,
+            survivor_bytes: self.survivor_bytes,
+            // Filled in by `Store::stats` from the hash table's own
+            // counters.
+            index_probes: 0,
+            index_probe_steps: 0,
+            index_resizes: 0,
         }
     }
 }
@@ -186,6 +216,14 @@ pub struct Store {
     /// hash collisions only ever raise a version, never lower one, so they
     /// are harmless.
     pub(crate) dead_versions: BTreeMap<u64, Version>,
+    /// Reclamation epochs protecting lock-free readers from the concurrent
+    /// cleaner (see [`crate::epoch`]). Behind an `Arc` so observers (tests,
+    /// metrics threads) can pin or inspect epochs without borrowing the
+    /// whole store.
+    pub(crate) epoch: std::sync::Arc<EpochTracker>,
+    /// `Log::total_appended_bytes` at the end of the last cleaning pass;
+    /// the balancer's write-rate signal.
+    pub(crate) last_clean_appended: u64,
 }
 
 impl Store {
@@ -195,7 +233,16 @@ impl Store {
     }
 
     /// Creates a store with an explicit cleaner policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cleaner` fails [`CleanerConfig::validate`] against
+    /// `config.max_segments` — a degenerate cleaner config would spin
+    /// forever at runtime, so it is rejected at construction.
     pub fn with_cleaner(config: LogConfig, cleaner: CleanerConfig) -> Self {
+        if let Err(e) = cleaner.validate(config.max_segments) {
+            panic!("invalid cleaner config: {e}");
+        }
         let ordered = config.ordered_index.then(BTreeMap::new);
         Store {
             log: Log::new(config),
@@ -205,6 +252,8 @@ impl Store {
             ordered,
             completions: BTreeMap::new(),
             dead_versions: BTreeMap::new(),
+            epoch: std::sync::Arc::new(EpochTracker::new()),
+            last_clean_appended: 0,
         }
     }
 
@@ -215,7 +264,23 @@ impl Store {
 
     /// Counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        let p = self.index.probe_stats();
+        s.index_probes = p.probes;
+        s.index_probe_steps = p.probe_steps;
+        s.index_resizes = p.resizes;
+        s
+    }
+
+    /// How far segment reclamation lags behind the cleaner: 0 when no
+    /// retired segment waits in limbo, else the distance from the oldest
+    /// limbo retirement epoch to the current epoch. A persistently large
+    /// lag means a reader is pinned (or nobody is advancing epochs).
+    pub fn reclamation_lag(&self) -> u64 {
+        self.log
+            .oldest_limbo_epoch()
+            .map(|e| self.epoch.current().saturating_sub(e))
+            .unwrap_or(0)
     }
 
     /// Number of live objects.
@@ -254,8 +319,12 @@ impl Store {
     ///
     /// Takes `&self`: the hit/miss counters are atomics, so concurrent
     /// readers can share the store under a read lock — the basis of the
-    /// standalone server's zero-queue read fast path.
+    /// standalone server's zero-queue read fast path. The epoch pin (two
+    /// uncontended atomic ops, no lock) keeps the concurrent cleaner from
+    /// recycling a victim segment's memory while this lookup may still be
+    /// chasing a position into it.
     pub fn read(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+        let _pin = self.epoch.pin();
         let got = self.lookup(table, key);
         match got {
             Some(_) => self.stats.read_hits.fetch_add(1, Ordering::Relaxed),
@@ -276,13 +345,23 @@ impl Store {
         entry: &LogEntry,
     ) -> Result<crate::log::AppendOutcome, StoreError> {
         // Proactive cleaning keeps a reserve of free slots so the cleaner
-        // itself always has room to relocate.
-        if self.cleaner.enabled && self.log.free_segment_slots() <= self.cleaner.min_free_slots {
+        // itself always has room to relocate. Stores whose cleaning is
+        // driven externally (background threads, the simulator's clean_step
+        // hook) set `proactive: false` and only fall through to the
+        // emergency path below.
+        if self.cleaner.enabled
+            && self.cleaner.proactive
+            && self.log.free_segment_slots() <= self.cleaner.min_free_slots
+        {
             let _ = self.clean();
         }
         match self.log.append(entry) {
             Ok(out) => Ok(out),
             Err(_) if self.cleaner.enabled => {
+                // Emergency: first harvest anything the concurrent cleaner
+                // already retired (the epoch may simply not have been
+                // flipped yet), then clean inline, then retry once.
+                let _ = self.reclaim_now();
                 let _ = self.clean();
                 self.log.append(entry).map_err(|_| StoreError::OutOfMemory)
             }
@@ -943,6 +1022,11 @@ mod tests {
                 bytes_relocated: 2 * s.bytes_relocated,
                 segments_freed: 2 * s.segments_freed,
                 tombstones_dropped: 2 * s.tombstones_dropped,
+                segments_compacted: 2 * s.segments_compacted,
+                survivor_bytes: 2 * s.survivor_bytes,
+                index_probes: 2 * s.index_probes,
+                index_probe_steps: 2 * s.index_probe_steps,
+                index_resizes: 2 * s.index_resizes,
             }
         );
         // The named-method alias agrees with `+=`.

@@ -2,7 +2,7 @@
 //! sequence of writes, deletes, and cleanings runs; serialization round-trips
 //! arbitrary bytes; the hash table behaves like a model multimap.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -31,6 +31,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn key_bytes(k: u8) -> Vec<u8> {
     format!("key-{k:03}").into_bytes()
+}
+
+/// The full live state — key → (value, version) — as cleaning must
+/// preserve it, bit for bit.
+fn live_map(store: &Store) -> BTreeMap<Vec<u8>, (Vec<u8>, u64)> {
+    store
+        .live_objects()
+        .map(|o| (o.key.to_vec(), (o.value.to_vec(), o.version.0)))
+        .collect()
 }
 
 proptest! {
@@ -84,6 +93,38 @@ proptest! {
         }
         let live: usize = store.live_objects().count();
         prop_assert_eq!(live, model.len());
+    }
+
+    /// A bounded cleaner step (the unit the background threads and the
+    /// simulator drive) preserves the exact live key/value/version map, at
+    /// every point of an arbitrary write/delete interleaving.
+    #[test]
+    fn clean_step_preserves_live_map(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut store = Store::with_cleaner(
+            LogConfig { segment_bytes: 512, max_segments: 64, ordered_index: false },
+            // proactive=false: cleaning happens only where the test calls
+            // clean_step, so each step's effect is observed in isolation.
+            CleanerConfig { proactive: false, ..CleanerConfig::default() },
+        );
+        for op in ops {
+            match op {
+                Op::Write(k, v) => { store.write(T, &key_bytes(k), &v).unwrap(); }
+                Op::Delete(k) => { store.delete(T, &key_bytes(k)).unwrap(); }
+                Op::Clean => {
+                    let before = live_map(&store);
+                    store.clean_step();
+                    prop_assert_eq!(before, live_map(&store));
+                }
+            }
+        }
+        // Drain the cleaner completely; the map must still be untouched.
+        let before = live_map(&store);
+        for _ in 0..64 {
+            if store.clean_step().is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(before, live_map(&store));
     }
 
     /// Object entries round-trip arbitrary tables, keys, values, versions,

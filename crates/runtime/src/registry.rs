@@ -28,6 +28,13 @@ impl CounterHandle {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Overwrites the value — for gauge-style metrics (queue depth,
+    /// reclamation epoch lag) where the latest observation, not a running
+    /// total, is what a snapshot should report.
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -103,6 +110,8 @@ mod tests {
         b.add(4);
         assert_eq!(reg.get("x"), 5);
         assert_eq!(reg.get("never"), 0);
+        a.set(2);
+        assert_eq!(reg.get("x"), 2, "set overwrites like a gauge");
     }
 
     #[test]

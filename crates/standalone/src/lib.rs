@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cleaner;
 mod dispatch;
 pub mod mini_cluster;
 mod repl;

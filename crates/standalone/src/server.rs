@@ -33,10 +33,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use rmc_logstore::{LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome};
+use rmc_logstore::{
+    CleanerConfig, LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome,
+};
 
-use rmc_runtime::StripedCounter;
+use rmc_runtime::{MetricsRegistry, StripedCounter};
 
+use crate::cleaner::CleanerPool;
 use crate::dispatch::{worker_for_shard, BatchGuard, BatchSlot, DispatchMode};
 use crate::shard::ShardedStore;
 
@@ -53,6 +56,14 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// How requests reach workers.
     pub dispatch: DispatchMode,
+    /// Per-shard cleaner policy (thresholds, compaction, victim limits).
+    pub cleaner: CleanerConfig,
+    /// Run the cleaner on background per-shard threads (the RAMCloud
+    /// shape) instead of inline on the write path. When set, proactive
+    /// inline cleaning is disabled — writers only clean as a last resort
+    /// when the log is genuinely out of segments and the background
+    /// thread has not caught up yet.
+    pub concurrent_cleaning: bool,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +78,8 @@ impl Default for ServerConfig {
             },
             queue_capacity: 1024,
             dispatch: DispatchMode::ShardAffinity,
+            cleaner: CleanerConfig::default(),
+            concurrent_cleaning: true,
         }
     }
 }
@@ -407,6 +420,8 @@ pub struct StandaloneServer {
     store: Arc<ShardedStore>,
     senders: Option<Vec<Sender<Command>>>,
     workers: Vec<JoinHandle<u64>>,
+    cleaners: Option<CleanerPool>,
+    metrics: MetricsRegistry,
     mode: DispatchMode,
     queued_ops: Arc<AtomicU64>,
     fast_reads: Arc<StripedCounter>,
@@ -421,7 +436,20 @@ impl StandaloneServer {
     /// Panics if `config.worker_threads` or `config.shards` is zero.
     pub fn start(config: ServerConfig) -> Self {
         assert!(config.worker_threads > 0, "need at least one worker");
-        let store = Arc::new(ShardedStore::new(config.shards, config.log.clone()));
+        let mut cleaner = config.cleaner;
+        if config.concurrent_cleaning {
+            // The background threads do the proactive work; the write path
+            // keeps only the emergency inline clean for true out-of-memory.
+            cleaner.proactive = false;
+        }
+        let store = Arc::new(ShardedStore::with_cleaner(
+            config.shards,
+            config.log.clone(),
+            cleaner,
+        ));
+        let metrics = MetricsRegistry::new();
+        let cleaners = (config.concurrent_cleaning && cleaner.enabled)
+            .then(|| CleanerPool::start(&store, &metrics));
         let queued_ops = Arc::new(AtomicU64::new(0));
         let fast_reads = Arc::new(StripedCounter::new(config.shards));
         let stopped = Arc::new(AtomicBool::new(false));
@@ -459,6 +487,8 @@ impl StandaloneServer {
             store,
             senders: Some(senders),
             workers,
+            cleaners,
+            metrics,
             mode: config.dispatch,
             queued_ops,
             fast_reads,
@@ -484,6 +514,14 @@ impl StandaloneServer {
     /// The shared engine (e.g. for stats).
     pub fn store(&self) -> &ShardedStore {
         &self.store
+    }
+
+    /// The server's metrics registry. Background cleaner threads publish
+    /// per-shard counters here under `cleaner.{shard}.*` — passes, segments
+    /// freed/compacted, survivor and relocated bytes, tombstones dropped,
+    /// busy nanoseconds, and the reclamation epoch-lag gauge.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The dispatch architecture this server runs.
@@ -528,6 +566,11 @@ impl StandaloneServer {
             .drain(..)
             .map(|h| h.join().expect("worker panicked"))
             .collect();
+        // Workers are gone; no more writes can arrive, so the cleaners can
+        // stop after at most one final pass.
+        if let Some(mut cleaners) = self.cleaners.take() {
+            cleaners.stop_and_join();
+        }
         // Flag only after the join: requests queued ahead of the markers
         // were still serviced; anything later now errors out promptly
         // (including fast-path reads, which check this flag).

@@ -80,6 +80,23 @@ impl ShardedStore {
         &self.shards[self.shard_index(table, key)]
     }
 
+    /// Direct access to one shard's lock. The background cleaner drives the
+    /// three-phase protocol through this: prepare under the read lock,
+    /// build with no lock, apply under the write lock.
+    pub(crate) fn shard(&self, index: usize) -> &RwLock<Store> {
+        &self.shards[index]
+    }
+
+    /// Worst-case reclamation epoch lag across shards: how far the oldest
+    /// limbo segment trails the current epoch (0 when nothing is in limbo).
+    pub fn reclamation_lag(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().reclamation_lag())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Reads the current value of a key.
     pub fn read(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
         // `Store::read` takes `&self` (atomic hit/miss counters), so the

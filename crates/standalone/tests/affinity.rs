@@ -23,6 +23,7 @@ fn churn_config(dispatch: DispatchMode) -> ServerConfig {
         },
         queue_capacity: 64,
         dispatch,
+        ..ServerConfig::default()
     }
 }
 

@@ -1,0 +1,195 @@
+//! Readers hammer the zero-queue fast path while background cleaner
+//! threads relocate live data under real memory pressure.
+//!
+//! The live set is a small fraction of the per-shard budget but the write
+//! volume is many times it, so the run only survives if the concurrent
+//! cleaner keeps reclaiming dead segments. Readers assert on every single
+//! read that the value matches the version (no torn or stale reads through
+//! a relocation) and that versions never move backwards; at the end the
+//! full write histories are checked against the final live map with the
+//! chaos committed-write invariant checker.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rmc_chaos::{check_histories, OpKind, OpRecord};
+use rmc_logstore::{LogConfig, TableId};
+use rmc_standalone::{Client, ServerConfig, StandaloneServer};
+
+const T: TableId = TableId(7);
+const WRITERS: usize = 4;
+const KEYS_PER_WRITER: usize = 12;
+const ROUNDS: u64 = 300;
+
+fn key_for(writer: usize, i: usize) -> Vec<u8> {
+    format!("w{writer}-k{i}").into_bytes()
+}
+
+/// The value written in `round`; versions are assigned sequentially per
+/// key, so version `v` must carry the value of round `v - 1`.
+fn value_for(writer: usize, i: usize, round: u64) -> Vec<u8> {
+    let mut v = format!("w{writer}-k{i}-r{round}-").into_bytes();
+    v.resize(96, b'x'); // pad so the log sees realistically sized objects
+    v
+}
+
+/// Spins over every key, checking each observed (value, version) pair for
+/// internal consistency and per-key version monotonicity.
+fn reader_loop(client: &Client, stop: &AtomicBool) -> u64 {
+    let mut last_seen = vec![vec![0u64; KEYS_PER_WRITER]; WRITERS];
+    let mut reads = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        for (w, seen) in last_seen.iter_mut().enumerate() {
+            for (i, last) in seen.iter_mut().enumerate() {
+                let rec = client
+                    .read(T, &key_for(w, i))
+                    .expect("server alive")
+                    .expect("preloaded key can never be absent");
+                let v = rec.version.0;
+                assert!(
+                    v >= *last,
+                    "version went backwards on w{w}-k{i}: {v} after {last}"
+                );
+                assert_eq!(
+                    &rec.value[..],
+                    &value_for(w, i, v - 1)[..],
+                    "value does not match its version — stale or torn read"
+                );
+                *last = v;
+                reads += 1;
+            }
+        }
+    }
+    reads
+}
+
+#[test]
+fn readers_never_see_stale_data_while_cleaner_runs() {
+    // Per-shard budget 24 segments × 4 KiB = 96 KiB; the run appends
+    // ~2.5 MiB across 4 shards, so cleaning must reclaim ~6× the budget.
+    let srv = StandaloneServer::start(ServerConfig {
+        worker_threads: 4,
+        shards: 4,
+        log: LogConfig {
+            segment_bytes: 4096,
+            max_segments: 24,
+            ordered_index: false,
+        },
+        ..ServerConfig::default()
+    });
+
+    // Preload every key so readers can assert presence unconditionally.
+    let preload = srv.client();
+    for w in 0..WRITERS {
+        for i in 0..KEYS_PER_WRITER {
+            preload
+                .write(T, &key_for(w, i), &value_for(w, i, 0))
+                .unwrap();
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let client = srv.client();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || reader_loop(&client, &stop))
+        })
+        .collect();
+
+    // Each writer owns a disjoint key space and writes sequentially —
+    // the discipline the chaos history checker assumes.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let client = srv.client();
+            std::thread::spawn(move || {
+                let mut history = Vec::new();
+                for round in 1..ROUNDS {
+                    for i in 0..KEYS_PER_WRITER {
+                        let value = value_for(w, i, round);
+                        let out = client
+                            .write(T, &key_for(w, i), &value)
+                            .expect("cleaner must keep the log from filling up");
+                        history.push(OpRecord {
+                            key: key_for(w, i),
+                            kind: OpKind::Put(value),
+                            acked: true,
+                            version: out.version.0,
+                            read: None,
+                            retries: 1,
+                        });
+                    }
+                }
+                history
+            })
+        })
+        .collect();
+
+    let mut histories: Vec<Vec<OpRecord>> = writers
+        .into_iter()
+        .map(|h| h.join().expect("writer panicked"))
+        .collect();
+    stop.store(true, Ordering::Release);
+    let reads: u64 = readers
+        .into_iter()
+        .map(|h| h.join().expect("reader panicked"))
+        .sum();
+    assert!(reads > 0, "readers must have observed the store");
+
+    // Fold the preload into a history of its own so the checker sees every
+    // write ever acked (version 1 of each key).
+    histories.push(
+        (0..WRITERS)
+            .flat_map(|w| {
+                (0..KEYS_PER_WRITER).map(move |i| OpRecord {
+                    key: key_for(w, i),
+                    kind: OpKind::Put(value_for(w, i, 0)),
+                    acked: true,
+                    version: 1,
+                    read: None,
+                    retries: 1,
+                })
+            })
+            .collect(),
+    );
+    // Writers own keys exclusively, so merge preload + writer records per
+    // key into one history each, preserving program (= version) order.
+    let mut by_key: BTreeMap<Vec<u8>, Vec<OpRecord>> = BTreeMap::new();
+    for rec in histories.into_iter().flatten() {
+        by_key.entry(rec.key.clone()).or_default().push(rec);
+    }
+    for ops in by_key.values_mut() {
+        ops.sort_by_key(|r| r.version);
+    }
+    let merged: Vec<Vec<OpRecord>> = by_key.into_values().collect();
+
+    let live: BTreeMap<Vec<u8>, (Vec<u8>, u64)> = {
+        let client = srv.client();
+        (0..WRITERS)
+            .flat_map(|w| (0..KEYS_PER_WRITER).map(move |i| key_for(w, i)))
+            .filter_map(|key| {
+                client
+                    .read(T, &key)
+                    .unwrap()
+                    .map(|rec| (key, (rec.value.to_vec(), rec.version.0)))
+            })
+            .collect()
+    };
+    let violations = check_histories(&merged, &live, true);
+    assert!(violations.is_empty(), "invariants violated: {violations:?}");
+
+    // The background threads — not the write path — did the cleaning.
+    let metrics = srv.metrics();
+    assert!(
+        metrics.sum("cleaner.", ".passes") > 0,
+        "background cleaner never ran: {:?}",
+        metrics.snapshot()
+    );
+    let stats = srv.store().stats();
+    assert!(
+        stats.segments_freed > 0,
+        "cleaning must have freed segments"
+    );
+    srv.shutdown();
+}
