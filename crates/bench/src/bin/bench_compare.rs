@@ -1,0 +1,193 @@
+//! Compares two benchmark reports row by row and flags throughput
+//! regressions — the guard between a freshly generated `BENCH_*.json` and
+//! the committed baseline.
+//!
+//! Rows are matched by identity key: every string field of the row (e.g.
+//! `dispatch`, `mix`, `mode`), the sweep-axis integers (`workers`,
+//! `clients`, `batch_size`), and the nested `read_path.mode` when present.
+//! That covers `BENCH_standalone.json`, `BENCH_read.json`, and
+//! `BENCH_cleaner.json` without per-schema code. `throughput_ops_per_sec`
+//! is then diffed per matched pair.
+//!
+//! By default regressions are warnings (benchmarks on shared CI hardware
+//! are noisy) and the exit code stays 0; `--strict` turns any regression
+//! beyond the threshold into a failure.
+//!
+//! Usage:
+//!   bench_compare --baseline OLD.json --current NEW.json
+//!                 [--threshold PCT] [--strict]
+
+use std::process::ExitCode;
+
+use rmc_bench::json::{self, Json};
+use rmc_bench::kops;
+
+/// Default allowed throughput drop, percent.
+const DEFAULT_THRESHOLD: f64 = 15.0;
+
+/// The sweep-axis integer fields that identify a row (alongside every
+/// string field); other numbers are measurements, not identity.
+const KEY_NUMBERS: [&str; 3] = ["workers", "clients", "batch_size"];
+
+/// Builds the stable identity key of a result row.
+fn row_key(row: &Json) -> String {
+    let Json::Obj(fields) = row else {
+        return String::from("<non-object row>");
+    };
+    let mut parts = Vec::new();
+    for (name, value) in fields {
+        match value {
+            Json::Str(s) => parts.push(format!("{name}={s}")),
+            Json::Num(n) if KEY_NUMBERS.contains(&name.as_str()) => {
+                parts.push(format!("{name}={n}"));
+            }
+            _ => {}
+        }
+    }
+    if let Some(mode) = row.get("read_path").and_then(|rp| rp.get("mode")) {
+        if let Some(mode) = mode.as_str() {
+            parts.push(format!("read_path={mode}"));
+        }
+    }
+    parts.join(" ")
+}
+
+fn rows(doc: &Json) -> Vec<(String, f64)> {
+    doc.get("results")
+        .and_then(Json::as_array)
+        .map(|results| {
+            results
+                .iter()
+                .filter_map(|row| {
+                    let throughput = row.get("throughput_ops_per_sec")?.as_f64()?;
+                    Some((row_key(row), throughput))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn compare(baseline: &Json, current: &Json, threshold: f64) -> (Vec<String>, Vec<String>) {
+    let base_rows = rows(baseline);
+    let cur_rows = rows(current);
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+
+    for (key, base) in &base_rows {
+        let Some((_, cur)) = cur_rows.iter().find(|(k, _)| k == key) else {
+            regressions.push(format!("row dropped from current report: [{key}]"));
+            continue;
+        };
+        let delta_pct = (cur - base) / base * 100.0;
+        let line = format!(
+            "[{key}] {} -> {} ops/s ({delta_pct:+.1}%)",
+            kops(*base),
+            kops(*cur),
+        );
+        if -delta_pct > threshold {
+            regressions.push(line);
+        } else {
+            notes.push(line);
+        }
+    }
+    for (key, _) in &cur_rows {
+        if !base_rows.iter().any(|(k, _)| k == key) {
+            notes.push(format!("[{key}] new row (no baseline)"));
+        }
+    }
+    (regressions, notes)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut strict = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" if i + 1 < args.len() => {
+                i += 1;
+                baseline_path = Some(args[i].clone());
+            }
+            "--current" if i + 1 < args.len() => {
+                i += 1;
+                current_path = Some(args[i].clone());
+            }
+            "--threshold" if i + 1 < args.len() => {
+                i += 1;
+                threshold = match args[i].parse() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        eprintln!("--threshold must be a number, got {:?}", args[i]);
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: bench_compare --baseline OLD.json --current NEW.json \
+                     [--threshold PCT] [--strict]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        eprintln!("--baseline and --current are both required");
+        return ExitCode::FAILURE;
+    };
+
+    let outcome: Result<bool, String> = (|| {
+        let baseline = load(&baseline_path)?;
+        let current = load(&current_path)?;
+        if baseline.get("benchmark").and_then(Json::as_str)
+            != current.get("benchmark").and_then(Json::as_str)
+        {
+            return Err("reports are from different benchmarks".into());
+        }
+        let (regressions, notes) = compare(&baseline, &current, threshold);
+        if rows(&baseline).is_empty() {
+            return Err(format!("{baseline_path}: no comparable rows"));
+        }
+        println!("{current_path} vs {baseline_path} (threshold {threshold}%):");
+        for line in &notes {
+            println!("  ok   {line}");
+        }
+        for line in &regressions {
+            println!("  SLOW {line}");
+        }
+        println!(
+            "{} rows compared, {} regression(s)",
+            notes.len() + regressions.len(),
+            regressions.len()
+        );
+        Ok(!regressions.is_empty())
+    })();
+
+    match outcome {
+        Ok(regressed) => {
+            if regressed && strict {
+                ExitCode::FAILURE
+            } else {
+                if regressed {
+                    println!("(warnings only; pass --strict to fail on regressions)");
+                }
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Read-path ablation: what does the zero-copy lock-free read path buy?
+//!
+//! Three configurations of the same standalone server run the same
+//! read-only YCSB workload:
+//!
+//! - `locked_copy` — the seed baseline: every read takes the shard
+//!   `RwLock` and copies the value out of the log;
+//! - `lockfree_copy` — the epoch-pinned seqlock-validated probe, but the
+//!   value is still deep-copied (isolates lock elision from copy elision);
+//! - `lockfree_zero_copy` — the full fast path: the read returns a
+//!   `ValueView` borrowing the live segment buffer.
+//!
+//! Each mode runs at 1 and 4 closed-loop clients; the headline comparison
+//! is single-client `lockfree_zero_copy` vs `locked_copy`. Results land in
+//! `BENCH_read.json` (schema checked by `rmc_bench::report`, re-checked by
+//! CI's smoke run).
+//!
+//! Usage:
+//!   read_path [--smoke] [--out PATH]   run the ablation, write a report
+//!   read_path --check PATH             validate an existing report
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rmc_bench::json::{self, Json};
+use rmc_bench::kops;
+use rmc_bench::report::{validate_read_report, SCHEMA_VERSION};
+use rmc_logstore::{LogConfig, TableId};
+use rmc_standalone::{Client, ReadPath, ServerConfig, StandaloneServer};
+use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
+use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
+
+const TABLE: TableId = TableId(1);
+const SHARDS: usize = 16;
+const CLIENT_COUNTS: &[usize] = &[1, 4];
+/// The client count the acceptance comparison is quoted on.
+const COMPARISON_CLIENTS: usize = 1;
+
+/// Reads go through `read_view`, so the server's configured [`ReadPath`]
+/// decides lock vs probe and copy vs borrow — the backend is identical
+/// across all three modes.
+struct ViewBackend {
+    client: Client,
+}
+
+impl KvBackend for ViewBackend {
+    fn read(&self, key: &[u8]) -> Result<bool, String> {
+        self.client
+            .read_view(TABLE, key)
+            .map(|v| v.is_some())
+            .map_err(|e| e.to_string())
+    }
+
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.client
+            .write(TABLE, key, value)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        self.client
+            .multiread_views(TABLE, &refs)
+            .map(|vs| vs.iter().filter(|v| v.is_some()).count())
+            .map_err(|e| e.to_string())
+    }
+
+    fn multiwrite(&self, ops: &[(Vec<u8>, Vec<u8>)]) -> Result<(), String> {
+        let refs: Vec<(&[u8], &[u8])> = ops
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        for outcome in self
+            .client
+            .multiwrite(TABLE, &refs)
+            .map_err(|e| e.to_string())?
+        {
+            outcome.map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Scale {
+    record_count: u64,
+    ops_per_client: u64,
+    value_bytes: usize,
+    smoke: bool,
+}
+
+const FULL: Scale = Scale {
+    record_count: 10_000,
+    ops_per_client: 400_000,
+    value_bytes: 256,
+    smoke: false,
+};
+
+const SMOKE: Scale = Scale {
+    record_count: 512,
+    ops_per_client: 2_000,
+    value_bytes: 64,
+    smoke: true,
+};
+
+const MODES: &[ReadPath] = &[
+    ReadPath::LockedCopy,
+    ReadPath::LockFreeCopy,
+    ReadPath::LockFreeZeroCopy,
+];
+
+fn path_name(path: ReadPath) -> &'static str {
+    path.name()
+}
+
+fn latency_json(lat: &LatencySummary) -> Json {
+    Json::obj(vec![
+        ("count", lat.count.into()),
+        ("mean", lat.mean_us.into()),
+        ("p50", lat.p50_us.into()),
+        ("p90", lat.p90_us.into()),
+        ("p99", lat.p99_us.into()),
+        ("max", lat.max_us.into()),
+    ])
+}
+
+struct Measurement {
+    path: ReadPath,
+    clients: usize,
+    summary: RunSummary,
+    lockfree: u64,
+    fallback_locked: u64,
+}
+
+fn run_one(path: ReadPath, clients: usize, scale: Scale) -> Result<Measurement, String> {
+    let server = StandaloneServer::start(ServerConfig {
+        worker_threads: clients,
+        shards: SHARDS,
+        log: LogConfig {
+            segment_bytes: 1 << 20,
+            max_segments: 256,
+            ordered_index: false,
+        },
+        read_path: path,
+        ..ServerConfig::default()
+    });
+    let spec = WorkloadSpec {
+        name: format!("read100-{}", path_name(path)),
+        mix: Mix {
+            read: 1.0,
+            update: 0.0,
+            insert: 0.0,
+            rmw: 0.0,
+            scan: 0.0,
+        },
+        distribution: Distribution::Uniform,
+        record_count: scale.record_count,
+        value_bytes: scale.value_bytes,
+        ops_per_client: scale.ops_per_client,
+    };
+    let backend = Arc::new(ViewBackend {
+        client: server.client(),
+    });
+    runner::load(&*backend, &spec, 1)?;
+    let summary = runner::run(
+        &backend,
+        &spec,
+        &RunnerConfig {
+            clients,
+            batch_size: 1,
+            seed: 42,
+        },
+    )?;
+    let stats = server.store().stats();
+    server.shutdown();
+    println!(
+        "  {:<19} clients={clients} {:>9} ops/s  read p99 {:>7.2} us  lockfree={} fallback={}",
+        path_name(path),
+        kops(summary.throughput_ops_per_sec),
+        summary.reads.p99_us,
+        stats.read_lockfree,
+        stats.read_fallback_locked,
+    );
+    Ok(Measurement {
+        path,
+        clients,
+        summary,
+        lockfree: stats.read_lockfree,
+        fallback_locked: stats.read_fallback_locked,
+    })
+}
+
+fn report(measurements: &[Measurement], scale: Scale) -> Result<Json, String> {
+    let results: Vec<Json> = measurements
+        .iter()
+        .map(|m| {
+            Json::obj(vec![
+                (
+                    "read_path",
+                    Json::obj(vec![
+                        ("mode", path_name(m.path).into()),
+                        ("lockfree", m.lockfree.into()),
+                        ("fallback_locked", m.fallback_locked.into()),
+                    ]),
+                ),
+                ("clients", m.clients.into()),
+                ("ops", m.summary.ops.into()),
+                ("elapsed_secs", m.summary.elapsed_secs.into()),
+                (
+                    "throughput_ops_per_sec",
+                    m.summary.throughput_ops_per_sec.into(),
+                ),
+                ("read_latency_us", latency_json(&m.summary.reads)),
+            ])
+        })
+        .collect();
+
+    let pick = |path: ReadPath| {
+        measurements
+            .iter()
+            .find(|m| m.path == path && m.clients == COMPARISON_CLIENTS)
+            .map(|m| m.summary.throughput_ops_per_sec)
+            .ok_or_else(|| format!("missing {} comparison run", path_name(path)))
+    };
+    let locked = pick(ReadPath::LockedCopy)?;
+    let lockfree_copy = pick(ReadPath::LockFreeCopy)?;
+    let zero_copy = pick(ReadPath::LockFreeZeroCopy)?;
+    let speedup = zero_copy / locked;
+    println!(
+        "\ncomparison ({COMPARISON_CLIENTS} client): locked {} -> lockfree+copy {} -> zero-copy {} ops/s = {speedup:.2}x",
+        kops(locked),
+        kops(lockfree_copy),
+        kops(zero_copy),
+    );
+
+    Ok(Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("benchmark", "read_path_ablation".into()),
+        (
+            "config",
+            Json::obj(vec![
+                ("record_count", scale.record_count.into()),
+                ("ops_per_client", scale.ops_per_client.into()),
+                ("value_bytes", scale.value_bytes.into()),
+                ("shards", SHARDS.into()),
+                ("smoke", scale.smoke.into()),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+        (
+            "comparison",
+            Json::obj(vec![
+                ("clients", COMPARISON_CLIENTS.into()),
+                ("locked_ops_per_sec", locked.into()),
+                ("lockfree_copy_ops_per_sec", lockfree_copy.into()),
+                ("zero_copy_ops_per_sec", zero_copy.into()),
+                ("speedup", speedup.into()),
+            ]),
+        ),
+    ]))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text)?;
+    validate_read_report(&doc)?;
+    println!("{path}: valid read-path report");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = FULL;
+    let mut out = String::from("BENCH_read.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = SMOKE,
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" if i + 1 < args.len() => {
+                i += 1;
+                check_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: read_path [--smoke] [--out PATH] | --check PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        return match check(&path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "read-path ablation ({}): {} records x {} B, read-only, clients {:?}",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.record_count,
+        scale.value_bytes,
+        CLIENT_COUNTS,
+    );
+    let outcome: Result<(), String> = (|| {
+        let mut measurements = Vec::new();
+        for &path in MODES {
+            for &clients in CLIENT_COUNTS {
+                measurements.push(run_one(path, clients, scale)?);
+            }
+        }
+        let doc = report(&measurements, scale)?;
+        // Never emit a report CI's validator would reject.
+        validate_read_report(&doc)?;
+        std::fs::write(&out, format!("{doc}\n")).map_err(|e| format!("write {out}: {e}"))?;
+        println!("-> {out}");
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -222,6 +222,8 @@ struct Measurement {
     summary: RunSummary,
     /// Background-cleaner counters snapshotted before shutdown.
     cleaner: Json,
+    /// Read-path mode and fast-path counters snapshotted before shutdown.
+    read_path: Json,
 }
 
 /// Sums the per-shard `cleaner.{shard}.*` counters into the report's
@@ -239,6 +241,18 @@ fn cleaner_json(server: &StandaloneServer) -> Json {
         ("bytes_relocated", sum("bytes_relocated").into()),
         ("tombstones_dropped", sum("tombstones_dropped").into()),
         ("busy_ns", sum("busy_ns").into()),
+    ])
+}
+
+/// The report's per-row `read_path` block: which read path served the run
+/// plus the engine's fast-path counters — so every throughput number says
+/// whether (and how often) reads actually took the lock-free path.
+fn read_path_json(server: &StandaloneServer) -> Json {
+    let stats = server.store().stats();
+    Json::obj(vec![
+        ("mode", server.store().read_path().name().into()),
+        ("lockfree", stats.read_lockfree.into()),
+        ("fallback_locked", stats.read_fallback_locked.into()),
     ])
 }
 
@@ -277,6 +291,7 @@ fn run_one(
         },
     )?;
     let cleaner = cleaner_json(&server);
+    let read_path = read_path_json(&server);
     server.shutdown();
     println!(
         "  {:<14} workers={workers} mix={mix:<8} batch={batch_size:<3} {:>9} ops/s  read p99 {:>8.1} us",
@@ -292,6 +307,7 @@ fn run_one(
         batch_size,
         summary,
         cleaner,
+        read_path,
     })
 }
 
@@ -394,6 +410,7 @@ fn report(measurements: &[Measurement], mini: Json, scale: Scale) -> Result<Json
                 ("read_latency_us", latency_json(&m.summary.reads)),
                 ("write_latency_us", latency_json(&m.summary.writes)),
                 ("cleaner", m.cleaner.clone()),
+                ("read_path", m.read_path.clone()),
             ])
         })
         .collect();

@@ -109,6 +109,12 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
                 }
             }
         }
+        // The read-path block is optional (older reports predate it), but
+        // when present its mode must be known and its counters coherent.
+        if let Some(read_path) = result.get("read_path") {
+            let rctx = format!("{ctx}.read_path");
+            validate_read_path_block(read_path, &rctx)?;
+        }
     }
 
     let comparison = field(doc, "report", "comparison")?;
@@ -143,6 +149,97 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
         }
         latency(mini, "mini_cluster", "read_latency_us")?;
         latency(mini, "mini_cluster", "write_latency_us")?;
+    }
+    Ok(())
+}
+
+/// The read-path mode names the report schema accepts (stable values).
+pub const READ_PATHS: [&str; 3] = ["locked_copy", "lockfree_copy", "lockfree_zero_copy"];
+
+/// Validates a `read_path` block: `{mode, lockfree, fallback_locked}`,
+/// where a locked run must report zero lock-free reads and a lock-free
+/// run must report at least one.
+fn validate_read_path_block(block: &Json, ctx: &str) -> Result<(), String> {
+    let mode = string(block, ctx, "mode")?;
+    if !READ_PATHS.contains(&mode) {
+        return Err(format!("{ctx}: unknown mode {mode:?}"));
+    }
+    let lockfree = num(block, ctx, "lockfree")?;
+    let fallback = num(block, ctx, "fallback_locked")?;
+    if lockfree < 0.0 || fallback < 0.0 {
+        return Err(format!("{ctx}: counters must be non-negative"));
+    }
+    if mode == "locked_copy" && lockfree != 0.0 {
+        return Err(format!("{ctx}: locked run reports lock-free reads"));
+    }
+    if mode != "locked_copy" && lockfree == 0.0 {
+        return Err(format!("{ctx}: lock-free run never took the fast path"));
+    }
+    Ok(())
+}
+
+/// Validates a parsed `BENCH_read.json` document (the read-path ablation
+/// benchmark: locked+copy vs lock-free+copy vs lock-free+zero-copy).
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_read_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "read_path_ablation" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in ["record_count", "ops_per_client", "value_bytes", "shards"] {
+        if num(config, "config", key)? <= 0.0 {
+            return Err(format!("config: \"{key}\" must be positive"));
+        }
+    }
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    let mut seen_paths = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        if num(result, &ctx, "clients")? < 1.0 || num(result, &ctx, "ops")? < 1.0 {
+            return Err(format!("{ctx}: \"clients\" and \"ops\" must be >= 1"));
+        }
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(result, &ctx, key)? <= 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be positive"));
+            }
+        }
+        latency(result, &ctx, "read_latency_us")?;
+        let block = field(result, &ctx, "read_path")?;
+        validate_read_path_block(block, &format!("{ctx}.read_path"))?;
+        seen_paths.push(string(block, &ctx, "mode")?.to_owned());
+    }
+    // The ablation is only meaningful with all three paths present.
+    for path in READ_PATHS {
+        if !seen_paths.iter().any(|p| p == path) {
+            return Err(format!("results: missing \"{path}\" run"));
+        }
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    num(comparison, "comparison", "clients")?;
+    let locked = num(comparison, "comparison", "locked_ops_per_sec")?;
+    let zero_copy = num(comparison, "comparison", "zero_copy_ops_per_sec")?;
+    let speedup = num(comparison, "comparison", "speedup")?;
+    if locked <= 0.0 || zero_copy <= 0.0 {
+        return Err("comparison: throughputs must be positive".into());
+    }
+    if (speedup - zero_copy / locked).abs() > 1e-6 * speedup.max(1.0) {
+        return Err("comparison: speedup != zero_copy/locked".into());
     }
     Ok(())
 }
@@ -300,6 +397,82 @@ mod tests {
         let bad = MINI_OK.replace("\"replication\": 2", "\"replication\": 4");
         let err = validate_standalone_report(&parse(&with_mini(&bad)).unwrap()).unwrap_err();
         assert!(err.contains("replication"), "got {err}");
+    }
+
+    fn minimal_read() -> String {
+        r#"{
+          "schema_version": 1,
+          "benchmark": "read_path_ablation",
+          "config": {"record_count": 512, "ops_per_client": 1000, "value_bytes": 64,
+            "shards": 4, "smoke": true},
+          "results": [
+            {"read_path": {"mode": "locked_copy", "lockfree": 0, "fallback_locked": 0},
+             "clients": 1, "ops": 1000, "elapsed_secs": 0.1,
+             "throughput_ops_per_sec": 10000.0,
+             "read_latency_us": {"count": 1000, "mean": 2.0, "p50": 1.5, "p90": 3.0, "p99": 5.0, "max": 9.0}},
+            {"read_path": {"mode": "lockfree_copy", "lockfree": 990, "fallback_locked": 10},
+             "clients": 1, "ops": 1000, "elapsed_secs": 0.08,
+             "throughput_ops_per_sec": 12500.0,
+             "read_latency_us": {"count": 1000, "mean": 1.6, "p50": 1.2, "p90": 2.4, "p99": 4.0, "max": 8.0}},
+            {"read_path": {"mode": "lockfree_zero_copy", "lockfree": 1000, "fallback_locked": 0},
+             "clients": 1, "ops": 1000, "elapsed_secs": 0.05,
+             "throughput_ops_per_sec": 20000.0,
+             "read_latency_us": {"count": 1000, "mean": 1.0, "p50": 0.8, "p90": 1.5, "p99": 1.9, "max": 5.0}}
+          ],
+          "comparison": {"clients": 1, "locked_ops_per_sec": 10000.0,
+            "zero_copy_ops_per_sec": 20000.0, "speedup": 2.0}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accepts_minimal_read_report() {
+        validate_read_report(&parse(&minimal_read()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_read_reports() {
+        for (needle, replacement, expect) in [
+            ("read_path_ablation", "other_bench", "benchmark"),
+            (
+                "\"mode\": \"locked_copy\"",
+                "\"mode\": \"telepathy\"",
+                "mode",
+            ),
+            (
+                "\"mode\": \"lockfree_zero_copy\", \"lockfree\": 1000",
+                "\"mode\": \"lockfree_zero_copy\", \"lockfree\": 0",
+                "never took the fast path",
+            ),
+            (
+                "\"mode\": \"locked_copy\", \"lockfree\": 0",
+                "\"mode\": \"locked_copy\", \"lockfree\": 7",
+                "locked run reports lock-free reads",
+            ),
+            (
+                "\"mode\": \"lockfree_copy\"",
+                "\"mode\": \"lockfree_zero_copy\"",
+                "missing \"lockfree_copy\"",
+            ),
+            ("\"speedup\": 2.0", "\"speedup\": 9.0", "speedup"),
+        ] {
+            let doc = minimal_read().replace(needle, replacement);
+            let err = validate_read_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
+    }
+
+    #[test]
+    fn standalone_report_accepts_and_checks_read_path_block() {
+        let with_block = minimal().replace(
+            "\"read_latency_us\"",
+            "\"read_path\": {\"mode\": \"lockfree_zero_copy\", \"lockfree\": 95, \"fallback_locked\": 0},
+             \"read_latency_us\"",
+        );
+        validate_standalone_report(&parse(&with_block).unwrap()).unwrap();
+        let bad = with_block.replace("\"lockfree\": 95", "\"lockfree\": 0");
+        let err = validate_standalone_report(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("fast path"), "got {err}");
     }
 
     fn minimal_cleaner() -> String {

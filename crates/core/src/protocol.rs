@@ -974,7 +974,12 @@ impl Server {
         self.rifl_last.insert(client.0 as u64, (seq, None));
         match op {
             ClientOp::Get { key } => {
-                let value = self.store.read(PROTO_TABLE, &key).map(|o| o.value.to_vec());
+                // Serve through the view API (the engine's read path); the
+                // bytes are copied out only here, at the wire boundary.
+                let value = self
+                    .store
+                    .read_view(PROTO_TABLE, &key)
+                    .map(|o| o.value.to_vec());
                 self.respond(client, seq, Reply::Value(value), rt);
             }
             ClientOp::Put { key, value } => {

@@ -547,38 +547,52 @@ impl Store {
             tombstones_dropped,
             bytes_relocated,
         } = prepared;
-        // Verified-live bytes per survivor. An entry that died between
-        // prepare and apply (overwritten or deleted by a service thread)
-        // fails its index swing and its survivor copy is dead on arrival.
+        // Verified-live bytes per survivor — a read-only pass. An entry that
+        // died between prepare and apply (overwritten or deleted by a
+        // service thread) no longer has its old position in the index, and
+        // its survivor copy is dead on arrival. Nothing can change between
+        // this check and the swings below: we hold `&mut self`.
         let mut live: BTreeMap<SegmentId, usize> = BTreeMap::new();
         for r in &relocations {
-            if self.index.update(r.hash, r.old, r.new) {
+            if self.index.candidates(r.hash).any(|p| p == r.old) {
                 *live.entry(r.new.segment).or_default() += r.size;
             }
         }
         for &(pos, size) in &kept_tombstones {
             *live.entry(pos.segment).or_default() += size;
         }
+        // Install (and thereby publish in the lock-free segment map) every
+        // surviving segment BEFORE swinging a single index entry: a
+        // lock-free reader that picks up a swung position must be able to
+        // resolve the survivor's buffer, or it would burn its whole retry
+        // budget on a position the map cannot serve yet.
         let mut survivor_bytes = 0u64;
         for seg in survivors {
             let live_bytes = live.get(&seg.id()).copied().unwrap_or(0);
             if live_bytes == 0 {
                 // Nothing live landed here (every relocation died and no
-                // tombstone was kept): no index entry references the
+                // tombstone was kept): no index entry will reference the
                 // survivor, so drop it instead of installing garbage.
                 continue;
             }
             survivor_bytes += seg.len() as u64;
             self.log.install_survivor(seg, live_bytes);
         }
+        for r in &relocations {
+            // Swings for dead entries fail harmlessly (the old position is
+            // gone from the index).
+            let _ = self.index.update(r.hash, r.old, r.new);
+        }
         let epoch_now = self.epoch.current();
         for &v in &victims {
             self.log.retire_segment(v, epoch_now);
         }
-        // Flip the epoch twice. The standalone server calls this holding
-        // the shard's write lock, so no reader is pinned and both advances
-        // succeed — victims reclaim immediately. A pinned reader defers
-        // reclamation to a later pass; that deferral is the whole point.
+        // Flip the epoch twice. Lock-free readers pin epochs (the shard
+        // write lock this runs under does NOT exclude them), so a reader
+        // mid-probe defers both the advance and the reclaim to a later
+        // pass; an outstanding zero-copy value view likewise holds its
+        // victim in limbo through the buffer refcount. That deferral is
+        // the whole point.
         self.epoch.try_advance();
         self.epoch.try_advance();
         let reclaimed = self.log.reclaim_retired(self.epoch.safe_epoch());
@@ -730,9 +744,43 @@ impl Store {
                 }
             }
         }
-        self.log.free_segment(victim);
-        outcome.segments_freed += 1;
+        // Even the inline cleaner must route frees through limbo: `&mut
+        // self` no longer excludes lock-free readers, which may be mid-parse
+        // inside the victim. With no pinned readers (the common
+        // single-threaded case) the reclaim frees the slot before the
+        // caller's retry append; under concurrent read load it waits out
+        // the in-flight epoch pins.
+        self.log.free_segment(victim, self.epoch.current());
+        outcome.segments_freed += self.reclaim_waiting() as u64;
         true
+    }
+
+    /// Reclaims limbo segments like [`Store::reclaim_now`], but waits out
+    /// concurrently pinned lock-free readers instead of giving up when the
+    /// epoch cannot flip yet. A pin lasts microseconds (one validated probe
+    /// plus one parse), so the wait is short and bounded; the alternative —
+    /// on the emergency write path — is failing a write whose memory is
+    /// moments from being free. Only outstanding [`crate::ValueView`]s can
+    /// legitimately outlast this loop: then the memory truly is pinned and
+    /// the out-of-memory error stands.
+    ///
+    /// Does not touch statistics; callers attribute the freed count.
+    pub(crate) fn reclaim_waiting(&mut self) -> usize {
+        const MAX_SPINS: u32 = 10_000;
+        let mut total = 0;
+        for _ in 0..MAX_SPINS {
+            self.epoch.try_advance();
+            self.epoch.try_advance();
+            total += self.log.reclaim_retired(self.epoch.safe_epoch());
+            let safe = self.epoch.safe_epoch();
+            // Whatever remains in limbo past its epoch is view-held;
+            // waiting longer cannot free it.
+            if self.log.limbo_segments() <= self.log.limbo_held_by_views(safe) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        total
     }
 }
 
@@ -1107,7 +1155,7 @@ mod tests {
         let plan = s.prepare_clean(CleanKind::Combined).expect("candidates");
         let victim = plan.victims()[0];
         // Simulate an inline emergency clean winning the race.
-        s.log.free_segment(victim);
+        s.log.free_segment(victim, 0);
         let cleanings_before = s.stats().cleanings;
         assert!(
             s.apply_clean(plan.build()).is_none(),

@@ -307,6 +307,72 @@ impl LogEntry {
     }
 }
 
+/// A borrowed, zero-copy look at an object entry: header fields decoded,
+/// key borrowed in place, user value located as a byte range within the
+/// parsed buffer. Produced by [`parse_object_view`] for the lock-free read
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RawObject<'a> {
+    /// Owning table.
+    pub table: TableId,
+    /// The key bytes, in place.
+    pub key: &'a [u8],
+    /// Start of the user value, relative to the start of `buf`.
+    pub value_start: usize,
+    /// End of the user value (exclusive; RIFL completion trailer excluded).
+    pub value_end: usize,
+    /// Version assigned at write time.
+    pub version: Version,
+}
+
+/// Parses just enough of the entry at the start of `buf` to serve a read:
+/// no copies and no checksum pass. Safe to use on committed segment bytes
+/// because entries are checksummed once at append time and the committed
+/// prefix of a segment is immutable; every length is still bounds-checked
+/// against `buf`, so a stale offset can at worst produce a structured
+/// error, never an out-of-bounds access.
+///
+/// Returns `Ok(None)` for a valid non-object entry (a tombstone).
+pub(crate) fn parse_object_view(buf: &[u8]) -> Result<Option<RawObject<'_>>, ParseEntryError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(ParseEntryError::Truncated);
+    }
+    let ty = buf[0];
+    let table = TableId(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
+    let key_len = u16::from_le_bytes(buf[9..11].try_into().unwrap()) as usize;
+    let value_len = u32::from_le_bytes(buf[11..15].try_into().unwrap()) as usize;
+    let version = Version(u64::from_le_bytes(buf[15..23].try_into().unwrap()));
+    let total = HEADER_BYTES + key_len + value_len;
+    if buf.len() < total {
+        return Err(ParseEntryError::Truncated);
+    }
+    let key = &buf[HEADER_BYTES..HEADER_BYTES + key_len];
+    let value_start = HEADER_BYTES + key_len;
+    match ty {
+        TYPE_OBJECT => Ok(Some(RawObject {
+            table,
+            key,
+            value_start,
+            value_end: total,
+            version,
+        })),
+        TYPE_OBJECT_RIFL => {
+            if value_len < 16 {
+                return Err(ParseEntryError::MalformedTombstone);
+            }
+            Ok(Some(RawObject {
+                table,
+                key,
+                value_start,
+                value_end: total - 16,
+                version,
+            }))
+        }
+        TYPE_TOMBSTONE => Ok(None),
+        other => Err(ParseEntryError::UnknownType(other)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +480,51 @@ mod tests {
         assert_eq!(buf.len(), HEADER_BYTES);
         let (parsed, _) = LogEntry::parse(&buf).unwrap();
         assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn object_view_locates_value_without_copying() {
+        let mut buf = Vec::new();
+        sample_object().serialize_into(&mut buf);
+        let view = parse_object_view(&buf).unwrap().expect("object");
+        assert_eq!(view.table, TableId(7));
+        assert_eq!(view.key, b"user4312");
+        assert_eq!(view.version, Version(3));
+        assert_eq!(&buf[view.value_start..view.value_end], &vec![0xAB; 100][..]);
+        assert_eq!(view.value_end, buf.len());
+    }
+
+    #[test]
+    fn object_view_strips_rifl_trailer() {
+        let entry = LogEntry::Object(ObjectRecord {
+            table: TableId(2),
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"payload"),
+            version: Version(9),
+            completion: Some(CompletionId { client: 4, seq: 11 }),
+        });
+        let mut buf = Vec::new();
+        entry.serialize_into(&mut buf);
+        let view = parse_object_view(&buf).unwrap().expect("object");
+        assert_eq!(&buf[view.value_start..view.value_end], b"payload");
+        assert_eq!(view.value_end + 16, buf.len());
+    }
+
+    #[test]
+    fn object_view_skips_tombstones_and_bounds_checks() {
+        let mut buf = Vec::new();
+        sample_tombstone().serialize_into(&mut buf);
+        assert!(parse_object_view(&buf).unwrap().is_none());
+        let mut obj = Vec::new();
+        sample_object().serialize_into(&mut obj);
+        assert_eq!(
+            parse_object_view(&obj[..obj.len() - 1]),
+            Err(ParseEntryError::Truncated)
+        );
+        assert_eq!(
+            parse_object_view(&obj[..5]),
+            Err(ParseEntryError::Truncated)
+        );
     }
 
     #[test]

@@ -36,9 +36,11 @@ mod entry;
 pub mod epoch;
 mod hashtable;
 mod log;
+mod segbuf;
 mod segment;
 mod store;
 mod types;
+mod view;
 
 pub use cleaner::{
     CleanKind, CleanOutcome, CleanPlan, CleanerConfig, CleanerConfigError, PreparedClean,
@@ -53,3 +55,4 @@ pub use log::{AppendOutcome, Log, LogConfig, LogFullError};
 pub use segment::{Segment, SegmentFullError, SegmentIter, DEFAULT_SEGMENT_BYTES};
 pub use store::{Store, StoreError, StoreStats, WriteOutcome};
 pub use types::{key_hash, KeyHash, LogPosition, SegmentId, TableId, Version};
+pub use view::{ObjectView, ReadContended, ReadCounters, ReadHandle, ValueView};

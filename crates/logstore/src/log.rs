@@ -9,8 +9,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::entry::LogEntry;
+use crate::segbuf::SegmentMap;
 use crate::segment::{Segment, DEFAULT_SEGMENT_BYTES};
 use crate::types::{LogPosition, SegmentId};
 
@@ -86,12 +88,12 @@ struct SegmentStats {
 /// bytes, but it is no longer reachable through [`Log::read`].
 #[derive(Debug)]
 struct LimboSegment {
-    /// Epoch at retirement; reclaimable once the safe epoch reaches it.
+    /// Epoch at retirement; reclaimable once the safe epoch reaches it
+    /// *and* no zero-copy value views still reference the buffer.
     epoch: u64,
-    /// Never read — held so the victim's bytes stay allocated while a
-    /// racing reader may still be parsing them; dropping this struct *is*
-    /// the reclamation.
-    #[allow(dead_code)]
+    /// Held so the victim's bytes stay allocated while a racing reader may
+    /// still be parsing them or a [`crate::ValueView`] still points into
+    /// them; dropping this struct *is* the reclamation.
     segment: Segment,
     charged_bytes: usize,
 }
@@ -104,6 +106,11 @@ pub struct Log {
     stats: BTreeMap<SegmentId, SegmentStats>,
     /// Retired-but-not-yet-reclaimed segments, oldest epoch first.
     limbo: Vec<LimboSegment>,
+    /// Lock-free id → buffer map for the zero-copy read path. Segments are
+    /// published here the moment they are allocated and unpublished at
+    /// retirement; epoch-pinned readers resolve candidate positions through
+    /// it without touching `segments`.
+    segment_map: Arc<SegmentMap>,
     head: SegmentId,
     /// Atomic so the cleaner can reserve survivor ids through `&self`
     /// (during its lock-free build phase ids must already be minted).
@@ -123,8 +130,11 @@ impl Log {
     pub fn new(config: LogConfig) -> Self {
         assert!(config.max_segments > 0, "log needs at least one segment");
         let head = SegmentId(0);
+        let segment_map = Arc::new(SegmentMap::new());
         let mut segments = BTreeMap::new();
-        segments.insert(head, Segment::new(head, config.segment_bytes));
+        let head_seg = Segment::new(head, config.segment_bytes);
+        segment_map.publish(head, head_seg.shared_buf());
+        segments.insert(head, head_seg);
         let mut stats = BTreeMap::new();
         stats.insert(
             head,
@@ -139,6 +149,7 @@ impl Log {
             segments,
             stats,
             limbo: Vec::new(),
+            segment_map,
             head,
             next_id: AtomicU64::new(1),
             append_seq: 0,
@@ -222,6 +233,7 @@ impl Log {
                 let off = seg
                     .append(entry)
                     .expect("entry must fit in an empty segment");
+                self.segment_map.publish(new_id, seg.shared_buf());
                 self.segments.insert(new_id, seg);
                 self.stats.insert(
                     new_id,
@@ -317,20 +329,18 @@ impl Log {
         self.stats.get(&id).map(|s| self.append_seq - s.created_seq)
     }
 
-    /// Frees a segment immediately after inline cleaning (the write path's
-    /// synchronous cleaner, which runs under `&mut self` with no concurrent
-    /// readers to protect). The concurrent cleaner uses
-    /// [`Log::retire_segment`] + [`Log::reclaim_retired`] instead.
+    /// Frees a segment after inline cleaning (the write path's synchronous
+    /// cleaner). Even though inline cleaning runs under `&mut self`, the
+    /// exclusive borrow no longer excludes readers — the lock-free read
+    /// path may be mid-parse in this very segment — so "free" means retire
+    /// into limbo at `epoch` and wait for [`Log::reclaim_retired`], exactly
+    /// like the concurrent cleaner's victims.
     ///
     /// # Panics
     ///
     /// Panics if asked to free the head — the head is never cleanable.
-    pub fn free_segment(&mut self, id: SegmentId) {
-        assert_ne!(id, self.head, "cannot free the head segment");
-        self.segments.remove(&id);
-        if let Some(s) = self.stats.remove(&id) {
-            self.charged_total -= s.charged_bytes;
-        }
+    pub fn free_segment(&mut self, id: SegmentId, epoch: u64) {
+        self.retire_segment(id, epoch);
     }
 
     /// Retires a cleaned victim into the limbo list, stamped with `epoch`.
@@ -342,10 +352,13 @@ impl Log {
     ///
     /// Panics if asked to retire the head.
     pub fn retire_segment(&mut self, id: SegmentId, epoch: u64) {
-        assert_ne!(id, self.head, "cannot retire the head segment");
+        assert_ne!(id, self.head, "cannot free the head segment");
         let Some(segment) = self.segments.remove(&id) else {
             return;
         };
+        // Unreachable for *new* lock-free lookups from here on; readers that
+        // already resolved the buffer keep it alive through its refcount.
+        drop(self.segment_map.unpublish(id));
         let charged_bytes = self
             .stats
             .remove(&id)
@@ -358,14 +371,19 @@ impl Log {
         });
     }
 
-    /// Reclaims every limbo segment retired at or before `safe_epoch`,
-    /// returning the budget bytes to the free pool. Returns how many
-    /// segments were reclaimed.
+    /// Reclaims every limbo segment retired at or before `safe_epoch` whose
+    /// buffer is no longer referenced by any zero-copy value view, returning
+    /// the budget bytes to the free pool. Returns how many segments were
+    /// reclaimed.
+    ///
+    /// Both conditions are required: the epoch proves no *in-flight* reader
+    /// can still be probing the buffer, the refcount proves no *completed*
+    /// read still holds a [`crate::ValueView`] into it.
     pub fn reclaim_retired(&mut self, safe_epoch: u64) -> usize {
         let before = self.limbo.len();
         let mut reclaimed_bytes = 0usize;
         self.limbo.retain(|l| {
-            if l.epoch <= safe_epoch {
+            if l.epoch <= safe_epoch && Arc::strong_count(l.segment.shared_buf()) == 1 {
                 reclaimed_bytes += l.charged_bytes;
                 false
             } else {
@@ -379,6 +397,21 @@ impl Log {
     /// Segments currently in limbo (retired, awaiting a safe epoch).
     pub fn limbo_segments(&self) -> usize {
         self.limbo.len()
+    }
+
+    /// Limbo segments whose retirement epoch has already passed but whose
+    /// bytes are still pinned by outstanding zero-copy value views — the
+    /// `limbo_held_by_views` statistic.
+    pub fn limbo_held_by_views(&self, safe_epoch: u64) -> usize {
+        self.limbo
+            .iter()
+            .filter(|l| l.epoch <= safe_epoch && Arc::strong_count(l.segment.shared_buf()) > 1)
+            .count()
+    }
+
+    /// The lock-free id → buffer map shared with read handles.
+    pub(crate) fn segment_map(&self) -> Arc<SegmentMap> {
+        Arc::clone(&self.segment_map)
     }
 
     /// The oldest retirement epoch still in limbo, if any — the input to the
@@ -424,6 +457,7 @@ impl Log {
                 charged_bytes,
             },
         );
+        self.segment_map.publish(id, segment.shared_buf());
         self.segments.insert(id, segment);
         self.charged_total += charged_bytes;
     }
@@ -533,9 +567,13 @@ mod tests {
         let first = log.append(&e).unwrap();
         log.append(&e).unwrap();
         assert!(log.append(&e).is_err());
-        log.free_segment(first.position.segment);
-        assert!(log.append(&e).is_ok());
+        // Freeing routes through limbo: unreachable at once, but the slot
+        // comes back only after the epoch-safe reclaim.
+        log.free_segment(first.position.segment, 3);
         assert_eq!(log.read(first.position), None);
+        assert!(log.append(&e).is_err(), "charge held until reclaim");
+        assert_eq!(log.reclaim_retired(3), 1);
+        assert!(log.append(&e).is_ok());
     }
 
     #[test]
@@ -543,7 +581,7 @@ mod tests {
     fn freeing_head_panics() {
         let mut log = small_log(2);
         log.append(&obj("k", 10)).unwrap();
-        log.free_segment(log.head());
+        log.free_segment(log.head(), 0);
     }
 
     #[test]
@@ -669,8 +707,33 @@ mod tests {
         let e = obj("key", 100);
         let a = log.append(&e).unwrap();
         log.append(&e).unwrap();
-        log.free_segment(a.position.segment);
+        log.free_segment(a.position.segment, 0);
+        assert_eq!(log.reclaim_retired(0), 1);
         let c = log.append(&e).unwrap();
         assert!(c.position.segment.0 > 1, "freed id must not be recycled");
+    }
+
+    #[test]
+    fn reclaim_waits_for_outstanding_buffer_references() {
+        let mut log = small_log(3);
+        let e = obj("key", 100);
+        let first = log.append(&e).unwrap();
+        log.append(&e).unwrap();
+        let victim = first.position.segment;
+        // Simulate an outstanding zero-copy view: clone the buffer Arc the
+        // way a `ValueView` does (through the lock-free map).
+        let view = log.segment_map().get(victim).expect("published");
+        log.retire_segment(victim, 1);
+        assert!(
+            log.segment_map().get(victim).is_none(),
+            "retire unpublishes the buffer from the lock-free map"
+        );
+        // Epoch is safe, but the view still pins the bytes.
+        assert_eq!(log.reclaim_retired(5), 0);
+        assert_eq!(log.limbo_held_by_views(5), 1);
+        assert_eq!(log.limbo_segments(), 1);
+        drop(view);
+        assert_eq!(log.reclaim_retired(5), 1);
+        assert_eq!(log.limbo_held_by_views(5), 0);
     }
 }

@@ -4,22 +4,44 @@
 //! here so tests can use tiny ones). A segment only ever grows at the tail;
 //! once closed it is immutable until the cleaner frees it. Segments are also
 //! the unit of replication: backups receive and store whole segments.
+//!
+//! Segment bytes live in a pinned, refcounted [`SegmentBuf`]: a
+//! fixed-capacity allocation that never moves, with the committed length
+//! published atomically. That is what lets the lock-free read path hand out
+//! zero-copy [`ValueView`](crate::ValueView)s into live segments — a view
+//! clones the buffer's `Arc` and the bytes stay valid (and immutable) even
+//! after the cleaner retires the segment, until the view drops.
 
 use bytes::Bytes;
 
 use crate::entry::{LogEntry, ParseEntryError};
+use crate::segbuf::SegmentBuf;
 use crate::types::SegmentId;
+use std::sync::Arc;
 
 /// The segment size hard-coded in RAMCloud and used throughout the paper.
 pub const DEFAULT_SEGMENT_BYTES: usize = 8 << 20;
 
 /// An append-only byte region holding serialized [`LogEntry`] records.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Segment {
     id: SegmentId,
-    buf: Vec<u8>,
-    capacity: usize,
+    buf: Arc<SegmentBuf>,
     closed: bool,
+}
+
+impl Clone for Segment {
+    /// Clones share the underlying buffer (cheap: one refcount bump). Only
+    /// closed segments are ever cloned — the cleaner snapshots its victims —
+    /// so sharing is indistinguishable from a deep copy.
+    fn clone(&self) -> Self {
+        debug_assert!(self.closed, "cloning an open segment shares its tail");
+        Segment {
+            id: self.id,
+            buf: Arc::clone(&self.buf),
+            closed: self.closed,
+        }
+    }
 }
 
 /// Error returned by [`Segment::append`] when the entry does not fit.
@@ -56,8 +78,7 @@ impl Segment {
         );
         Segment {
             id,
-            buf: Vec::new(),
-            capacity,
+            buf: Arc::new(SegmentBuf::new(capacity)),
             closed: false,
         }
     }
@@ -74,17 +95,17 @@ impl Segment {
 
     /// True when nothing has been appended.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf.len() == 0
     }
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.buf.capacity()
     }
 
     /// Bytes still free.
     pub fn free(&self) -> usize {
-        self.capacity - self.buf.len()
+        self.buf.capacity() - self.buf.len()
     }
 
     /// True once [`Segment::close`] has been called.
@@ -95,6 +116,12 @@ impl Segment {
     /// Marks the segment immutable (it became a non-head segment).
     pub fn close(&mut self) {
         self.closed = true;
+    }
+
+    /// The shared buffer, for publication in the reader-side segment map
+    /// and for limbo refcount checks.
+    pub(crate) fn shared_buf(&self) -> &Arc<SegmentBuf> {
+        &self.buf
     }
 
     /// Appends an entry, returning its byte offset.
@@ -116,9 +143,9 @@ impl Segment {
                 needed,
             });
         }
-        let offset = self.buf.len() as u32;
-        entry.serialize_into(&mut self.buf);
-        Ok(offset)
+        let mut bytes = Vec::with_capacity(needed);
+        entry.serialize_into(&mut bytes);
+        Ok(self.buf.append(&bytes) as u32)
     }
 
     /// Appends pre-serialized entry bytes (a straight memcpy), returning the
@@ -134,9 +161,7 @@ impl Segment {
                 needed: bytes.len(),
             });
         }
-        let offset = self.buf.len() as u32;
-        self.buf.extend_from_slice(bytes);
-        Ok(offset)
+        Ok(self.buf.append(bytes) as u32)
     }
 
     /// Reads the entry at `offset`.
@@ -146,11 +171,12 @@ impl Segment {
     /// Returns a [`ParseEntryError`] if `offset` does not point at a valid
     /// entry (truncated, corrupt, or out of range).
     pub fn read_at(&self, offset: u32) -> Result<LogEntry, ParseEntryError> {
+        let committed = self.buf.committed();
         let start = offset as usize;
-        if start >= self.buf.len() {
+        if start >= committed.len() {
             return Err(ParseEntryError::Truncated);
         }
-        LogEntry::parse(&self.buf[start..]).map(|(e, _)| e)
+        LogEntry::parse(&committed[start..]).map(|(e, _)| e)
     }
 
     /// Iterates over `(offset, entry)` pairs from the beginning.
@@ -163,7 +189,7 @@ impl Segment {
 
     /// The raw serialized bytes (what a backup stores / recovery replays).
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.buf.committed()
     }
 
     /// Reconstructs a closed segment from raw bytes, validating every entry.
@@ -187,7 +213,7 @@ impl Segment {
             off += len;
         }
         let mut seg = Segment::new(id, capacity.max(bytes.len()));
-        seg.buf = bytes.to_vec();
+        seg.buf.append(&bytes);
         seg.closed = true;
         Ok(seg)
     }
@@ -204,10 +230,11 @@ impl Iterator for SegmentIter<'_> {
     type Item = (u32, LogEntry);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.offset >= self.segment.buf.len() {
+        let committed = self.segment.buf.committed();
+        if self.offset >= committed.len() {
             return None;
         }
-        match LogEntry::parse(&self.segment.buf[self.offset..]) {
+        match LogEntry::parse(&committed[self.offset..]) {
             Ok((entry, len)) => {
                 let off = self.offset as u32;
                 self.offset += len;
@@ -326,5 +353,15 @@ mod tests {
         seg.append(&e).unwrap();
         assert_eq!(seg.free(), 1000 - sz);
         assert_eq!(seg.len(), sz);
+    }
+
+    #[test]
+    fn clone_of_closed_segment_shares_bytes() {
+        let mut seg = Segment::new(SegmentId(1), 4096);
+        seg.append(&obj("k", 32, 1)).unwrap();
+        seg.close();
+        let snap = seg.clone();
+        assert_eq!(snap.as_bytes(), seg.as_bytes());
+        assert_eq!(snap.as_bytes().as_ptr(), seg.as_bytes().as_ptr());
     }
 }

@@ -9,7 +9,8 @@ use bytes::Bytes;
 
 use std::collections::BTreeMap;
 use std::ops::AddAssign;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use crate::cleaner::CleanerConfig;
 use crate::entry::{
@@ -19,6 +20,7 @@ use crate::epoch::EpochTracker;
 use crate::hashtable::HashTable;
 use crate::log::{Log, LogConfig};
 use crate::types::{key_hash, LogPosition, SegmentId, TableId, Version};
+use crate::view::{ObjectView, ReadCounters, ReadHandle, ValueView};
 
 /// Errors returned by store mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +75,15 @@ pub struct StoreStats {
     pub read_hits: u64,
     /// Read misses.
     pub read_misses: u64,
+    /// Reads served entirely on the lock-free path.
+    pub read_lockfree: u64,
+    /// Reads that hit contention and fell back to the locked path.
+    pub read_fallback_locked: u64,
+    /// Zero-copy value views alive at snapshot time (a gauge).
+    pub value_views_live: u64,
+    /// Limbo segments whose epoch is already safe but whose bytes are still
+    /// pinned by outstanding value views (a gauge).
+    pub limbo_held_by_views: u64,
     /// Cleaner passes executed.
     pub cleanings: u64,
     /// Live bytes relocated by the cleaner.
@@ -104,6 +115,10 @@ impl AddAssign for StoreStats {
             deletes,
             read_hits,
             read_misses,
+            read_lockfree,
+            read_fallback_locked,
+            value_views_live,
+            limbo_held_by_views,
             cleanings,
             bytes_relocated,
             segments_freed,
@@ -119,6 +134,10 @@ impl AddAssign for StoreStats {
         self.deletes += deletes;
         self.read_hits += read_hits;
         self.read_misses += read_misses;
+        self.read_lockfree += read_lockfree;
+        self.read_fallback_locked += read_fallback_locked;
+        self.value_views_live += value_views_live;
+        self.limbo_held_by_views += limbo_held_by_views;
         self.cleanings += cleanings;
         self.bytes_relocated += bytes_relocated;
         self.segments_freed += segments_freed;
@@ -140,9 +159,8 @@ impl StoreStats {
 }
 
 /// Internal mutable counters. Mutation-path counters are plain `u64`s
-/// guarded by `&mut self`; the read counters are atomics so that
-/// [`Store::read`] — the hot path — works through `&self` and can run under
-/// a shared (read) lock from many threads at once.
+/// guarded by `&mut self`; read-path counters live in the shared
+/// [`ReadCounters`] so the locked and lock-free paths tally into one place.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub(crate) writes: u64,
@@ -154,8 +172,6 @@ pub(crate) struct Counters {
     pub(crate) tombstones_dropped: u64,
     pub(crate) segments_compacted: u64,
     pub(crate) survivor_bytes: u64,
-    pub(crate) read_hits: AtomicU64,
-    pub(crate) read_misses: AtomicU64,
 }
 
 impl Counters {
@@ -164,19 +180,15 @@ impl Counters {
             writes: self.writes,
             overwrites: self.overwrites,
             deletes: self.deletes,
-            read_hits: self.read_hits.load(Ordering::Relaxed),
-            read_misses: self.read_misses.load(Ordering::Relaxed),
             cleanings: self.cleanings,
             bytes_relocated: self.bytes_relocated,
             segments_freed: self.segments_freed,
             tombstones_dropped: self.tombstones_dropped,
             segments_compacted: self.segments_compacted,
             survivor_bytes: self.survivor_bytes,
-            // Filled in by `Store::stats` from the hash table's own
-            // counters.
-            index_probes: 0,
-            index_probe_steps: 0,
-            index_resizes: 0,
+            // Read-path and index fields are filled in by `Store::stats`
+            // from the shared read counters / the hash table.
+            ..StoreStats::default()
         }
     }
 }
@@ -221,6 +233,9 @@ pub struct Store {
     /// metrics threads) can pin or inspect epochs without borrowing the
     /// whole store.
     pub(crate) epoch: std::sync::Arc<EpochTracker>,
+    /// Read-path counters, shared with every [`ReadHandle`] cloned from
+    /// this store so both read paths tally into one place.
+    pub(crate) read_counters: Arc<ReadCounters>,
     /// `Log::total_appended_bytes` at the end of the last cleaning pass;
     /// the balancer's write-rate signal.
     pub(crate) last_clean_appended: u64,
@@ -253,6 +268,7 @@ impl Store {
             completions: BTreeMap::new(),
             dead_versions: BTreeMap::new(),
             epoch: std::sync::Arc::new(EpochTracker::new()),
+            read_counters: Arc::new(ReadCounters::default()),
             last_clean_appended: 0,
         }
     }
@@ -269,7 +285,30 @@ impl Store {
         s.index_probes = p.probes;
         s.index_probe_steps = p.probe_steps;
         s.index_resizes = p.resizes;
+        s.read_hits = self.read_counters.hits();
+        s.read_misses = self.read_counters.misses();
+        s.read_lockfree = self.read_counters.lockfree();
+        s.read_fallback_locked = self.read_counters.fallback_locked();
+        s.value_views_live = self.read_counters.value_views_live();
+        s.limbo_held_by_views = self.log.limbo_held_by_views(self.epoch.safe_epoch()) as u64;
         s
+    }
+
+    /// A lock-free reader bound to this store's index, segment map, epochs,
+    /// and counters. Cloneable into any thread; see [`ReadHandle`].
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle::new(
+            self.index.shared(),
+            self.log.segment_map(),
+            Arc::clone(&self.epoch),
+            Arc::clone(&self.read_counters),
+        )
+    }
+
+    /// The shared read-path counters (also reachable via
+    /// [`ReadHandle::counters`]).
+    pub fn read_counters(&self) -> &Arc<ReadCounters> {
+        &self.read_counters
     }
 
     /// How far segment reclamation lags behind the cleaner: 0 when no
@@ -303,7 +342,16 @@ impl Store {
     }
 
     /// Index + log lookup shared by [`Store::read`] and [`Store::peek`].
+    ///
+    /// Every caller must hold an epoch pin: the concurrent cleaner may
+    /// retire a victim segment while this walk chases a position into it,
+    /// and only the pin keeps the victim's memory from being recycled
+    /// mid-parse.
     fn lookup(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+        debug_assert!(
+            self.epoch.pinned_readers() > 0,
+            "lookup without an epoch pin races segment reclamation"
+        );
         let hash = key_hash(table, key);
         for pos in self.index.candidates(hash) {
             if let Some(LogEntry::Object(o)) = self.log.read(pos) {
@@ -327,14 +375,33 @@ impl Store {
         let _pin = self.epoch.pin();
         let got = self.lookup(table, key);
         match got {
-            Some(_) => self.stats.read_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.stats.read_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.read_counters.read_hits.fetch_add(1, Ordering::Relaxed),
+            None => self
+                .read_counters
+                .read_misses
+                .fetch_add(1, Ordering::Relaxed),
         };
         got
     }
 
+    /// Reads a key into an [`ObjectView`] through the locked path (the
+    /// contended-read fallback and the `LockedCopy` ablation baseline). The
+    /// value is an owned copy, so the view pins no segment memory.
+    pub fn read_view(&self, table: TableId, key: &[u8]) -> Option<ObjectView> {
+        self.read(table, key).map(|o| ObjectView {
+            table: o.table,
+            version: o.version,
+            value: ValueView::owned(o.value),
+        })
+    }
+
     /// Reads without touching statistics (for internal/verification use).
     pub fn peek(&self, table: TableId, key: &[u8]) -> Option<ObjectRecord> {
+        // Pinning here is not optional: peek runs under a shared borrow
+        // while the concurrent cleaner may be retiring segments, exactly
+        // like `read` (this was missed originally, and an unpinned lookup
+        // can chase a position into memory being reclaimed).
+        let _pin = self.epoch.pin();
         self.lookup(table, key)
     }
 
@@ -358,10 +425,12 @@ impl Store {
         match self.log.append(entry) {
             Ok(out) => Ok(out),
             Err(_) if self.cleaner.enabled => {
-                // Emergency: first harvest anything the concurrent cleaner
-                // already retired (the epoch may simply not have been
-                // flipped yet), then clean inline, then retry once.
-                let _ = self.reclaim_now();
+                // Emergency: first harvest everything the concurrent cleaner
+                // already retired — waiting out in-flight lock-free readers
+                // whose epoch pins block the flip — then clean inline, then
+                // retry once.
+                let freed = self.reclaim_waiting();
+                self.stats.segments_freed += freed as u64;
                 let _ = self.clean();
                 self.log.append(entry).map_err(|_| StoreError::OutOfMemory)
             }
@@ -666,12 +735,16 @@ impl Store {
         let Some(ordered) = self.ordered.as_ref() else {
             return Err(StoreError::ScansDisabled);
         };
+        // One pin for the whole scan: every per-key lookup below chases log
+        // positions that the concurrent cleaner must not reclaim under us
+        // (scan had the same unpinned hole `peek` did).
+        let _pin = self.epoch.pin();
         let mut out = Vec::with_capacity(limit.min(64));
         for ((t, key), _) in ordered.range((table.0, start_key.to_vec())..) {
             if *t != table.0 || out.len() >= limit {
                 break;
             }
-            if let Some(obj) = self.peek(table, key) {
+            if let Some(obj) = self.lookup(table, key) {
                 out.push(obj);
             }
         }
@@ -1018,6 +1091,10 @@ mod tests {
                 deletes: 2,
                 read_hits: 2,
                 read_misses: 2,
+                read_lockfree: 2 * s.read_lockfree,
+                read_fallback_locked: 2 * s.read_fallback_locked,
+                value_views_live: 2 * s.value_views_live,
+                limbo_held_by_views: 2 * s.limbo_held_by_views,
                 cleanings: 2 * s.cleanings,
                 bytes_relocated: 2 * s.bytes_relocated,
                 segments_freed: 2 * s.segments_freed,

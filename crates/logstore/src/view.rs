@@ -1,0 +1,478 @@
+//! The lock-free, zero-copy read path: epoch-pinned probes returning
+//! refcounted views into live segment memory.
+//!
+//! A [`ReadHandle`] bundles everything one read needs without the store
+//! lock: the index's seqlock-protected slot array, the lock-free
+//! segment-id → buffer map, the epoch tracker, and the read counters. The
+//! handle is `Clone + Send + Sync`; the standalone server hands one to every
+//! dispatch thread so `read` RPCs never touch the shard `RwLock`.
+//!
+//! A successful read returns an [`ObjectView`] whose [`ValueView`] indexes
+//! straight into the segment's committed bytes — no copy. The view clones
+//! the segment buffer's `Arc`, so the bytes stay allocated (and, being a
+//! committed log prefix, immutable) even if the cleaner retires the segment
+//! while the view is alive; the limbo list refuses to reclaim a buffer whose
+//! strong count shows outstanding views. See `DESIGN.md` §4e for the full
+//! memory-safety argument.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::entry::parse_object_view;
+use crate::epoch::EpochTracker;
+use crate::hashtable::{CandidateBuf, IndexShared};
+use crate::segbuf::{SegmentBuf, SegmentMap};
+use crate::types::{key_hash, TableId, Version};
+
+/// Error: the lock-free probe kept colliding with the writer (or the index
+/// churned under it) for the entire retry budget. The caller should fall
+/// back to the locked read path — correctness never depends on the
+/// lock-free path succeeding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadContended;
+
+impl std::fmt::Display for ReadContended {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lock-free read contended; retry under the lock")
+    }
+}
+
+impl std::error::Error for ReadContended {}
+
+/// Shared read-path counters: hit/miss totals, how many reads completed
+/// lock-free vs. fell back to the lock, and the live value-view gauge.
+///
+/// One instance per [`Store`](crate::Store), shared by the store's locked
+/// read path and every [`ReadHandle`] cloned from it, so the totals are a
+/// single source of truth regardless of which path served a read.
+#[derive(Debug, Default)]
+pub struct ReadCounters {
+    pub(crate) read_hits: AtomicU64,
+    pub(crate) read_misses: AtomicU64,
+    pub(crate) read_lockfree: AtomicU64,
+    pub(crate) read_fallback_locked: AtomicU64,
+    pub(crate) value_views_live: AtomicU64,
+}
+
+impl ReadCounters {
+    /// Reads that found the key (either path).
+    pub fn hits(&self) -> u64 {
+        self.read_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads that missed (either path).
+    pub fn misses(&self) -> u64 {
+        self.read_misses.load(Ordering::Relaxed)
+    }
+
+    /// Reads completed on the lock-free path.
+    pub fn lockfree(&self) -> u64 {
+        self.read_lockfree.load(Ordering::Relaxed)
+    }
+
+    /// Reads that hit [`ReadContended`] and were served under the lock.
+    pub fn fallback_locked(&self) -> u64 {
+        self.read_fallback_locked.load(Ordering::Relaxed)
+    }
+
+    /// Zero-copy value views currently alive (a gauge, not a counter).
+    pub fn value_views_live(&self) -> u64 {
+        self.value_views_live.load(Ordering::Relaxed)
+    }
+
+    /// Records one contended read served by the locked fallback. Called by
+    /// the layer that owns the lock (e.g. the sharded store), since the
+    /// handle itself never takes it.
+    pub fn record_fallback_locked(&self) {
+        self.read_fallback_locked.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How a [`ValueView`] holds its bytes.
+enum Repr {
+    /// An owned (copied) value — the `LockedCopy` baseline and the
+    /// contended-fallback representation. `Bytes` is refcounted, so clones
+    /// of an owned view are still cheap.
+    Owned(Bytes),
+    /// A zero-copy window into a live segment buffer. The `Arc` keeps the
+    /// buffer allocated past retirement; the counters entry maintains the
+    /// `value_views_live` gauge.
+    Segment {
+        buf: Arc<SegmentBuf>,
+        start: usize,
+        end: usize,
+        counters: Arc<ReadCounters>,
+    },
+}
+
+/// A cheaply clonable handle on one object's value bytes.
+///
+/// Dereferences to `&[u8]`. Zero-copy views (the normal case on the
+/// lock-free path) pin their segment's memory — holding one for a long time
+/// delays reclamation of that segment, which the
+/// `limbo_held_by_views` statistic makes visible.
+pub struct ValueView {
+    repr: Repr,
+}
+
+impl ValueView {
+    /// Wraps an owned, already-copied value (the non-zero-copy baseline).
+    pub fn owned(bytes: Bytes) -> Self {
+        ValueView {
+            repr: Repr::Owned(bytes),
+        }
+    }
+
+    /// A zero-copy window `[start, end)` into `buf`'s committed prefix.
+    pub(crate) fn segment(
+        buf: Arc<SegmentBuf>,
+        start: usize,
+        end: usize,
+        counters: Arc<ReadCounters>,
+    ) -> Self {
+        debug_assert!(start <= end && end <= buf.len());
+        counters.value_views_live.fetch_add(1, Ordering::Relaxed);
+        ValueView {
+            repr: Repr::Segment {
+                buf,
+                start,
+                end,
+                counters,
+            },
+        }
+    }
+
+    /// The value bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Owned(b) => b,
+            Repr::Segment {
+                buf, start, end, ..
+            } => &buf.committed()[*start..*end],
+        }
+    }
+
+    /// Copies the bytes out (the boundary between zero-copy internals and
+    /// owning callers).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// True when this view points into segment memory rather than an owned
+    /// copy — i.e. it is pinning a segment buffer alive.
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self.repr, Repr::Segment { .. })
+    }
+}
+
+impl Clone for ValueView {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(b) => ValueView::owned(b.clone()),
+            Repr::Segment {
+                buf,
+                start,
+                end,
+                counters,
+            } => ValueView::segment(Arc::clone(buf), *start, *end, Arc::clone(counters)),
+        }
+    }
+}
+
+impl Drop for ValueView {
+    fn drop(&mut self) {
+        if let Repr::Segment { counters, .. } = &self.repr {
+            counters.value_views_live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Deref for ValueView {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ValueView {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ValueView {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ValueView {}
+
+impl std::fmt::Debug for ValueView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueView")
+            .field("len", &self.as_slice().len())
+            .field("zero_copy", &self.is_zero_copy())
+            .finish()
+    }
+}
+
+/// The result of a read: the object's metadata plus a [`ValueView`] on its
+/// value. The key is omitted — the caller supplied it.
+#[derive(Debug, Clone)]
+pub struct ObjectView {
+    /// Table the object belongs to.
+    pub table: TableId,
+    /// The object's version.
+    pub version: Version,
+    /// The value bytes.
+    pub value: ValueView,
+}
+
+/// Attempts before a lock-free read gives up and reports [`ReadContended`].
+/// Each retry means the writer mutated the index mid-probe (or a candidate
+/// pointed into a just-retired segment); sustained interference across this
+/// many attempts is pathological, so punt to the lock instead of spinning.
+const MAX_ATTEMPTS: usize = 16;
+
+/// A lock-free reader for one store, safe to clone into any thread.
+///
+/// Obtained from [`Store::read_handle`](crate::Store::read_handle).
+/// [`ReadHandle::try_read`] never blocks and never takes the store lock; it
+/// can fail with [`ReadContended`] under pathological writer interference,
+/// in which case the caller serves the read under the lock.
+#[derive(Debug, Clone)]
+pub struct ReadHandle {
+    index: Arc<IndexShared>,
+    segments: Arc<SegmentMap>,
+    epoch: Arc<EpochTracker>,
+    counters: Arc<ReadCounters>,
+}
+
+impl ReadHandle {
+    pub(crate) fn new(
+        index: Arc<IndexShared>,
+        segments: Arc<SegmentMap>,
+        epoch: Arc<EpochTracker>,
+        counters: Arc<ReadCounters>,
+    ) -> Self {
+        ReadHandle {
+            index,
+            segments,
+            epoch,
+            counters,
+        }
+    }
+
+    /// The read counters shared with the owning store.
+    pub fn counters(&self) -> &Arc<ReadCounters> {
+        &self.counters
+    }
+
+    /// Reads `key` without taking any lock, returning a zero-copy view.
+    ///
+    /// The read pins the current epoch for its duration; the returned view
+    /// then keeps its segment's bytes alive on its own (refcount), so the
+    /// view may be held arbitrarily long after this call returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadContended`] after `MAX_ATTEMPTS` failed probe validations —
+    /// the caller should fall back to the locked path (and record it via
+    /// [`ReadCounters::record_fallback_locked`]).
+    pub fn try_read(
+        &self,
+        table: TableId,
+        key: &[u8],
+    ) -> Result<Option<ObjectView>, ReadContended> {
+        let hash = key_hash(table, key);
+        let _pin = self.epoch.pin();
+        let mut candidates = CandidateBuf::new();
+        let mut attempts = 0;
+        'retry: loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(ReadContended);
+            }
+            if !self.index.try_candidates(hash, &mut candidates) {
+                std::hint::spin_loop();
+                continue 'retry;
+            }
+            for &pos in candidates.as_slice() {
+                let Some(seg) = self.segments.get(pos.segment) else {
+                    // The snapshot was valid, but the segment has since been
+                    // retired: the index must have swung this key to a new
+                    // position (the cleaner relocates live entries before
+                    // retiring a victim). Re-probe; never report a miss off
+                    // a stale candidate.
+                    continue 'retry;
+                };
+                let committed = seg.committed();
+                let start = pos.offset as usize;
+                if start >= committed.len() {
+                    // Offset beyond the committed prefix: a stale candidate
+                    // from a slot the writer is reusing. Re-probe.
+                    continue 'retry;
+                }
+                // No per-read CRC here: entries were checksummed at append,
+                // committed bytes are immutable, and `parse_object_view`
+                // bounds-checks every length it trusts.
+                match parse_object_view(&committed[start..]) {
+                    Ok(Some(raw)) if raw.table == table && raw.key == key => {
+                        let version = raw.version;
+                        let (value_start, value_end) =
+                            (start + raw.value_start, start + raw.value_end);
+                        let value = ValueView::segment(
+                            seg,
+                            value_start,
+                            value_end,
+                            Arc::clone(&self.counters),
+                        );
+                        self.counters.read_lockfree.fetch_add(1, Ordering::Relaxed);
+                        self.counters.read_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Some(ObjectView {
+                            table,
+                            version,
+                            value,
+                        }));
+                    }
+                    // A different key colliding on the 64-bit hash: keep
+                    // scanning the remaining candidates.
+                    Ok(Some(_)) => {}
+                    // A tombstone or unparsable bytes behind a validated
+                    // candidate means the slot went stale between the probe
+                    // and the parse. Re-probe.
+                    Ok(None) | Err(_) => continue 'retry,
+                }
+            }
+            self.counters.read_lockfree.fetch_add(1, Ordering::Relaxed);
+            self.counters.read_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use crate::store::Store;
+
+    const T: TableId = TableId(1);
+
+    fn store() -> Store {
+        Store::new(LogConfig {
+            segment_bytes: 512,
+            max_segments: 64,
+            ordered_index: false,
+        })
+    }
+
+    #[test]
+    fn lock_free_read_returns_zero_copy_view() {
+        let mut s = store();
+        s.write(T, b"k", b"value-bytes").unwrap();
+        let h = s.read_handle();
+        let view = h.try_read(T, b"k").unwrap().expect("present");
+        assert_eq!(&view.value[..], b"value-bytes");
+        assert_eq!(view.version, Version::FIRST);
+        assert!(view.value.is_zero_copy());
+        // The view's bytes are literally the segment's bytes.
+        let seg = s.log().segment(crate::types::SegmentId(0)).unwrap();
+        let seg_range = seg.as_bytes().as_ptr_range();
+        assert!(seg_range.contains(&view.value.as_slice().as_ptr()));
+        assert!(h.try_read(T, b"missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn view_gauge_tracks_clones_and_drops() {
+        let mut s = store();
+        s.write(T, b"k", b"v").unwrap();
+        let h = s.read_handle();
+        assert_eq!(h.counters().value_views_live(), 0);
+        let a = h.try_read(T, b"k").unwrap().unwrap();
+        assert_eq!(h.counters().value_views_live(), 1);
+        let b = a.clone();
+        assert_eq!(h.counters().value_views_live(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(h.counters().value_views_live(), 0);
+        // Owned views don't touch the gauge.
+        let o = ValueView::owned(Bytes::from_static(b"x"));
+        assert!(!o.is_zero_copy());
+        assert_eq!(h.counters().value_views_live(), 0);
+    }
+
+    #[test]
+    fn counters_are_shared_between_paths() {
+        let mut s = store();
+        s.write(T, b"k", b"v").unwrap();
+        let h = s.read_handle();
+        let _ = s.read(T, b"k"); // locked-path hit
+        let _ = h.try_read(T, b"k").unwrap(); // lock-free hit
+        let _ = h.try_read(T, b"gone").unwrap(); // lock-free miss
+        let st = s.stats();
+        assert_eq!((st.read_hits, st.read_misses), (2, 1));
+        assert_eq!(st.read_lockfree, 2);
+        assert_eq!(st.read_fallback_locked, 0);
+        h.counters().record_fallback_locked();
+        assert_eq!(s.stats().read_fallback_locked, 1);
+    }
+
+    #[test]
+    fn view_outlives_overwrite_and_inline_clean() {
+        // A held view must keep returning the exact bytes it resolved, even
+        // after the key is overwritten many times and cleaning retires the
+        // original segment.
+        let mut s = store();
+        s.write(T, b"stable", b"original").unwrap();
+        let h = s.read_handle();
+        let view = h.try_read(T, b"stable").unwrap().unwrap();
+        assert_eq!(&view.value[..], b"original");
+        for i in 0..2000u32 {
+            s.write(T, b"stable", format!("overwrite-{i}").as_bytes())
+                .unwrap();
+            s.write(T, format!("churn-{}", i % 40).as_bytes(), &[0u8; 64])
+                .unwrap();
+        }
+        assert!(s.stats().cleanings > 0, "churn must have cleaned");
+        // The old bytes are unreachable through the index…
+        assert_eq!(
+            &h.try_read(T, b"stable").unwrap().unwrap().value[..],
+            b"overwrite-1999"
+        );
+        // …but the held view still pins the original, unmutated.
+        assert_eq!(&view.value[..], b"original");
+        assert_eq!(view.version, Version::FIRST);
+    }
+
+    #[test]
+    fn reads_agree_with_locked_path_under_mutation() {
+        let mut s = store();
+        let h = s.read_handle();
+        for i in 0..200u32 {
+            let key = format!("k{}", i % 16);
+            s.write(T, key.as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+            if i % 7 == 0 {
+                s.delete(T, key.as_bytes()).unwrap();
+            }
+            for j in 0..16u32 {
+                let key = format!("k{j}");
+                let locked = s.peek(T, key.as_bytes());
+                let lockfree = h.try_read(T, key.as_bytes()).unwrap();
+                match (locked, lockfree) {
+                    (Some(rec), Some(view)) => {
+                        assert_eq!(rec.version, view.version);
+                        assert_eq!(&rec.value[..], &view.value[..]);
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("paths disagree on {key}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

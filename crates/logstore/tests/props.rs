@@ -127,6 +127,48 @@ proptest! {
         prop_assert_eq!(before, live_map(&store));
     }
 
+    /// The lock-free read handle agrees with the locked store — value,
+    /// version, hit and miss alike — after every operation of an arbitrary
+    /// write/delete/clean interleaving. This pins the seqlock-published
+    /// index and the segment map to the same semantics as the locked path
+    /// they shadow.
+    #[test]
+    fn lockfree_reads_match_locked_store(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut store = Store::with_cleaner(
+            LogConfig { segment_bytes: 512, max_segments: 64, ordered_index: false },
+            CleanerConfig::default(),
+        );
+        let handle = store.read_handle();
+        for op in ops {
+            match op {
+                Op::Write(k, v) => { store.write(T, &key_bytes(k), &v).unwrap(); }
+                Op::Delete(k) => { store.delete(T, &key_bytes(k)).unwrap(); }
+                Op::Clean => { store.clean(); }
+            }
+            // With no writer active mid-probe the lock-free path must never
+            // report contention, and must agree with the locked read exactly.
+            for k in 0..24u8 {
+                let key = key_bytes(k);
+                let locked = store.read(T, &key);
+                let lockfree = handle.try_read(T, &key)
+                    .expect("probe cannot be contended without a concurrent writer");
+                match (locked, lockfree) {
+                    (None, None) => {}
+                    (Some(rec), Some(view)) => {
+                        prop_assert_eq!(view.version, rec.version);
+                        prop_assert_eq!(view.value.as_slice(), &rec.value[..]);
+                        prop_assert!(view.value.is_zero_copy(), "uncontended probe must not copy");
+                    }
+                    (locked, lockfree) => prop_assert!(
+                        false,
+                        "paths disagree on {:?}: locked hit={} lock-free hit={}",
+                        key, locked.is_some(), lockfree.is_some()
+                    ),
+                }
+            }
+        }
+    }
+
     /// Object entries round-trip arbitrary tables, keys, values, versions,
     /// and optional RIFL completion records.
     #[test]

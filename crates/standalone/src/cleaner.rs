@@ -73,6 +73,41 @@ impl ShardCleanerMetrics {
     }
 }
 
+/// Per-shard read-path metrics under `read.{shard}.*`, published by the
+/// same cleaner thread (absolute values; the engine's shared atomics are
+/// the source of truth, the registry is the export surface).
+struct ShardReadMetrics {
+    /// Reads completed on the lock-free path.
+    lockfree: CounterHandle,
+    /// Contended probes served under the shard read lock instead.
+    fallback_locked: CounterHandle,
+    /// Gauge: zero-copy value views currently alive.
+    value_views_live: CounterHandle,
+    /// Gauge: epoch-safe limbo segments still pinned by outstanding views.
+    limbo_held_by_views: CounterHandle,
+}
+
+impl ShardReadMetrics {
+    fn new(registry: &MetricsRegistry, shard: usize) -> Self {
+        let c = |name: &str| registry.counter(&format!("read.{shard}.{name}"));
+        ShardReadMetrics {
+            lockfree: c("lockfree"),
+            fallback_locked: c("fallback_locked"),
+            value_views_live: c("value_views_live"),
+            limbo_held_by_views: c("limbo_held_by_views"),
+        }
+    }
+
+    /// Re-exports the engine's read counters into the registry.
+    fn publish(&self, shard: &RwLock<Store>) {
+        let stats = shard.read().stats();
+        self.lockfree.set(stats.read_lockfree);
+        self.fallback_locked.set(stats.read_fallback_locked);
+        self.value_views_live.set(stats.value_views_live);
+        self.limbo_held_by_views.set(stats.limbo_held_by_views);
+    }
+}
+
 /// One background cleaner thread per shard. Stopped and joined by
 /// [`CleanerPool::stop_and_join`] (or detached by `Drop`; threads observe
 /// the stop flag within one idle backoff).
@@ -98,9 +133,10 @@ impl CleanerPool {
                 let store = Arc::clone(store);
                 let stop = Arc::clone(&stop);
                 let metrics = ShardCleanerMetrics::new(registry, i);
+                let read_metrics = ShardReadMetrics::new(registry, i);
                 std::thread::Builder::new()
                     .name(format!("rmc-cleaner-{i}"))
-                    .spawn(move || cleaner_loop(store.shard(i), &stop, &metrics))
+                    .spawn(move || cleaner_loop(store.shard(i), &stop, &metrics, &read_metrics))
                     .expect("spawn cleaner")
             })
             .collect();
@@ -126,7 +162,12 @@ impl Drop for CleanerPool {
 
 /// The per-shard cleaner loop: poll the balancer, run one pass when it
 /// asks for one, otherwise harvest safe limbo segments and back off.
-fn cleaner_loop(shard: &RwLock<Store>, stop: &AtomicBool, metrics: &ShardCleanerMetrics) {
+fn cleaner_loop(
+    shard: &RwLock<Store>,
+    stop: &AtomicBool,
+    metrics: &ShardCleanerMetrics,
+    read_metrics: &ShardReadMetrics,
+) {
     while !stop.load(Ordering::Acquire) {
         let Some(kind) = shard.read().clean_pressure() else {
             // No pressure. Epochs may still have advanced past limbo
@@ -139,6 +180,7 @@ fn cleaner_loop(shard: &RwLock<Store>, stop: &AtomicBool, metrics: &ShardCleaner
                 metrics.segments_freed.add(freed as u64);
             }
             metrics.reclamation_lag.set(shard.read().reclamation_lag());
+            read_metrics.publish(shard);
             std::thread::sleep(IDLE_BACKOFF);
             continue;
         };
@@ -176,5 +218,8 @@ fn cleaner_loop(shard: &RwLock<Store>, stop: &AtomicBool, metrics: &ShardCleaner
             metrics.tombstones_dropped.add(out.tombstones_dropped);
         }
         metrics.reclamation_lag.set(shard.read().reclamation_lag());
+        read_metrics.publish(shard);
     }
+    // Final export so post-shutdown metric snapshots see the end state.
+    read_metrics.publish(shard);
 }

@@ -47,4 +47,4 @@ pub use dispatch::DispatchMode;
 pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, ThreadRuntime};
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
 pub use server::{Client, ClientError, ServerConfig, StandaloneServer};
-pub use shard::ShardedStore;
+pub use shard::{ReadPath, ShardedStore};

@@ -10,9 +10,11 @@
 //!   shards and has a private queue carrying only mutations of those
 //!   shards, so writes to a shard are single-threaded and the per-shard
 //!   write lock is never contended by another worker. Reads skip dispatch
-//!   entirely: [`Client::read`] executes on the client thread against the
-//!   shard under its read lock (the engine's hit/miss counters are
-//!   atomics, so `&self` reads are safe to run concurrently).
+//!   entirely: [`Client::read`] / [`Client::read_view`] execute on the
+//!   client thread against the shard — with the default
+//!   [`ReadPath::LockFreeZeroCopy`] engine mode they never even take the
+//!   shard lock (epoch-pinned lock-free index probe; `read_view` returns a
+//!   zero-copy view into the live segment).
 //!
 //! Batched operations ([`Client::multiread`] / [`Client::multiwrite`])
 //! mirror RAMCloud's multi-ops: keys are grouped by destination worker and
@@ -39,9 +41,11 @@ use rmc_logstore::{
 
 use rmc_runtime::{MetricsRegistry, StripedCounter};
 
+use rmc_logstore::{ObjectView, ValueView};
+
 use crate::cleaner::CleanerPool;
 use crate::dispatch::{worker_for_shard, BatchGuard, BatchSlot, DispatchMode};
-use crate::shard::ShardedStore;
+use crate::shard::{ReadPath, ShardedStore};
 
 /// Configuration of a [`StandaloneServer`].
 #[derive(Debug, Clone)]
@@ -56,6 +60,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// How requests reach workers.
     pub dispatch: DispatchMode,
+    /// How point reads are served by the engine (lock-free zero-copy by
+    /// default; see [`ReadPath`]).
+    pub read_path: ReadPath,
     /// Per-shard cleaner policy (thresholds, compaction, victim limits).
     pub cleaner: CleanerConfig,
     /// Run the cleaner on background per-shard threads (the RAMCloud
@@ -78,6 +85,7 @@ impl Default for ServerConfig {
             },
             queue_capacity: 1024,
             dispatch: DispatchMode::ShardAffinity,
+            read_path: ReadPath::default(),
             cleaner: CleanerConfig::default(),
             concurrent_cleaning: true,
         }
@@ -241,6 +249,73 @@ impl Client {
                     .map_err(|_| ClientError::ServerStopped)?;
                 Self::await_reply(rx)
             }
+        }
+    }
+
+    /// Reads a key as an [`ObjectView`] — under the default
+    /// [`ReadPath::LockFreeZeroCopy`] engine mode and
+    /// [`DispatchMode::ShardAffinity`], a hit is served with **no queue, no
+    /// lock, and no copy**: the view points into the live segment and keeps
+    /// those bytes alive for as long as the caller holds it.
+    ///
+    /// Under [`DispatchMode::GlobalQueue`] the read crosses the worker
+    /// queue like any other op and the view owns a copy (the queue reply is
+    /// an owned record), so zero-copy is a fast-path property, not an API
+    /// guarantee — check [`ValueView::is_zero_copy`] when it matters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] if the server is gone.
+    pub fn read_view(&self, table: TableId, key: &[u8]) -> Result<Option<ObjectView>, ClientError> {
+        match self.mode {
+            DispatchMode::ShardAffinity => {
+                if self.stopped.load(Ordering::Acquire) {
+                    return Err(ClientError::ServerStopped);
+                }
+                let shard = self.store.shard_index(table, key);
+                let got = self.store.read_view(table, key);
+                self.fast_reads.add(shard);
+                Ok(got)
+            }
+            DispatchMode::GlobalQueue => Ok(self.read(table, key)?.map(record_into_view)),
+        }
+    }
+
+    /// Reads many keys as [`ObjectView`]s (the zero-copy flavor of
+    /// [`Client::multiread`]). Results come back in `keys` order; misses are
+    /// `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ServerStopped`] if the server is gone.
+    pub fn multiread_views(
+        &self,
+        table: TableId,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<ObjectView>>, ClientError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.mode {
+            DispatchMode::ShardAffinity => {
+                if self.stopped.load(Ordering::Acquire) {
+                    return Err(ClientError::ServerStopped);
+                }
+                Ok(keys
+                    .iter()
+                    .map(|key| {
+                        let shard = self.store.shard_index(table, key);
+                        let got = self.store.read_view(table, key);
+                        self.fast_reads.add(shard);
+                        got
+                    })
+                    .collect())
+            }
+            DispatchMode::GlobalQueue => Ok(self
+                .multiread(table, keys)?
+                .into_iter()
+                .map(|got| got.map(record_into_view))
+                .collect()),
         }
     }
 
@@ -414,6 +489,16 @@ impl Client {
     }
 }
 
+/// Wraps an owned record as a view (the queue-crossing read paths, where
+/// the bytes were already copied to build the reply).
+fn record_into_view(record: ObjectRecord) -> ObjectView {
+    ObjectView {
+        table: record.table,
+        version: record.version,
+        value: ValueView::owned(record.value),
+    }
+}
+
 /// The running server: a worker pool over a sharded log-structured engine.
 #[derive(Debug)]
 pub struct StandaloneServer {
@@ -442,10 +527,11 @@ impl StandaloneServer {
             // keeps only the emergency inline clean for true out-of-memory.
             cleaner.proactive = false;
         }
-        let store = Arc::new(ShardedStore::with_cleaner(
+        let store = Arc::new(ShardedStore::with_read_path(
             config.shards,
             config.log.clone(),
             cleaner,
+            config.read_path,
         ));
         let metrics = MetricsRegistry::new();
         let cleaners = (config.concurrent_cleaning && cleaner.enabled)
@@ -519,7 +605,12 @@ impl StandaloneServer {
     /// The server's metrics registry. Background cleaner threads publish
     /// per-shard counters here under `cleaner.{shard}.*` — passes, segments
     /// freed/compacted, survivor and relocated bytes, tombstones dropped,
-    /// busy nanoseconds, and the reclamation epoch-lag gauge.
+    /// busy nanoseconds, and the reclamation epoch-lag gauge — and
+    /// re-export the engine's read-path counters under `read.{shard}.*`
+    /// (`lockfree`, `fallback_locked`, and the `value_views_live` /
+    /// `limbo_held_by_views` gauges). The read metrics are published by the
+    /// cleaner threads, so they are absent when `concurrent_cleaning` is
+    /// off; [`ShardedStore::stats`] is always authoritative.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -730,6 +821,83 @@ mod tests {
             }
             assert_eq!(srv.store().object_count(), 1600);
             assert_eq!(srv.ops_executed(), 8 * 200 * 2);
+            srv.shutdown();
+        }
+    }
+
+    #[test]
+    fn read_view_fast_path_is_zero_copy() {
+        let srv = server();
+        let client = srv.client();
+        client.write(T, b"k", b"view-bytes").unwrap();
+        let view = client.read_view(T, b"k").unwrap().expect("present");
+        assert_eq!(&view.value[..], b"view-bytes");
+        assert!(
+            view.value.is_zero_copy(),
+            "shard-affinity + zero-copy mode must not copy"
+        );
+        assert_eq!(srv.store().stats().value_views_live, 1);
+        drop(view);
+        assert_eq!(srv.store().stats().value_views_live, 0);
+        assert!(client.read_view(T, b"missing").unwrap().is_none());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn read_view_through_global_queue_is_owned() {
+        let srv = server_with(DispatchMode::GlobalQueue);
+        let client = srv.client();
+        client.write(T, b"k", b"v").unwrap();
+        let view = client.read_view(T, b"k").unwrap().expect("present");
+        assert_eq!(&view.value[..], b"v");
+        assert!(!view.value.is_zero_copy(), "queue replies are owned copies");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn read_respects_configured_read_path() {
+        let srv = StandaloneServer::start(ServerConfig {
+            read_path: ReadPath::LockedCopy,
+            ..ServerConfig::default()
+        });
+        let client = srv.client();
+        client.write(T, b"k", b"v").unwrap();
+        let view = client.read_view(T, b"k").unwrap().expect("present");
+        assert!(!view.value.is_zero_copy());
+        let stats = srv.store().stats();
+        assert_eq!(
+            stats.read_lockfree, 0,
+            "locked baseline must not go lock-free"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn multiread_views_preserves_order() {
+        for mode in [DispatchMode::ShardAffinity, DispatchMode::GlobalQueue] {
+            let srv = server_with(mode);
+            let client = srv.client();
+            for i in 0..16 {
+                client
+                    .write(T, format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            let keys: Vec<Vec<u8>> = (0..20)
+                .map(|i| format!("k{}", 19 - i).into_bytes())
+                .collect();
+            let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let got = client.multiread_views(T, &refs).unwrap();
+            assert_eq!(got.len(), 20);
+            for (i, entry) in got.iter().enumerate() {
+                let idx = 19 - i;
+                if idx < 16 {
+                    let view = entry.as_ref().expect("present key");
+                    assert_eq!(&view.value[..], format!("v{idx}").as_bytes());
+                } else {
+                    assert!(entry.is_none());
+                }
+            }
+            assert!(client.multiread_views(T, &[]).unwrap().is_empty());
             srv.shutdown();
         }
     }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use rmc_chaos::{check_histories, OpKind, OpRecord};
 use rmc_logstore::{LogConfig, TableId};
+use rmc_runtime::MetricsRegistry;
 use rmc_standalone::{Client, ServerConfig, StandaloneServer};
 
 const T: TableId = TableId(7);
@@ -64,6 +65,62 @@ fn reader_loop(client: &Client, stop: &AtomicBool) -> u64 {
     reads
 }
 
+/// Grabs zero-copy `ValueView`s over the whole key space, snapshots their
+/// bytes, then *holds* the views while at least one full cleaner pass
+/// retires segments underneath them — and asserts the bytes visible
+/// through every held view never change. This is the core zero-copy
+/// safety contract: a view pins its segment buffer, so relocation and
+/// even log-side retirement of the victim must not mutate or reclaim the
+/// memory a live handle points into.
+fn holder_loop(client: &Client, metrics: &MetricsRegistry, stop: &AtomicBool) -> (u64, u64) {
+    let mut held_checks = 0u64;
+    let mut zero_copy_views = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        // Acquire a view + byte snapshot of every key.
+        let mut held = Vec::with_capacity(WRITERS * KEYS_PER_WRITER);
+        for w in 0..WRITERS {
+            for i in 0..KEYS_PER_WRITER {
+                let view = client
+                    .read_view(T, &key_for(w, i))
+                    .expect("server alive")
+                    .expect("preloaded key can never be absent");
+                // A contended probe falls back to the locked path and
+                // returns an owned copy — zero-copy is a fast-path
+                // property, not an API guarantee — so count rather than
+                // require it; the end of the test asserts it dominates.
+                zero_copy_views += u64::from(view.value.is_zero_copy());
+                let snapshot = view.value.to_vec();
+                assert_eq!(
+                    snapshot,
+                    value_for(w, i, view.version.0 - 1),
+                    "view bytes must match the version they were read at"
+                );
+                held.push((w, i, view, snapshot));
+            }
+        }
+        // Hold the views across cleaner activity: wait until the pass
+        // counter advances (bounded, in case the writers finish first).
+        let passes_before = metrics.sum("cleaner.", ".passes");
+        for _ in 0..1_000 {
+            if stop.load(Ordering::Acquire) || metrics.sum("cleaner.", ".passes") > passes_before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Every held view must still expose exactly the bytes it had when
+        // acquired, no matter what the cleaner did in the meantime.
+        for (w, i, view, snapshot) in &held {
+            assert_eq!(
+                view.value.as_slice(),
+                &snapshot[..],
+                "bytes mutated under a live view for w{w}-k{i}"
+            );
+            held_checks += 1;
+        }
+    }
+    (held_checks, zero_copy_views)
+}
+
 #[test]
 fn readers_never_see_stale_data_while_cleaner_runs() {
     // Per-shard budget 24 segments × 4 KiB = 96 KiB; the run appends
@@ -97,6 +154,12 @@ fn readers_never_see_stale_data_while_cleaner_runs() {
             std::thread::spawn(move || reader_loop(&client, &stop))
         })
         .collect();
+    let holder = {
+        let client = srv.client();
+        let metrics = srv.metrics().clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || holder_loop(&client, &metrics, &stop))
+    };
 
     // Each writer owns a disjoint key space and writes sequentially —
     // the discipline the chaos history checker assumes.
@@ -136,6 +199,15 @@ fn readers_never_see_stale_data_while_cleaner_runs() {
         .map(|h| h.join().expect("reader panicked"))
         .sum();
     assert!(reads > 0, "readers must have observed the store");
+    let (held_checks, zero_copy_views) = holder.join().expect("view holder panicked");
+    assert!(
+        held_checks > 0,
+        "the holder must have re-verified views held across cleaner passes"
+    );
+    assert!(
+        zero_copy_views > held_checks / 2,
+        "the lock-free zero-copy path must dominate: {zero_copy_views} of {held_checks}"
+    );
 
     // Fold the preload into a history of its own so the checker sees every
     // write ever acked (version 1 of each key).
