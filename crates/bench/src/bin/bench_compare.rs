@@ -13,11 +13,19 @@
 //! are noisy) and the exit code stays 0; `--strict` turns any regression
 //! beyond the threshold into a failure.
 //!
+//! With `--history FILE`, each comparison also appends one compact JSONL
+//! record (timestamp, benchmark, per-row throughputs, regression count) to
+//! `FILE` — a durable trend log (`results/bench_history.jsonl`) that
+//! accumulates across runs where individual `BENCH_*.json` files only hold
+//! the latest.
+//!
 //! Usage:
 //!   bench_compare --baseline OLD.json --current NEW.json
-//!                 [--threshold PCT] [--strict]
+//!                 [--threshold PCT] [--strict] [--history FILE]
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use rmc_bench::json::{self, Json};
 use rmc_bench::kops;
@@ -103,12 +111,44 @@ fn compare(baseline: &Json, current: &Json, threshold: f64) -> (Vec<String>, Vec
     (regressions, notes)
 }
 
+/// Appends one compact JSONL record of this comparison to `path`.
+fn append_history(
+    path: &str,
+    benchmark: &str,
+    current: &Json,
+    regressions: usize,
+) -> Result<(), String> {
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let row_entries: Vec<Json> = rows(current)
+        .into_iter()
+        .map(|(key, ops)| Json::obj(vec![("key", key.into()), ("ops_per_sec", ops.into())]))
+        .collect();
+    let record = Json::obj(vec![
+        ("unix_secs", unix_secs.into()),
+        ("benchmark", benchmark.into()),
+        ("rows", Json::Arr(row_entries)),
+        ("regressions", regressions.into()),
+    ]);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {path}: {e}"))?;
+    writeln!(file, "{}", record.to_compact()).map_err(|e| format!("append {path}: {e}"))?;
+    println!("history -> {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = None;
     let mut current_path = None;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut strict = false;
+    let mut history_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -131,11 +171,15 @@ fn main() -> ExitCode {
                 };
             }
             "--strict" => strict = true,
+            "--history" if i + 1 < args.len() => {
+                i += 1;
+                history_path = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench_compare --baseline OLD.json --current NEW.json \
-                     [--threshold PCT] [--strict]"
+                     [--threshold PCT] [--strict] [--history FILE]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -171,6 +215,13 @@ fn main() -> ExitCode {
             notes.len() + regressions.len(),
             regressions.len()
         );
+        if let Some(path) = &history_path {
+            let benchmark = current
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            append_history(path, benchmark, &current, regressions.len())?;
+        }
         Ok(!regressions.is_empty())
     })();
 

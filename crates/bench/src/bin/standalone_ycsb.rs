@@ -25,10 +25,11 @@ use rmc_bench::json::{self, Json};
 use rmc_bench::kops;
 use rmc_bench::report::{validate_standalone_report, SCHEMA_VERSION};
 use rmc_core::protocol::ProtocolConfig;
+use rmc_energy::{attribute_energy, NodeActivity, OpClassUsage, PowerProfile};
 use rmc_logstore::{LogConfig, TableId};
-use rmc_runtime::SimDuration;
+use rmc_runtime::{MetricsRegistry, SimDuration};
 use rmc_standalone::{
-    Client, DispatchMode, MiniClient, MiniCluster, ServerConfig, StandaloneServer,
+    Client, DispatchMode, MiniClient, MiniCluster, ServerConfig, StandaloneServer, STAGE_SAMPLE,
 };
 use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
 use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
@@ -224,6 +225,91 @@ struct Measurement {
     cleaner: Json,
     /// Read-path mode and fast-path counters snapshotted before shutdown.
     read_path: Json,
+    /// Per-stage latency decomposition (`stage.*` histograms).
+    stages: Json,
+    /// Per-op-class energy attribution derived from the stage busy times.
+    energy: Json,
+}
+
+/// One `stage.*` histogram rendered as the report's summary block.
+fn stage_summary(m: &MetricsRegistry, name: &str) -> Json {
+    let h = m.histogram(name).snapshot();
+    Json::obj(vec![
+        ("count", h.count().into()),
+        ("mean_ns", h.mean().into()),
+        ("p50_ns", h.quantile(0.5).into()),
+        ("p99_ns", h.quantile(0.99).into()),
+        ("max_ns", h.max().into()),
+    ])
+}
+
+/// The per-stage latency decomposition block: where a sampled op's time
+/// went — dispatch-queue wait, shard service, and (for reads that lost the
+/// lock-free race) fallback-lock dwell.
+fn stages_json(server: &StandaloneServer) -> Json {
+    let m = server.metrics();
+    Json::obj(vec![
+        ("sample_period", STAGE_SAMPLE.into()),
+        ("queue_wait_ns", stage_summary(m, "stage.queue_wait_ns")),
+        ("read_service_ns", stage_summary(m, "stage.read_service_ns")),
+        (
+            "write_service_ns",
+            stage_summary(m, "stage.write_service_ns"),
+        ),
+        (
+            "fallback_locked_ns",
+            stage_summary(m, "stage.fallback_locked_ns"),
+        ),
+    ])
+}
+
+/// Splits the run's modelled node energy across op classes using the
+/// decomposed stage busy times (sampled sums scaled back up by the
+/// sampling period; cleaner busy time is tracked unsampled).
+fn energy_json(server: &StandaloneServer, summary: &RunSummary) -> Json {
+    let m = server.metrics();
+    let sampled_busy = |name: &str| {
+        let h = m.histogram(name).snapshot();
+        (h.mean() * h.count() as f64) as u64 * STAGE_SAMPLE
+    };
+    let read_busy = sampled_busy("stage.read_service_ns");
+    let write_busy = sampled_busy("stage.write_service_ns");
+    let cleaner_busy = m.sum("cleaner.", ".busy_ns");
+    let classes = vec![
+        OpClassUsage::new("read", summary.reads.count, read_busy),
+        OpClassUsage::new("write", summary.writes.count, write_busy),
+        OpClassUsage::new("cleaner", 0, cleaner_busy),
+    ];
+    let elapsed = summary.elapsed_secs.max(1e-9);
+    let total_busy = (read_busy + write_busy + cleaner_busy) as f64;
+    let profile = PowerProfile::grid5000_nancy();
+    let activity = NodeActivity {
+        cpu: (total_busy / (elapsed * 1e9)).clamp(0.0, 1.0),
+        ..NodeActivity::idle()
+    };
+    let split = attribute_energy(&profile, activity, elapsed, &classes);
+    let total: f64 = split.iter().map(|a| a.joules).sum();
+    Json::obj(vec![
+        ("profile", "grid5000_nancy".into()),
+        ("total_joules", total.into()),
+        (
+            "classes",
+            Json::Arr(
+                split
+                    .iter()
+                    .map(|a| {
+                        Json::obj(vec![
+                            ("name", a.name.as_str().into()),
+                            ("ops", a.ops.into()),
+                            ("joules", a.joules.into()),
+                            ("micro_joules_per_op", a.micro_joules_per_op.into()),
+                            ("ops_per_joule", a.ops_per_joule.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Sums the per-shard `cleaner.{shard}.*` counters into the report's
@@ -292,12 +378,27 @@ fn run_one(
     )?;
     let cleaner = cleaner_json(&server);
     let read_path = read_path_json(&server);
+    let stages = stages_json(&server);
+    let energy = energy_json(&server, &summary);
+    let p50_us =
+        |name: &str| server.metrics().histogram(name).snapshot().quantile(0.5) as f64 / 1000.0;
+    let queue_p50 = p50_us("stage.queue_wait_ns");
+    let read_svc_p50 = p50_us("stage.read_service_ns");
+    let write_svc_p50 = p50_us("stage.write_service_ns");
     server.shutdown();
     println!(
         "  {:<14} workers={workers} mix={mix:<8} batch={batch_size:<3} {:>9} ops/s  read p99 {:>8.1} us",
         dispatch_name(dispatch),
         kops(summary.throughput_ops_per_sec),
         summary.reads.p99_us,
+    );
+    // The sampled decomposition next to the end-to-end figures it must
+    // stay consistent with: each stage p50 can only be a part of — never
+    // exceed by much — the matching op class's end-to-end p50.
+    println!(
+        "      stages (1/{STAGE_SAMPLE} sampled): queue p50 {queue_p50:.1} us | read svc p50 {read_svc_p50:.1} us (e2e {:.1}) | write svc p50 {write_svc_p50:.1} us (e2e {:.1})",
+        summary.reads.p50_us,
+        summary.writes.p50_us,
     );
     Ok(Measurement {
         dispatch,
@@ -308,6 +409,8 @@ fn run_one(
         summary,
         cleaner,
         read_path,
+        stages,
+        energy,
     })
 }
 
@@ -347,14 +450,44 @@ fn run_mini(scale: Scale) -> Result<Json, String> {
         },
     )?;
     drop(backend);
-    cluster.shutdown();
+    let report = cluster.shutdown();
+    // Replication-ack wait: how long masters sat on a committed write
+    // waiting for backup acks — the decomposed cost of durability, next to
+    // the end-to-end write latency it explains. Counts sum over servers;
+    // quantiles quote the worst server.
+    let ack_count = report.metrics.sum("server.", ".ack_wait_count");
+    let snap = report.metrics.snapshot();
+    let worst = |suffix: &str| {
+        snap.iter()
+            .filter(|(k, _)| k.starts_with("server.") && k.ends_with(suffix))
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
+    };
     println!(
         "  {:<14} servers={MINI_SERVERS} r={MINI_REPLICATION} mix={COMPARISON_MIX:<8} {:>9} ops/s  write p99 {:>8.1} us",
         "mini_cluster",
         kops(summary.throughput_ops_per_sec),
         summary.writes.p99_us,
     );
+    println!(
+        "      ack wait: {} waits | worst-server p99 {:.1} us (write e2e p99 {:.1}) | {} span events",
+        ack_count,
+        worst(".ack_wait_p99_ns") as f64 / 1000.0,
+        summary.writes.p99_us,
+        report.spans.len(),
+    );
     Ok(Json::obj(vec![
+        (
+            "replication_ack_wait",
+            Json::obj(vec![
+                ("count", ack_count.into()),
+                ("worst_p50_ns", worst(".ack_wait_p50_ns").into()),
+                ("worst_p99_ns", worst(".ack_wait_p99_ns").into()),
+                ("max_ns", worst(".ack_wait_max_ns").into()),
+            ]),
+        ),
+        ("span_events", report.spans.len().into()),
         ("servers", MINI_SERVERS.into()),
         ("replication", MINI_REPLICATION.into()),
         ("mix", COMPARISON_MIX.into()),
@@ -411,6 +544,8 @@ fn report(measurements: &[Measurement], mini: Json, scale: Scale) -> Result<Json
                 ("write_latency_us", latency_json(&m.summary.writes)),
                 ("cleaner", m.cleaner.clone()),
                 ("read_path", m.read_path.clone()),
+                ("stages", m.stages.clone()),
+                ("energy", m.energy.clone()),
             ])
         })
         .collect();

@@ -115,6 +115,46 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
             let rctx = format!("{ctx}.read_path");
             validate_read_path_block(read_path, &rctx)?;
         }
+        // The per-stage latency decomposition is optional (older reports
+        // predate it); when present every stage summary must be complete.
+        if let Some(stages) = result.get("stages") {
+            let sctx = format!("{ctx}.stages");
+            for key in [
+                "queue_wait_ns",
+                "read_service_ns",
+                "write_service_ns",
+                "fallback_locked_ns",
+            ] {
+                let stage = field(stages, &sctx, key)?;
+                let kctx = format!("{sctx}.{key}");
+                if num(stage, &kctx, "count")? < 0.0 {
+                    return Err(format!("{kctx}: \"count\" must be non-negative"));
+                }
+                for stat in ["mean_ns", "p50_ns", "p99_ns", "max_ns"] {
+                    if num(stage, &kctx, stat)? < 0.0 {
+                        return Err(format!("{kctx}: \"{stat}\" must be non-negative"));
+                    }
+                }
+            }
+        }
+        // The per-op-class energy attribution is optional; when present the
+        // class splits must carry non-negative joules.
+        if let Some(energy) = result.get("energy") {
+            let ectx = format!("{ctx}.energy");
+            num(energy, &ectx, "total_joules")?;
+            let classes = field(energy, &ectx, "classes")?
+                .as_array()
+                .ok_or_else(|| format!("{ectx}: \"classes\" must be an array"))?;
+            for (j, class) in classes.iter().enumerate() {
+                let cctx = format!("{ectx}.classes[{j}]");
+                string(class, &cctx, "name")?;
+                for key in ["ops", "joules", "micro_joules_per_op", "ops_per_joule"] {
+                    if num(class, &cctx, key)? < 0.0 {
+                        return Err(format!("{cctx}: \"{key}\" must be non-negative"));
+                    }
+                }
+            }
+        }
     }
 
     let comparison = field(doc, "report", "comparison")?;
@@ -344,6 +384,149 @@ pub fn validate_cleaner_report(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Computes the obs-ablation overhead statistic from per-round paired
+/// throughputs `(disabled, enabled)`: each round's relative overhead in
+/// percent, then the 25 %-trimmed mean across rounds. The emitter runs
+/// each round's pair back to back with alternating order, so this
+/// statistic cancels both slow drift and run-order effects that would
+/// otherwise swamp a ~1 % signal on shared hardware. Shared between the
+/// emitter and [`validate_obs_report`], which recomputes it from the
+/// report's own rows.
+///
+/// # Errors
+///
+/// When `rounds` is empty or a throughput is non-positive.
+pub fn paired_overhead_percent(rounds: &[(f64, f64)]) -> Result<f64, String> {
+    if rounds.is_empty() {
+        return Err("no paired rounds to compare".into());
+    }
+    let mut deltas = Vec::with_capacity(rounds.len());
+    for &(disabled, enabled) in rounds {
+        if disabled <= 0.0 || enabled <= 0.0 {
+            return Err("paired throughputs must be positive".into());
+        }
+        deltas.push((disabled - enabled) / disabled * 100.0);
+    }
+    deltas.sort_by(f64::total_cmp);
+    let trim = deltas.len() / 4;
+    let kept = &deltas[trim..deltas.len() - trim];
+    Ok(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// Validates a parsed `BENCH_obs.json` document (the observability
+/// ablation: instrumentation enabled vs the kill-switch baseline on the
+/// read-path hot loop). The validator enforces the overhead budget, so
+/// CI's `--check` pass doubles as the acceptance gate.
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_obs_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "obs_overhead" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in [
+        "record_count",
+        "ops_per_client",
+        "value_bytes",
+        "shards",
+        "rounds",
+    ] {
+        if num(config, "config", key)? <= 0.0 {
+            return Err(format!("config: \"{key}\" must be positive"));
+        }
+    }
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    let mut seen_modes = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let mode = string(result, &ctx, "mode")?;
+        if !matches!(mode, "enabled" | "disabled") {
+            return Err(format!("{ctx}: unknown mode {mode:?}"));
+        }
+        seen_modes.push(mode.to_owned());
+        if num(result, &ctx, "round")? < 0.0 || num(result, &ctx, "ops")? < 1.0 {
+            return Err(format!("{ctx}: \"round\"/\"ops\" out of range"));
+        }
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(result, &ctx, key)? <= 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be positive"));
+            }
+        }
+        latency(result, &ctx, "read_latency_us")?;
+        // The stage histograms are the proof the switch actually flipped:
+        // an enabled run must have sampled some reads, a disabled run none.
+        let samples = num(result, &ctx, "stage_samples")?;
+        if mode == "enabled" && samples < 1.0 {
+            return Err(format!("{ctx}: enabled run recorded no stage samples"));
+        }
+        if mode == "disabled" && samples != 0.0 {
+            return Err(format!("{ctx}: disabled run recorded stage samples"));
+        }
+    }
+    for mode in ["enabled", "disabled"] {
+        if !seen_modes.iter().any(|m| m == mode) {
+            return Err(format!("results: missing \"{mode}\" run"));
+        }
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    let disabled = num(comparison, "comparison", "disabled_ops_per_sec")?;
+    let enabled = num(comparison, "comparison", "enabled_ops_per_sec")?;
+    let overhead = num(comparison, "comparison", "overhead_percent")?;
+    let budget = num(comparison, "comparison", "budget_percent")?;
+    if disabled <= 0.0 || enabled <= 0.0 {
+        return Err("comparison: throughputs must be positive".into());
+    }
+    if budget <= 0.0 {
+        return Err("comparison: budget_percent must be positive".into());
+    }
+    // Recompute the paired statistic from the report's own rows so the
+    // headline number can't drift from the data behind it.
+    let mut per_round: std::collections::BTreeMap<i64, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let round = num(result, &ctx, "round")? as i64;
+        let ops = num(result, &ctx, "throughput_ops_per_sec")?;
+        let slot = per_round.entry(round).or_default();
+        match string(result, &ctx, "mode")? {
+            "disabled" => slot.0 = Some(ops),
+            _ => slot.1 = Some(ops),
+        }
+    }
+    let mut pairs = Vec::new();
+    for (round, (d, e)) in per_round {
+        let (Some(d), Some(e)) = (d, e) else {
+            return Err(format!("results: round {round} is missing a mode"));
+        };
+        pairs.push((d, e));
+    }
+    let expected = paired_overhead_percent(&pairs)?;
+    if (overhead - expected).abs() > 1e-6 * expected.abs().max(1.0) {
+        return Err("comparison: overhead_percent inconsistent with results".into());
+    }
+    if overhead > budget {
+        return Err(format!(
+            "comparison: overhead {overhead:.2}% exceeds the {budget}% budget"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +658,28 @@ mod tests {
         assert!(err.contains("fast path"), "got {err}");
     }
 
+    #[test]
+    fn standalone_report_checks_stage_and_energy_blocks() {
+        let with_blocks = minimal().replace(
+            "\"read_latency_us\"",
+            "\"stages\": {
+               \"queue_wait_ns\": {\"count\": 3, \"mean_ns\": 900.0, \"p50_ns\": 800, \"p99_ns\": 1500, \"max_ns\": 1600},
+               \"read_service_ns\": {\"count\": 3, \"mean_ns\": 700.0, \"p50_ns\": 650, \"p99_ns\": 900, \"max_ns\": 950},
+               \"write_service_ns\": {\"count\": 1, \"mean_ns\": 1200.0, \"p50_ns\": 1200, \"p99_ns\": 1200, \"max_ns\": 1200},
+               \"fallback_locked_ns\": {\"count\": 0, \"mean_ns\": 0.0, \"p50_ns\": 0, \"p99_ns\": 0, \"max_ns\": 0}},
+             \"energy\": {\"total_joules\": 12.5, \"classes\": [
+               {\"name\": \"read\", \"ops\": 95, \"joules\": 9.0, \"micro_joules_per_op\": 94736.8, \"ops_per_joule\": 10.6}]},
+             \"read_latency_us\"",
+        );
+        validate_standalone_report(&parse(&with_blocks).unwrap()).unwrap();
+        let bad = with_blocks.replace("\"joules\": 9.0", "\"joules\": -1.0");
+        let err = validate_standalone_report(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("joules"), "got {err}");
+        let missing = with_blocks.replace("\"write_service_ns\"", "\"write_service_zz\"");
+        let err = validate_standalone_report(&parse(&missing).unwrap()).unwrap_err();
+        assert!(err.contains("write_service_ns"), "got {err}");
+    }
+
     fn minimal_cleaner() -> String {
         r#"{
           "schema_version": 1,
@@ -538,6 +743,71 @@ mod tests {
             let err = validate_cleaner_report(&parse(&doc).unwrap()).unwrap_err();
             assert!(err.contains(expect), "{expect}: got {err}");
         }
+    }
+
+    fn minimal_obs() -> String {
+        r#"{
+          "schema_version": 1,
+          "benchmark": "obs_overhead",
+          "config": {"record_count": 512, "ops_per_client": 10000, "value_bytes": 64,
+            "shards": 16, "rounds": 2, "smoke": true},
+          "results": [
+            {"mode": "disabled", "round": 0, "ops": 10000, "elapsed_secs": 0.1,
+             "throughput_ops_per_sec": 100000.0, "stage_samples": 0,
+             "read_latency_us": {"count": 10000, "mean": 1.0, "p50": 0.9, "p90": 1.5, "p99": 2.0, "max": 9.0}},
+            {"mode": "enabled", "round": 0, "ops": 10000, "elapsed_secs": 0.102,
+             "throughput_ops_per_sec": 98039.2, "stage_samples": 313,
+             "read_latency_us": {"count": 10000, "mean": 1.0, "p50": 0.9, "p90": 1.5, "p99": 2.1, "max": 9.0}}
+          ],
+          "comparison": {"disabled_ops_per_sec": 100000.0, "enabled_ops_per_sec": 98039.2,
+            "overhead_percent": 1.9608, "budget_percent": 3.0}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accepts_minimal_obs_report() {
+        validate_obs_report(&parse(&minimal_obs()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_obs_reports() {
+        for (needle, replacement, expect) in [
+            ("obs_overhead", "other_bench", "benchmark"),
+            ("\"mode\": \"disabled\"", "\"mode\": \"psychic\"", "mode"),
+            (
+                "\"stage_samples\": 313",
+                "\"stage_samples\": 0",
+                "no stage samples",
+            ),
+            (
+                "\"stage_samples\": 0,",
+                "\"stage_samples\": 5,",
+                "disabled run",
+            ),
+            (
+                "\"overhead_percent\": 1.9608",
+                "\"overhead_percent\": 0.5",
+                "inconsistent",
+            ),
+            (
+                "\"budget_percent\": 3.0",
+                "\"budget_percent\": 1.0",
+                "exceeds",
+            ),
+        ] {
+            let doc = minimal_obs().replace(needle, replacement);
+            let err = validate_obs_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
+        // Both arms of the ablation must be present: turn the disabled row
+        // into a (sample-carrying) enabled one and expect the missing-mode
+        // check to fire.
+        let doc = minimal_obs()
+            .replace("\"mode\": \"disabled\"", "\"mode\": \"enabled\"")
+            .replace("\"stage_samples\": 0,", "\"stage_samples\": 7,");
+        let err = validate_obs_report(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("missing \"disabled\""), "got {err}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::collections::BTreeMap;
 
 use rmc_chaos::{Crash, FaultPlan, FaultRuntime, FaultState, OpRecord};
+use rmc_obs::span::{SpanKind, SpanRecorder};
 use rmc_runtime::{MetricsRegistry, NodeId, Runtime, SimDuration, SimTime};
 use rmc_sim::Simulation;
 
@@ -99,6 +100,10 @@ pub struct SimNet {
     /// The fault interpreter, when running under a plan (`None` = perfect
     /// network).
     pub faults: Option<FaultState>,
+    /// Cross-node RPC span timeline, stamped with *virtual* time at the
+    /// engine's send/deliver chokepoints — replays of the same seed record
+    /// identical timelines.
+    pub spans: SpanRecorder,
 }
 
 impl SimNet {
@@ -117,6 +122,7 @@ impl SimNet {
             incarnations,
             epoch_mismatch_drops: 0,
             faults: None,
+            spans: SpanRecorder::default(),
         }
     }
 
@@ -241,6 +247,16 @@ impl SimNet {
                         .add(k.pending_dropped);
                     reg.counter(&format!("server.{i}.pending_resends"))
                         .add(k.pending_resends);
+                    // Replication ack-wait stage: count is a counter,
+                    // quantiles are levels (gauges) of the distribution.
+                    reg.counter(&format!("server.{i}.ack_wait_count"))
+                        .add(s.ack_wait.count());
+                    reg.gauge(&format!("server.{i}.ack_wait_p50_ns"))
+                        .set(s.ack_wait.quantile(0.5));
+                    reg.gauge(&format!("server.{i}.ack_wait_p99_ns"))
+                        .set(s.ack_wait.quantile(0.99));
+                    reg.gauge(&format!("server.{i}.ack_wait_max_ns"))
+                        .set(s.ack_wait.max());
                 }
                 AnyNode::Client(c) => {
                     let (i, k) = (c.index, c.counters);
@@ -267,6 +283,16 @@ fn dispatch(net: &SimNet, rt: &mut SimRuntime<'_, SimNet>, node: NodeId, q: Queu
     let latency = net.latency;
     for (to, msg, extra) in q.out {
         let from = node;
+        if let Some(trace) = msg.trace_id(from, to) {
+            net.spans.record(
+                trace,
+                SpanKind::Send,
+                msg.span_label(),
+                from.0,
+                to.0,
+                rt.now().as_nanos(),
+            );
+        }
         let inc = net.incarnations.get(to.0).copied().unwrap_or(0);
         let after = latency.checked_add(extra).unwrap_or(SimDuration::MAX);
         rt.schedule_after(after, move |net, rt| deliver(net, rt, from, to, inc, msg));
@@ -297,6 +323,16 @@ fn deliver(
         let Some(node) = net.nodes.get_mut(to.0).and_then(|n| n.as_mut()) else {
             return; // dead or unknown: the NIC drops it
         };
+        if let Some(trace) = msg.trace_id(from, to) {
+            net.spans.record(
+                trace,
+                SpanKind::Deliver,
+                msg.span_label(),
+                from.0,
+                to.0,
+                rt.now().as_nanos(),
+            );
+        }
         match net.faults.as_mut() {
             Some(f) => node.on_message(from, msg, &mut FaultRuntime::new(&mut q, f, msg_class)),
             None => node.on_message(from, msg, &mut q),
@@ -559,6 +595,39 @@ mod tests {
         // The checker agrees nothing was lost.
         let violations = check_histories(&net.histories(), &net.live_map_versioned(), true);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn same_seed_yields_identical_span_timeline() {
+        let cfg = ProtocolConfig::new(3, 1, 2);
+        let run = || run_script(&cfg, vec![script(20)], vec![], SimTime::from_secs(5));
+        let (a, b) = (run(), run());
+        let events = a.spans.events();
+        assert!(!events.is_empty(), "spans were stamped");
+        assert_eq!(events, b.spans.events(), "virtual-time timelines replay");
+        // A write op's timeline crosses every stage of the paper's
+        // decomposition: client send → master deliver → replicate out →
+        // backup acks → response back to the client.
+        let trace = a.spans.traces()[0];
+        let tl = a.spans.timeline(trace);
+        let labels: Vec<(SpanKind, &str)> = tl.iter().map(|e| (e.kind, e.label)).collect();
+        for needed in [
+            (SpanKind::Send, "request"),
+            (SpanKind::Deliver, "request"),
+            (SpanKind::Send, "replicate"),
+            (SpanKind::Deliver, "replicate"),
+            (SpanKind::Send, "replicate_ack"),
+            (SpanKind::Deliver, "replicate_ack"),
+            (SpanKind::Send, "response"),
+            (SpanKind::Deliver, "response"),
+        ] {
+            assert!(labels.contains(&needed), "missing {needed:?} in {labels:?}");
+        }
+        assert!(tl.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // And the masters recorded the replication ack-wait stage.
+        let acked: u64 = a.servers().map(|s| s.ack_wait.count()).sum();
+        assert!(acked > 0, "ack-wait histogram populated");
+        assert!(a.metrics().sum("server.", ".ack_wait_count") > 0);
     }
 
     #[test]

@@ -80,7 +80,7 @@ use rmc_chaos::{MsgClass, OpKind, OpRecord};
 use rmc_logstore::{
     CompletionId, LogConfig, LogEntry, ObjectRecord, SegmentId, Store, TableId, TombstoneRecord,
 };
-use rmc_runtime::{NodeId, Runtime, SimDuration, SimTime};
+use rmc_runtime::{Histogram, NodeId, Runtime, SimDuration, SimTime};
 
 use crate::coordinator::{bucket_for, Coordinator};
 
@@ -350,6 +350,50 @@ pub enum Msg {
         /// Per-server liveness.
         alive: Vec<bool>,
     },
+    /// Anyone → server or coordinator: dump your event counters and stage
+    /// timings (the stats plane's RPC; no RIFL id — stats are idempotent).
+    StatsRequest,
+    /// Server/coordinator → asker: the requested `name -> value` stats.
+    StatsReply {
+        /// Flat dotted-name/value pairs, ready for a metrics registry.
+        stats: Vec<(String, u64)>,
+    },
+}
+
+impl Msg {
+    /// Message-variant label for span timelines and TimeTrace dumps.
+    pub fn span_label(&self) -> &'static str {
+        match self {
+            Msg::Request { .. } => "request",
+            Msg::Response { .. } => "response",
+            Msg::Replicate { .. } => "replicate",
+            Msg::ReplicateAck { .. } => "replicate_ack",
+            Msg::Heartbeat { .. } => "heartbeat",
+            Msg::MapRequest => "map_request",
+            Msg::TakeOver { .. } => "take_over",
+            Msg::FetchSegments { .. } => "fetch_segments",
+            Msg::SegmentData { .. } => "segment_data",
+            Msg::TakeOverDone { .. } => "take_over_done",
+            Msg::MapUpdate { .. } => "map_update",
+            Msg::StatsRequest => "stats_request",
+            Msg::StatsReply { .. } => "stats_reply",
+        }
+    }
+
+    /// The RIFL `(client, seq)` trace id this message serves, if it is part
+    /// of a client operation's span. `from`/`to` identify the client side
+    /// of request/response hops; replication hops carry the id as their
+    /// token (re-seed traffic serves no client and yields `None`).
+    pub fn trace_id(&self, from: NodeId, to: NodeId) -> Option<(u64, u64)> {
+        match self {
+            Msg::Request { seq, .. } => Some((from.0 as u64, *seq)),
+            Msg::Response { seq, .. } => Some((to.0 as u64, *seq)),
+            Msg::Replicate { token, .. } | Msg::ReplicateAck { token } => {
+                (*token != REPLICA_RESEED).then_some(*token)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Replicate token used for recovery/re-targeting re-replication (no
@@ -505,8 +549,31 @@ impl CoordinatorNode {
                     self.start_recovery_round(crashed, rt);
                 }
             }
+            Msg::StatsRequest => {
+                rt.send(
+                    from,
+                    Msg::StatsReply {
+                        stats: self.stats(),
+                    },
+                );
+            }
             _ => {}
         }
+    }
+
+    /// The stats-plane dump the coordinator answers [`Msg::StatsRequest`]
+    /// with.
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        vec![
+            ("stale_heartbeats".into(), c.stale_heartbeats),
+            ("restarts_detected".into(), c.restarts_detected),
+            ("readmissions".into(), c.readmissions),
+            ("recovery_retries".into(), c.recovery_retries),
+            ("map_requests".into(), c.map_requests),
+            ("map_version".into(), self.map_version),
+            ("recoveries_pending".into(), self.pending.len() as u64),
+        ]
     }
 
     fn on_heartbeat<R: Runtime<Msg = Msg>>(
@@ -724,6 +791,8 @@ struct PendingWrite {
     reply: Reply,
     waiting: BTreeSet<usize>,
     acked: BTreeSet<usize>,
+    /// When replication started, for the ack-wait stage histogram.
+    started: SimTime,
 }
 
 /// An in-progress recovery fetch on a recovery master.
@@ -772,6 +841,9 @@ pub struct Server {
     recovery: BTreeMap<usize, RecoveryFetch>,
     /// Event counters.
     pub counters: ServerCounters,
+    /// Time writes spend waiting on backup acks (ns): from the first
+    /// `Replicate` send to the last ack. The paper's replication stage.
+    pub ack_wait: Histogram,
 }
 
 impl Server {
@@ -811,6 +883,7 @@ impl Server {
             last_targets,
             recovery: BTreeMap::new(),
             counters: ServerCounters::default(),
+            ack_wait: Histogram::new(),
         }
     }
 
@@ -859,6 +932,8 @@ impl Server {
                     p.waiting.remove(&backup);
                     if p.waiting.is_empty() {
                         let p = self.pending.remove(&token).expect("present");
+                        self.ack_wait
+                            .record(rt.now().saturating_since(p.started).as_nanos());
                         self.respond(p.client, p.seq, p.reply, rt);
                     }
                 }
@@ -890,11 +965,41 @@ impl Server {
                 owners,
                 alive,
             } => self.apply_map_update(version, owners, alive, rt),
+            Msg::StatsRequest => {
+                rt.send(
+                    from,
+                    Msg::StatsReply {
+                        stats: self.stats(),
+                    },
+                );
+            }
             Msg::Response { .. }
             | Msg::Heartbeat { .. }
             | Msg::MapRequest
-            | Msg::TakeOverDone { .. } => {}
+            | Msg::TakeOverDone { .. }
+            | Msg::StatsReply { .. } => {}
         }
+    }
+
+    /// The stats-plane dump this server answers [`Msg::StatsRequest`] with:
+    /// event counters plus the replication ack-wait stage summary.
+    pub fn stats(&self) -> Vec<(String, u64)> {
+        let c = &self.counters;
+        vec![
+            ("fenced_drops".into(), c.fenced_drops),
+            ("stale_rifl_drops".into(), c.stale_rifl_drops),
+            ("rifl_replays".into(), c.rifl_replays),
+            ("wrong_owner".into(), c.wrong_owner),
+            ("reseeds".into(), c.reseeds),
+            ("pending_dropped".into(), c.pending_dropped),
+            ("pending_resends".into(), c.pending_resends),
+            ("pending_now".into(), self.pending.len() as u64),
+            ("ack_wait_count".into(), self.ack_wait.count()),
+            ("ack_wait_mean_ns".into(), self.ack_wait.mean() as u64),
+            ("ack_wait_p50_ns".into(), self.ack_wait.quantile(0.5)),
+            ("ack_wait_p99_ns".into(), self.ack_wait.quantile(0.99)),
+            ("ack_wait_max_ns".into(), self.ack_wait.max()),
+        ]
     }
 
     /// Records the reply for RIFL replay and sends it.
@@ -1112,6 +1217,7 @@ impl Server {
                 reply,
                 waiting: targets.iter().copied().collect(),
                 acked: BTreeSet::new(),
+                started: rt.now(),
             },
         );
         for b in targets {

@@ -1,0 +1,185 @@
+//! Per-op-class energy attribution.
+//!
+//! The paper reports node-level joules; the decomposed latency stages let
+//! us go one step further and split a run's energy across operation
+//! classes (reads vs writes vs cleaning). The model keeps the split
+//! honest and conservative:
+//!
+//! - the node's **static** energy (base power × wall time — drawn whether
+//!   or not any request runs) is attributed per *operation*, since every
+//!   op equally "rents" the powered-on node;
+//! - the **dynamic** energy (everything above base) is attributed per
+//!   *busy nanosecond*, since active silicon time is what the activity
+//!   terms of [`PowerProfile`] model.
+//!
+//! The class attributions always sum to the node's total energy for the
+//! window (no energy invented or lost), which is the invariant the tests
+//! pin down.
+
+use crate::profile::{NodeActivity, PowerProfile};
+
+/// One operation class's share of a run: how many ops completed and how
+/// much measured service time they consumed (e.g. the sum of a
+/// `stage.read_service_ns` histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpClassUsage {
+    /// Class label (`"read"`, `"write"`, `"cleaner"`, …).
+    pub name: String,
+    /// Operations completed in this class (0 for pure background work).
+    pub ops: u64,
+    /// Busy nanoseconds attributed to this class over the window.
+    pub busy_ns: u64,
+}
+
+impl OpClassUsage {
+    /// Convenience constructor.
+    pub fn new(name: &str, ops: u64, busy_ns: u64) -> Self {
+        OpClassUsage {
+            name: name.to_owned(),
+            ops,
+            busy_ns,
+        }
+    }
+}
+
+/// One class's attributed energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyAttribution {
+    /// Class label, copied from the input.
+    pub name: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Joules attributed to this class (static share + dynamic share).
+    pub joules: f64,
+    /// Microjoules per operation (0 when the class served no ops).
+    pub micro_joules_per_op: f64,
+    /// The paper's efficiency metric for this class alone.
+    pub ops_per_joule: f64,
+}
+
+/// Splits the energy of one node over `elapsed_secs` at `activity` across
+/// the given op classes (see the module docs for the model). Classes with
+/// neither ops nor busy time receive nothing. Returns one attribution per
+/// input class, in order.
+pub fn attribute_energy(
+    profile: &PowerProfile,
+    activity: NodeActivity,
+    elapsed_secs: f64,
+    classes: &[OpClassUsage],
+) -> Vec<EnergyAttribution> {
+    let elapsed = elapsed_secs.max(0.0);
+    let total_joules = profile.power(activity) * elapsed;
+    let static_joules = profile.base_watts * elapsed;
+    let dynamic_joules = (total_joules - static_joules).max(0.0);
+
+    let total_ops: u64 = classes.iter().map(|c| c.ops).sum();
+    let total_busy: u64 = classes.iter().map(|c| c.busy_ns).sum();
+
+    classes
+        .iter()
+        .map(|c| {
+            let static_share = if total_ops > 0 {
+                static_joules * (c.ops as f64 / total_ops as f64)
+            } else if total_busy > 0 {
+                // No ops anywhere (pure background window): fall back to
+                // busy-time proportions so the energy still lands somewhere.
+                static_joules * (c.busy_ns as f64 / total_busy as f64)
+            } else {
+                0.0
+            };
+            let dynamic_share = if total_busy > 0 {
+                dynamic_joules * (c.busy_ns as f64 / total_busy as f64)
+            } else if total_ops > 0 {
+                dynamic_joules * (c.ops as f64 / total_ops as f64)
+            } else {
+                0.0
+            };
+            let joules = static_share + dynamic_share;
+            EnergyAttribution {
+                name: c.name.clone(),
+                ops: c.ops,
+                joules,
+                micro_joules_per_op: if c.ops > 0 {
+                    joules * 1e6 / c.ops as f64
+                } else {
+                    0.0
+                },
+                ops_per_joule: if joules > 0.0 {
+                    c.ops as f64 / joules
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<OpClassUsage> {
+        vec![
+            OpClassUsage::new("read", 9_000, 4_500_000),
+            OpClassUsage::new("write", 1_000, 3_000_000),
+            OpClassUsage::new("cleaner", 0, 2_500_000),
+        ]
+    }
+
+    #[test]
+    fn attribution_conserves_total_energy() {
+        let p = PowerProfile::grid5000_nancy();
+        let act = NodeActivity {
+            cpu: 0.6,
+            ..NodeActivity::idle()
+        };
+        let split = attribute_energy(&p, act, 10.0, &classes());
+        let total: f64 = split.iter().map(|a| a.joules).sum();
+        let expected = p.power(act) * 10.0;
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "split {total} J vs node {expected} J"
+        );
+    }
+
+    #[test]
+    fn writes_cost_more_per_op_than_reads() {
+        // Writes are 9× rarer but carry comparable busy time: their dynamic
+        // share per op must dominate the reads'.
+        let p = PowerProfile::grid5000_nancy();
+        let act = NodeActivity {
+            cpu: 0.8,
+            ..NodeActivity::idle()
+        };
+        let split = attribute_energy(&p, act, 5.0, &classes());
+        assert!(split[1].micro_joules_per_op > split[0].micro_joules_per_op);
+        assert!(split[0].ops_per_joule > split[1].ops_per_joule);
+    }
+
+    #[test]
+    fn background_class_gets_dynamic_energy_but_no_per_op_figure() {
+        let p = PowerProfile::grid5000_nancy();
+        let act = NodeActivity {
+            cpu: 0.5,
+            ..NodeActivity::idle()
+        };
+        let split = attribute_energy(&p, act, 5.0, &classes());
+        let cleaner = &split[2];
+        assert!(cleaner.joules > 0.0, "busy time draws dynamic energy");
+        assert_eq!(cleaner.micro_joules_per_op, 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_produce_zeros() {
+        let p = PowerProfile::grid5000_nancy();
+        let split = attribute_energy(
+            &p,
+            NodeActivity::idle(),
+            1.0,
+            &[OpClassUsage::new("idle", 0, 0)],
+        );
+        assert_eq!(split[0].joules, 0.0);
+        let empty = attribute_energy(&p, NodeActivity::idle(), 1.0, &[]);
+        assert!(empty.is_empty());
+    }
+}

@@ -289,8 +289,10 @@ impl Clone for HashTable {
         let src = self.shared.array();
         let dst = SlotArray::new(src.slots.len());
         for (s, d) in src.slots.iter().zip(dst.slots.iter()) {
-            d.meta.store(s.meta.load(Ordering::Relaxed), Ordering::Relaxed);
-            d.hash.store(s.hash.load(Ordering::Relaxed), Ordering::Relaxed);
+            d.meta
+                .store(s.meta.load(Ordering::Relaxed), Ordering::Relaxed);
+            d.hash
+                .store(s.hash.load(Ordering::Relaxed), Ordering::Relaxed);
             d.segment
                 .store(s.segment.load(Ordering::Relaxed), Ordering::Relaxed);
         }

@@ -1,0 +1,429 @@
+//! TimeTrace: per-thread ring buffers of nanosecond-stamped events.
+//!
+//! A faithful port of RAMCloud's debugging workhorse. Each thread records
+//! into its own fixed-capacity ring buffer — a record is a few relaxed
+//! atomic stores plus one clock read, with no locks and no allocation —
+//! so record points can stay compiled in on the hottest paths. When
+//! something interesting happens, [`freeze`] stops the world's recording,
+//! and [`merge`] collects every thread's surviving events into one
+//! chronological timeline (old events are overwritten once a buffer wraps,
+//! so what survives is the most recent history, which is what you want
+//! when you freeze *after* the anomaly).
+//!
+//! Format strings are interned once per call site: the [`tt_record!`](crate::tt_record)
+//! macro caches the intern id in a per-call-site atomic, so steady-state
+//! records never touch the intern table's lock.
+//!
+//! Timestamps come from a process-wide monotonic origin ([`now_ns`]); the
+//! deterministic simulator records with explicit virtual-time stamps via
+//! [`record_at`] instead.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread-local ring buffer can hold before wrapping.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Sentinel meaning "slot never written".
+const EMPTY_FMT: u32 = u32::MAX;
+
+static FROZEN: AtomicBool = AtomicBool::new(false);
+
+fn formats() -> &'static Mutex<Vec<&'static str>> {
+    static FORMATS: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    FORMATS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Every registered thread's buffer, tagged with the thread's name.
+type ThreadBuffers = Vec<(String, Arc<TraceBuffer>)>;
+
+fn threads() -> &'static Mutex<ThreadBuffers> {
+    static THREADS: OnceLock<Mutex<ThreadBuffers>> = OnceLock::new();
+    THREADS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace origin (first use).
+pub fn now_ns() -> u64 {
+    origin().elapsed().as_nanos() as u64
+}
+
+/// Interns a format string, returning its id. Takes a lock — call once
+/// per call site and cache the id (the [`tt_record!`](crate::tt_record) macro does this).
+pub fn intern(fmt: &'static str) -> u32 {
+    let mut table = formats().lock().expect("format table poisoned");
+    if let Some(i) = table.iter().position(|f| *f == fmt) {
+        return i as u32;
+    }
+    table.push(fmt);
+    (table.len() - 1) as u32
+}
+
+fn resolve(id: u32) -> &'static str {
+    let table = formats().lock().expect("format table poisoned");
+    table.get(id as usize).copied().unwrap_or("<unknown>")
+}
+
+/// One thread's fixed-capacity event ring.
+///
+/// Normally obtained implicitly through [`record`]/[`tt_record!`](crate::tt_record) (one per
+/// thread, registered globally); constructible directly for tests.
+pub struct TraceBuffer {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+struct Slot {
+    ns: AtomicU64,
+    fmt: AtomicU32,
+    a0: AtomicU64,
+    a1: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceBuffer {
+    /// A fresh ring holding `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs capacity");
+        TraceBuffer {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    ns: AtomicU64::new(0),
+                    fmt: AtomicU32::new(EMPTY_FMT),
+                    a0: AtomicU64::new(0),
+                    a1: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event (lock-free; overwrites the oldest once full).
+    pub fn push(&self, ns: u64, fmt_id: u32, a0: u64, a1: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        slot.ns.store(ns, Ordering::Relaxed);
+        slot.a0.store(a0, Ordering::Relaxed);
+        slot.a1.store(a1, Ordering::Relaxed);
+        // fmt is stored last with Release as the slot's "valid" marker.
+        slot.fmt.store(fmt_id, Ordering::Release);
+    }
+
+    /// The surviving events, oldest first (at most `capacity`, the most
+    /// recent ones once the ring has wrapped).
+    pub fn events(&self) -> Vec<(u64, u32, u64, u64)> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        (start..head)
+            .filter_map(|seq| {
+                let slot = &self.slots[(seq % cap) as usize];
+                let fmt = slot.fmt.load(Ordering::Acquire);
+                (fmt != EMPTY_FMT).then(|| {
+                    (
+                        slot.ns.load(Ordering::Relaxed),
+                        fmt,
+                        slot.a0.load(Ordering::Relaxed),
+                        slot.a1.load(Ordering::Relaxed),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        for slot in &*self.slots {
+            slot.fmt.store(EMPTY_FMT, Ordering::Relaxed);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: Arc<TraceBuffer> = {
+        let buf = Arc::new(TraceBuffer::new(DEFAULT_CAPACITY));
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("unnamed")
+            .to_owned();
+        threads()
+            .lock()
+            .expect("thread table poisoned")
+            .push((name, buf.clone()));
+        buf
+    };
+}
+
+/// Records one event on the calling thread's buffer with a wall timestamp.
+/// No-op while instrumentation is disabled or the trace is frozen.
+#[inline]
+pub fn record(fmt_id: u32, a0: u64, a1: u64) {
+    if !crate::enabled() || FROZEN.load(Ordering::Relaxed) {
+        return;
+    }
+    let ns = now_ns();
+    LOCAL.with(|buf| buf.push(ns, fmt_id, a0, a1));
+}
+
+/// Records one event with an explicit timestamp — the deterministic
+/// simulator stamps virtual nanoseconds so replays trace identically.
+/// No-op while instrumentation is disabled or the trace is frozen.
+#[inline]
+pub fn record_at(ns: u64, fmt_id: u32, a0: u64, a1: u64) {
+    if !crate::enabled() || FROZEN.load(Ordering::Relaxed) {
+        return;
+    }
+    LOCAL.with(|buf| buf.push(ns, fmt_id, a0, a1));
+}
+
+/// Records through a just-in-time intern — takes the intern-table lock, so
+/// only for cold paths; hot call sites use [`tt_record!`](crate::tt_record).
+pub fn record_str(fmt: &'static str, a0: u64, a1: u64) {
+    if !crate::enabled() || FROZEN.load(Ordering::Relaxed) {
+        return;
+    }
+    record(intern(fmt), a0, a1);
+}
+
+/// Records an event on the calling thread's TimeTrace ring, interning the
+/// format string once per call site.
+///
+/// ```
+/// rmc_obs::tt_record!("dispatch: shard {} depth {}", 3, 17);
+/// ```
+#[macro_export]
+macro_rules! tt_record {
+    ($fmt:literal) => {
+        $crate::tt_record!($fmt, 0, 0)
+    };
+    ($fmt:literal, $a0:expr) => {
+        $crate::tt_record!($fmt, $a0, 0)
+    };
+    ($fmt:literal, $a0:expr, $a1:expr) => {{
+        static CACHED: ::std::sync::atomic::AtomicU32 =
+            ::std::sync::atomic::AtomicU32::new(u32::MAX);
+        let mut id = CACHED.load(::std::sync::atomic::Ordering::Relaxed);
+        if id == u32::MAX {
+            id = $crate::timetrace::intern($fmt);
+            CACHED.store(id, ::std::sync::atomic::Ordering::Relaxed);
+        }
+        $crate::timetrace::record(id, $a0 as u64, $a1 as u64);
+    }};
+}
+
+/// Stops all recording so buffers can be read without racing writers.
+pub fn freeze() {
+    FROZEN.store(true, Ordering::SeqCst);
+}
+
+/// Resumes recording after a [`freeze`].
+pub fn thaw() {
+    FROZEN.store(false, Ordering::SeqCst);
+}
+
+/// Empties every registered thread buffer (head reset, slots invalidated).
+pub fn clear() {
+    for (_, buf) in threads().lock().expect("thread table poisoned").iter() {
+        buf.reset();
+    }
+}
+
+/// One merged TimeTrace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace origin (virtual ns under the sim).
+    pub ns: u64,
+    /// Name of the recording thread.
+    pub thread: String,
+    /// The interned format string.
+    pub fmt: &'static str,
+    /// First event argument.
+    pub a0: u64,
+    /// Second event argument.
+    pub a1: u64,
+}
+
+/// Merges every registered thread's surviving events, oldest first.
+///
+/// Call [`freeze`] first; merging a live trace sees whatever half-written
+/// history the racing writers leave behind.
+pub fn merge() -> Vec<TraceEvent> {
+    let buffers: Vec<(String, Arc<TraceBuffer>)> = threads()
+        .lock()
+        .expect("thread table poisoned")
+        .iter()
+        .cloned()
+        .collect();
+    merge_buffers(&buffers)
+}
+
+/// Merge for an explicit buffer set — the testable core of [`merge`].
+pub fn merge_buffers(buffers: &[(String, Arc<TraceBuffer>)]) -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for (name, buf) in buffers {
+        for (ns, fmt_id, a0, a1) in buf.events() {
+            events.push(TraceEvent {
+                ns,
+                thread: name.clone(),
+                fmt: resolve(fmt_id),
+                a0,
+                a1,
+            });
+        }
+    }
+    events.sort_by(|a, b| a.ns.cmp(&b.ns).then_with(|| a.thread.cmp(&b.thread)));
+    events
+}
+
+/// Renders merged events the way RAMCloud prints a TimeTrace: absolute
+/// time, delta to the previous event, thread, and the formatted message
+/// (`{}` placeholders substituted left to right).
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let mut prev = events.first().map_or(0, |e| e.ns);
+    for e in events {
+        let mut msg = e.fmt.to_owned();
+        for arg in [e.a0, e.a1] {
+            if let Some(pos) = msg.find("{}") {
+                msg.replace_range(pos..pos + 2, &arg.to_string());
+            }
+        }
+        out.push_str(&format!(
+            "{:>12.1} us (+{:>9.3} us) [{}] {}\n",
+            e.ns as f64 / 1_000.0,
+            (e.ns - prev) as f64 / 1_000.0,
+            e.thread,
+            msg
+        ));
+        prev = e.ns;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // TimeTrace state is process-global; serialize the tests that mutate it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_most_recent_events() {
+        let buf = TraceBuffer::new(4);
+        let id = intern("event {}");
+        for i in 0..10u64 {
+            buf.push(i * 100, id, i, 0);
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 4, "ring holds capacity events");
+        let seen: Vec<u64> = events.iter().map(|e| e.2).collect();
+        assert_eq!(seen, vec![6, 7, 8, 9], "oldest events were overwritten");
+        // And they come out oldest-first.
+        let stamps: Vec<u64> = events.iter().map(|e| e.0).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merge_orders_across_threads_by_timestamp() {
+        let a = Arc::new(TraceBuffer::new(8));
+        let b = Arc::new(TraceBuffer::new(8));
+        let id = intern("op {} on {}");
+        // Interleaved timestamps across two "threads".
+        a.push(100, id, 1, 0);
+        b.push(50, id, 2, 0);
+        a.push(300, id, 3, 0);
+        b.push(200, id, 4, 0);
+        let merged = merge_buffers(&[("a".into(), a), ("b".into(), b)]);
+        let order: Vec<(u64, u64)> = merged.iter().map(|e| (e.ns, e.a0)).collect();
+        assert_eq!(order, vec![(50, 2), (100, 1), (200, 4), (300, 3)]);
+        assert_eq!(merged[0].thread, "b");
+        assert_eq!(merged[0].fmt, "op {} on {}");
+    }
+
+    #[test]
+    fn macro_records_and_render_substitutes_args() {
+        let _gate = lock();
+        clear();
+        thaw();
+        crate::set_enabled(true);
+        tt_record!("read: shard {} key {}", 3, 42);
+        tt_record!("reply sent");
+        freeze();
+        let events = merge();
+        let dump = render(&events);
+        assert!(
+            dump.contains("read: shard 3 key 42"),
+            "substituted: {dump:?}"
+        );
+        assert!(dump.contains("reply sent"));
+        thaw();
+        clear();
+    }
+
+    #[test]
+    fn disabled_and_frozen_record_nothing() {
+        let _gate = lock();
+        clear();
+        thaw();
+        crate::set_enabled(false);
+        tt_record!("should not appear");
+        crate::set_enabled(true);
+        freeze();
+        tt_record!("frozen out");
+        let before = merge().len();
+        thaw();
+        tt_record!("after thaw", 7);
+        freeze();
+        let events = merge();
+        assert_eq!(events.len(), before + 1);
+        assert!(events.iter().any(|e| e.fmt == "after thaw"));
+        assert!(events.iter().all(|e| e.fmt != "should not appear"));
+        assert!(events.iter().all(|e| e.fmt != "frozen out"));
+        thaw();
+        clear();
+    }
+
+    #[test]
+    fn record_at_uses_the_given_virtual_stamp() {
+        let _gate = lock();
+        clear();
+        thaw();
+        crate::set_enabled(true);
+        let id = intern("sim event");
+        record_at(123_456, id, 0, 0);
+        freeze();
+        let events = merge();
+        assert!(events
+            .iter()
+            .any(|e| e.ns == 123_456 && e.fmt == "sim event"));
+        thaw();
+        clear();
+    }
+
+    #[test]
+    fn interning_is_stable_per_string() {
+        assert_eq!(intern("alpha-fmt"), intern("alpha-fmt"));
+        assert_ne!(intern("alpha-fmt"), intern("beta-fmt"));
+        assert_eq!(resolve(intern("alpha-fmt")), "alpha-fmt");
+    }
+}

@@ -36,7 +36,7 @@ mod time;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use counter::StripedCounter;
 pub use metrics::{BinnedUsage, Histogram, RateMeter, Summary, TimeSeries};
-pub use registry::{CounterHandle, MetricsRegistry};
+pub use registry::{CounterHandle, HistogramHandle, MetricKind, MetricsFamily, MetricsRegistry};
 pub use rng::SimRng;
 pub use runtime::{NodeId, Runtime};
 pub use time::{SimDuration, SimTime};

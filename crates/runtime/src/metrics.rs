@@ -194,10 +194,10 @@ pub struct Histogram {
     max: u64,
 }
 
-const SUB_BUCKETS: u64 = 16;
+pub(crate) const SUB_BUCKETS: u64 = 16;
 const SUB_BITS: u32 = 4;
 
-fn bucket_index(value: u64) -> usize {
+pub(crate) fn bucket_index(value: u64) -> usize {
     if value < SUB_BUCKETS {
         return value as usize;
     }
@@ -207,7 +207,7 @@ fn bucket_index(value: u64) -> usize {
     (SUB_BUCKETS as u32 + octave * SUB_BUCKETS as u32 - SUB_BUCKETS as u32 + sub as u32) as usize
 }
 
-fn bucket_low(index: usize) -> u64 {
+pub(crate) fn bucket_low(index: usize) -> u64 {
     let index = index as u64;
     if index < SUB_BUCKETS {
         return index;
@@ -231,6 +231,19 @@ impl Histogram {
             count: 0,
             sum: 0,
             max: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw parts — the bridge from the atomic
+    /// [`crate::HistogramHandle`] snapshot back into this type so quantile
+    /// and mean logic live in one place.
+    pub(crate) fn from_parts(buckets: Vec<u64>, count: u64, sum: u128, max: u64) -> Self {
+        debug_assert_eq!(buckets.len(), 64 * SUB_BUCKETS as usize);
+        Histogram {
+            buckets,
+            count,
+            sum,
+            max,
         }
     }
 

@@ -85,6 +85,25 @@ fn main() {
                     "cleaner: {} passes, {} segments freed, {} bytes relocated",
                     s.cleanings, s.segments_freed, s.bytes_relocated
                 );
+                // The registry stats plane: counters, gauges, and the
+                // per-stage latency histograms, zero entries pruned.
+                print!(
+                    "{}",
+                    rmc_obs::stats::snapshot(server.metrics())
+                        .without_zeros()
+                        .render_text()
+                );
+            }
+            ReplCommand::Trace { limit } => {
+                rmc_obs::timetrace::freeze();
+                let mut events = rmc_obs::timetrace::merge();
+                rmc_obs::timetrace::thaw();
+                if let Some(n) = limit {
+                    let skip = events.len().saturating_sub(n);
+                    events.drain(..skip);
+                }
+                print!("{}", rmc_obs::timetrace::render(&events));
+                println!("({} events)", events.len());
             }
             ReplCommand::Help => println!("{HELP}"),
             ReplCommand::Quit => break,

@@ -59,16 +59,16 @@ struct ShardCleanerMetrics {
 
 impl ShardCleanerMetrics {
     fn new(registry: &MetricsRegistry, shard: usize) -> Self {
-        let c = |name: &str| registry.counter(&format!("cleaner.{shard}.{name}"));
+        let fam = registry.family("cleaner", shard);
         ShardCleanerMetrics {
-            passes: c("passes"),
-            segments_freed: c("segments_freed"),
-            segments_compacted: c("segments_compacted"),
-            survivor_bytes: c("survivor_bytes"),
-            bytes_relocated: c("bytes_relocated"),
-            tombstones_dropped: c("tombstones_dropped"),
-            busy_ns: c("busy_ns"),
-            reclamation_lag: c("reclamation_lag"),
+            passes: fam.counter("passes"),
+            segments_freed: fam.counter("segments_freed"),
+            segments_compacted: fam.counter("segments_compacted"),
+            survivor_bytes: fam.counter("survivor_bytes"),
+            bytes_relocated: fam.counter("bytes_relocated"),
+            tombstones_dropped: fam.counter("tombstones_dropped"),
+            busy_ns: fam.counter("busy_ns"),
+            reclamation_lag: fam.gauge("reclamation_lag"),
         }
     }
 }
@@ -89,12 +89,12 @@ struct ShardReadMetrics {
 
 impl ShardReadMetrics {
     fn new(registry: &MetricsRegistry, shard: usize) -> Self {
-        let c = |name: &str| registry.counter(&format!("read.{shard}.{name}"));
+        let fam = registry.family("read", shard);
         ShardReadMetrics {
-            lockfree: c("lockfree"),
-            fallback_locked: c("fallback_locked"),
-            value_views_live: c("value_views_live"),
-            limbo_held_by_views: c("limbo_held_by_views"),
+            lockfree: fam.counter("lockfree"),
+            fallback_locked: fam.counter("fallback_locked"),
+            value_views_live: fam.gauge("value_views_live"),
+            limbo_held_by_views: fam.gauge("limbo_held_by_views"),
         }
     }
 

@@ -46,5 +46,5 @@ mod shard;
 pub use dispatch::DispatchMode;
 pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, ThreadRuntime};
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
-pub use server::{Client, ClientError, ServerConfig, StandaloneServer};
+pub use server::{Client, ClientError, ServerConfig, StandaloneServer, STAGE_SAMPLE};
 pub use shard::{ReadPath, ShardedStore};

@@ -53,6 +53,7 @@ use rmc_core::protocol::{
     coordinator_id, msg_class, retry_jitter, server_id, AnyNode, ClientOp, Msg, ProtocolConfig,
     Reply, Server, PROTO_TABLE,
 };
+use rmc_obs::span::{SpanKind, SpanRecorder};
 use rmc_runtime::{
     Clock, CounterHandle, MetricsRegistry, NodeId, Runtime, SimDuration, SimTime, WallClock,
 };
@@ -161,6 +162,7 @@ struct Fabric {
     incarnations: Vec<AtomicU64>,
     registry: MetricsRegistry,
     clock: WallClock,
+    spans: SpanRecorder,
     delay_tx: Option<Sender<(Duration, usize, Control)>>,
 }
 
@@ -169,10 +171,25 @@ impl Fabric {
     /// incarnation. A nonzero `extra` defers delivery through the delay
     /// line when one exists; otherwise delivery is immediate (the
     /// [`Runtime::send_after`] degraded contract).
+    ///
+    /// This is the threaded engine's single send chokepoint, so it also
+    /// stamps the [`SpanKind::Send`] side of RPC span propagation
+    /// (wall-clock ns; the simulated engine stamps virtual ns at its
+    /// equivalent chokepoint).
     fn post(&self, from: NodeId, to: NodeId, msg: Msg, extra: SimDuration) {
         let Some(tx) = self.peers.get(to.0) else {
             return;
         };
+        if let Some(trace) = msg.trace_id(from, to) {
+            self.spans.record(
+                trace,
+                SpanKind::Send,
+                msg.span_label(),
+                from.0,
+                to.0,
+                self.clock.now().as_nanos(),
+            );
+        }
         let dst_epoch = self.incarnations[to.0].load(Ordering::Relaxed);
         let ctl = Control::Deliver {
             from,
@@ -297,6 +314,16 @@ fn report(
                 .add(k.pending_dropped);
             reg.counter(&format!("server.{i}.pending_resends"))
                 .add(k.pending_resends);
+            // Replication ack-wait decomposition: the count diffs like a
+            // counter; the quantiles are levels and must stay gauges.
+            reg.counter(&format!("server.{i}.ack_wait_count"))
+                .add(s.ack_wait.count());
+            reg.gauge(&format!("server.{i}.ack_wait_p50_ns"))
+                .set(s.ack_wait.quantile(0.5));
+            reg.gauge(&format!("server.{i}.ack_wait_p99_ns"))
+                .set(s.ack_wait.quantile(0.99));
+            reg.gauge(&format!("server.{i}.ack_wait_max_ns"))
+                .set(s.ack_wait.max());
             let live = s
                 .store
                 .live_objects()
@@ -374,6 +401,16 @@ fn node_loop(
                     stale.incr();
                     continue;
                 }
+                if let Some(trace) = msg.trace_id(from, id) {
+                    rt.fabric.spans.record(
+                        trace,
+                        SpanKind::Deliver,
+                        msg.span_label(),
+                        from.0,
+                        id.0,
+                        rt.fabric.clock.now().as_nanos(),
+                    );
+                }
                 match faults.as_mut() {
                     Some(f) => {
                         node.on_message(from, msg, &mut FaultRuntime::new(&mut rt, f, msg_class))
@@ -442,6 +479,9 @@ pub struct ClusterReport {
     /// The cluster's metrics registry: live client-handle counters plus
     /// every node's protocol counters exported at shutdown.
     pub metrics: MetricsRegistry,
+    /// Cross-node RPC span timelines stamped at the fabric's send/deliver
+    /// chokepoints (wall-clock ns).
+    pub spans: SpanRecorder,
 }
 
 /// A running mini-cluster: coordinator + servers (+ optional scripted
@@ -562,6 +602,7 @@ impl MiniCluster {
             incarnations: (0..total).map(|_| AtomicU64::new(0)).collect(),
             registry: MetricsRegistry::new(),
             clock: WallClock::new(),
+            spans: SpanRecorder::default(),
             delay_tx,
         });
         let (done_tx, done_rx) = unbounded();
@@ -619,6 +660,11 @@ impl MiniCluster {
     /// counters are exported into it at shutdown).
     pub fn metrics(&self) -> MetricsRegistry {
         self.fabric.registry.clone()
+    }
+
+    /// The cluster's span recorder (cheap clone; shares the event store).
+    pub fn spans(&self) -> SpanRecorder {
+        self.fabric.spans.clone()
     }
 
     /// Crashes server `index`: its thread exits without a goodbye. The
@@ -729,6 +775,7 @@ impl MiniCluster {
             clients: clients.into_iter().map(|(i, r, d, _)| (i, r, d)).collect(),
             histories,
             metrics: self.fabric.registry.clone(),
+            spans: self.fabric.spans.clone(),
         }
     }
 }
@@ -781,14 +828,13 @@ impl MiniClient {
         // a crash only blocks until recovery. Far beyond that, fail loudly
         // instead of hanging the caller.
         let op_budget = Duration::from_nanos(cfg.retry_timeout.as_nanos()).saturating_mul(200);
-        let reg = &fabric.registry;
-        let c = |suffix: &str| reg.counter(&format!("client.{index}.{suffix}"));
+        let fam = fabric.registry.family("client", index);
         let (retries, backoffs, giveups, map_requests, wrong_owner) = (
-            c("retries"),
-            c("backoffs"),
-            c("giveups"),
-            c("map_requests"),
-            c("wrong_owner"),
+            fam.counter("retries"),
+            fam.counter("backoffs"),
+            fam.counter("giveups"),
+            fam.counter("map_requests"),
+            fam.counter("wrong_owner"),
         );
         MiniClient {
             me,
@@ -869,6 +915,44 @@ impl MiniClient {
         self.do_request(seq, op)
     }
 
+    /// Fetches a node's live protocol stats over the wire (the `Stats`
+    /// RPC): `(name, value)` pairs from a server's or the coordinator's
+    /// own counters and ack-wait histogram. Re-asks under the usual retry
+    /// timeout until the node answers or the op budget runs out.
+    pub fn node_stats(&mut self, target: NodeId) -> Result<Vec<(String, u64)>, String> {
+        let give_up = Instant::now() + self.op_budget;
+        loop {
+            if Instant::now() >= give_up {
+                self.giveups.incr();
+                return Err(format!("stats request to {target} exhausted its budget"));
+            }
+            self.fabric
+                .post(self.me, target, Msg::StatsRequest, SimDuration::ZERO);
+            let attempt_ends =
+                Instant::now() + Duration::from_nanos(self.cfg.retry_timeout.as_nanos());
+            loop {
+                let left = attempt_ends.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-ask
+                }
+                match self.rx.recv_timeout(left) {
+                    Ok(Control::Deliver {
+                        msg: Msg::StatsReply { stats },
+                        ..
+                    }) => return Ok(stats),
+                    Ok(Control::Deliver { .. }) => {}
+                    Ok(Control::Kill { .. }) | Ok(Control::Shutdown) => {
+                        return Err("client handle terminated".into());
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("mini-cluster is gone".into());
+                    }
+                }
+            }
+        }
+    }
+
     fn do_request(&mut self, seq: u64, op: ClientOp) -> Result<Reply, String> {
         let give_up = Instant::now() + self.op_budget;
         let mut attempt: u32 = 0;
@@ -910,43 +994,50 @@ impl MiniClient {
                     break; // re-send, same seq, grown backoff
                 }
                 match self.rx.recv_timeout(left) {
-                    Ok(Control::Deliver {
-                        msg: Msg::Response { seq: s, reply },
-                        ..
-                    }) => {
-                        if s != seq {
-                            continue; // stale duplicate from an earlier retry
+                    Ok(Control::Deliver { from, msg, .. }) => {
+                        // The sync client handle has no node loop, so it is
+                        // its own deliver chokepoint for span stamping.
+                        if let Some(trace) = msg.trace_id(from, self.me) {
+                            self.fabric.spans.record(
+                                trace,
+                                SpanKind::Deliver,
+                                msg.span_label(),
+                                from.0,
+                                self.me.0,
+                                self.fabric.clock.now().as_nanos(),
+                            );
                         }
-                        match reply {
-                            Reply::WrongOwner => {
-                                // Routing raced a recovery: ask for a fresh
-                                // map and wait out the window for the
-                                // update to land.
-                                self.wrong_owner.incr();
-                                self.map_requests.incr();
-                                self.fabric.post(
-                                    self.me,
-                                    coordinator_id(),
-                                    Msg::MapRequest,
-                                    SimDuration::ZERO,
-                                );
+                        match msg {
+                            Msg::Response { seq: s, reply } => {
+                                if s != seq {
+                                    continue; // stale duplicate from an earlier retry
+                                }
+                                match reply {
+                                    Reply::WrongOwner => {
+                                        // Routing raced a recovery: ask for a
+                                        // fresh map and wait out the window
+                                        // for the update to land.
+                                        self.wrong_owner.incr();
+                                        self.map_requests.incr();
+                                        self.fabric.post(
+                                            self.me,
+                                            coordinator_id(),
+                                            Msg::MapRequest,
+                                            SimDuration::ZERO,
+                                        );
+                                    }
+                                    other => return Ok(other),
+                                }
                             }
-                            other => return Ok(other),
-                        }
-                    }
-                    Ok(Control::Deliver {
-                        msg:
                             Msg::MapUpdate {
                                 version, owners, ..
-                            },
-                        ..
-                    }) => {
-                        if version > self.map_version {
-                            self.map_version = version;
-                            self.owners = owners;
+                            } if version > self.map_version => {
+                                self.map_version = version;
+                                self.owners = owners;
+                            }
+                            _ => {}
                         }
                     }
-                    Ok(Control::Deliver { .. }) => {}
                     Ok(Control::Kill { .. }) | Ok(Control::Shutdown) => {
                         return Err("client handle terminated".into());
                     }
@@ -989,6 +1080,44 @@ mod tests {
         let report = cluster.shutdown();
         assert_eq!(report.live.len(), 49);
         assert_eq!(report.live.get(b"k8".as_slice()), Some(&b"v8".to_vec()));
+    }
+
+    #[test]
+    fn spans_and_stats_flow_over_the_wire() {
+        let (cluster, mut clients) = MiniCluster::start(small_cfg(3, 1, 2));
+        let c = &mut clients[0];
+        for i in 0..10 {
+            c.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(c.get(b"k3").unwrap(), Some(b"v3".to_vec()));
+        // Live stats over the wire, from a master and from the coordinator.
+        let stats = c.node_stats(server_id(0)).unwrap();
+        assert!(stats.iter().any(|(k, _)| k == "ack_wait_count"));
+        let coord = c.node_stats(coordinator_id()).unwrap();
+        assert!(coord.iter().any(|(k, _)| k == "map_version"));
+        // A replicated put's timeline crosses every hop of the paper's
+        // decomposition, stamped at the fabric chokepoints.
+        let spans = cluster.spans();
+        let labels: Vec<(SpanKind, &str)> =
+            spans.events().iter().map(|e| (e.kind, e.label)).collect();
+        for needed in [
+            (SpanKind::Send, "request"),
+            (SpanKind::Deliver, "request"),
+            (SpanKind::Send, "replicate"),
+            (SpanKind::Deliver, "replicate"),
+            (SpanKind::Send, "replicate_ack"),
+            (SpanKind::Deliver, "replicate_ack"),
+            (SpanKind::Deliver, "response"),
+        ] {
+            assert!(labels.contains(&needed), "missing {needed:?}");
+        }
+        let trace = spans.traces()[0];
+        let tl = spans.timeline(trace);
+        assert!(tl.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let report = cluster.shutdown();
+        assert!(report.metrics.sum("server.", ".ack_wait_count") > 0);
+        assert!(!report.spans.is_empty());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub enum ReplCommand {
     },
     /// `stats`
     Stats,
+    /// `trace [n]` — dump the merged TimeTrace (most recent `n` events
+    /// when a limit is given).
+    Trace {
+        /// Keep only the most recent this-many events.
+        limit: Option<usize>,
+    },
     /// `help`
     Help,
     /// `quit` / `exit`
@@ -100,6 +106,14 @@ pub fn parse_command(line: &str) -> Result<ReplCommand, ParseCommandError> {
             _ => Err(ParseCommandError::Usage("scan <start-key> <limit>")),
         },
         "stats" => Ok(ReplCommand::Stats),
+        "trace" => match rest.as_slice() {
+            [] => Ok(ReplCommand::Trace { limit: None }),
+            [n] => n
+                .parse::<usize>()
+                .map(|limit| ReplCommand::Trace { limit: Some(limit) })
+                .map_err(|_| ParseCommandError::Usage("trace [n]")),
+            _ => Err(ParseCommandError::Usage("trace [n]")),
+        },
         "help" | "?" => Ok(ReplCommand::Help),
         "quit" | "exit" => Ok(ReplCommand::Quit),
         other => Err(ParseCommandError::UnknownCommand(other.to_owned())),
@@ -112,7 +126,8 @@ pub const HELP: &str = "commands:
   get <key>              read a value
   del <key>              delete a key
   scan <start> <limit>   range scan in key order
-  stats                  engine statistics
+  stats                  engine statistics + registry stats plane
+  trace [n]              dump the TimeTrace (last n events)
   help                   this text
   quit                   leave";
 
@@ -153,6 +168,14 @@ mod tests {
     #[test]
     fn parses_misc() {
         assert_eq!(parse_command("stats").unwrap(), ReplCommand::Stats);
+        assert_eq!(
+            parse_command("trace").unwrap(),
+            ReplCommand::Trace { limit: None }
+        );
+        assert_eq!(
+            parse_command("trace 20").unwrap(),
+            ReplCommand::Trace { limit: Some(20) }
+        );
         assert_eq!(parse_command("help").unwrap(), ReplCommand::Help);
         assert_eq!(parse_command("exit").unwrap(), ReplCommand::Quit);
     }
@@ -174,6 +197,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_command("get"),
+            Err(ParseCommandError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_command("trace many"),
             Err(ParseCommandError::Usage(_))
         ));
     }

@@ -33,13 +33,15 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rmc_logstore::{
     CleanerConfig, LogConfig, ObjectRecord, StoreError, TableId, Version, WriteOutcome,
 };
 
-use rmc_runtime::{MetricsRegistry, StripedCounter};
+use rmc_obs::Sampler;
+use rmc_runtime::{HistogramHandle, MetricsRegistry, StripedCounter};
 
 use rmc_logstore::{ObjectView, ValueView};
 
@@ -92,6 +94,40 @@ impl Default for ServerConfig {
     }
 }
 
+/// Sampled stage-timing instrumentation shared by every [`Client`] handle
+/// and worker thread: per-stage latency histograms in the server's
+/// [`MetricsRegistry`], fed 1-in-[`STAGE_SAMPLE`] so the hot paths pay two
+/// `Instant::now()` calls only on sampled ops (and nothing but one relaxed
+/// load + branch when `rmc_obs::set_enabled(false)`).
+#[derive(Debug)]
+struct StageObs {
+    sampler: Sampler,
+    queue_wait: HistogramHandle,
+    read_service: HistogramHandle,
+    write_service: HistogramHandle,
+}
+
+/// Stage-timing sample period: one in this many operations carries the
+/// two `Instant::now()` reads that feed the `stage.*` histograms. Bench
+/// reports scale sampled busy-time sums back up by this factor.
+pub const STAGE_SAMPLE: u64 = 32;
+
+impl StageObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        StageObs {
+            sampler: Sampler::new(STAGE_SAMPLE),
+            queue_wait: registry.histogram("stage.queue_wait_ns"),
+            read_service: registry.histogram("stage.read_service_ns"),
+            write_service: registry.histogram("stage.write_service_ns"),
+        }
+    }
+
+    /// `Some(now)` when this op was picked for timing.
+    fn sample(&self) -> Option<Instant> {
+        self.sampler.tick().then(Instant::now)
+    }
+}
+
 enum Command {
     /// Tells one worker to exit (used by `shutdown`; outstanding `Client`
     /// handles keep the channel open, so closure alone cannot stop them).
@@ -100,17 +136,24 @@ enum Command {
         table: TableId,
         key: Vec<u8>,
         reply: Sender<Option<ObjectRecord>>,
+        /// Enqueue stamp on sampled ops: the worker records the dispatch
+        /// queue wait and the in-store service time for this command.
+        queued: Option<Instant>,
     },
     Write {
         table: TableId,
         key: Vec<u8>,
         value: Vec<u8>,
         reply: Sender<Result<WriteOutcome, StoreError>>,
+        /// Enqueue stamp on sampled ops (see `Command::Read`'s `queued`).
+        queued: Option<Instant>,
     },
     Delete {
         table: TableId,
         key: Vec<u8>,
         reply: Sender<Result<Option<Version>, StoreError>>,
+        /// Enqueue stamp on sampled ops (see `Command::Read`'s `queued`).
+        queued: Option<Instant>,
     },
     Scan {
         table: TableId,
@@ -198,6 +241,7 @@ pub struct Client {
     stopped: Arc<AtomicBool>,
     mode: DispatchMode,
     fast_reads: Arc<StripedCounter>,
+    obs: Arc<StageObs>,
 }
 
 impl Client {
@@ -233,9 +277,15 @@ impl Client {
                 if self.stopped.load(Ordering::Acquire) {
                     return Err(ClientError::ServerStopped);
                 }
+                let t0 = self.obs.sample();
                 let shard = self.store.shard_index(table, key);
                 let got = self.store.read(table, key);
                 self.fast_reads.add(shard);
+                if let Some(t0) = t0 {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    self.obs.read_service.record(ns);
+                    rmc_obs::tt_record!("fast-path read: {} ns (shard {})", ns, shard as u64);
+                }
                 Ok(got)
             }
             DispatchMode::GlobalQueue => {
@@ -245,6 +295,7 @@ impl Client {
                         table,
                         key: key.to_vec(),
                         reply,
+                        queued: self.obs.sample(),
                     })
                     .map_err(|_| ClientError::ServerStopped)?;
                 Self::await_reply(rx)
@@ -272,9 +323,15 @@ impl Client {
                 if self.stopped.load(Ordering::Acquire) {
                     return Err(ClientError::ServerStopped);
                 }
+                let t0 = self.obs.sample();
                 let shard = self.store.shard_index(table, key);
                 let got = self.store.read_view(table, key);
                 self.fast_reads.add(shard);
+                if let Some(t0) = t0 {
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    self.obs.read_service.record(ns);
+                    rmc_obs::tt_record!("fast-path read_view: {} ns (shard {})", ns, shard as u64);
+                }
                 Ok(got)
             }
             DispatchMode::GlobalQueue => Ok(self.read(table, key)?.map(record_into_view)),
@@ -337,6 +394,7 @@ impl Client {
                 key: key.to_vec(),
                 value: value.to_vec(),
                 reply,
+                queued: self.obs.sample(),
             })
             .map_err(|_| ClientError::ServerStopped)?;
         Self::await_reply(rx)?.map_err(Into::into)
@@ -354,6 +412,7 @@ impl Client {
                 table,
                 key: key.to_vec(),
                 reply,
+                queued: self.obs.sample(),
             })
             .map_err(|_| ClientError::ServerStopped)?;
         Self::await_reply(rx)?.map_err(Into::into)
@@ -511,6 +570,7 @@ pub struct StandaloneServer {
     queued_ops: Arc<AtomicU64>,
     fast_reads: Arc<StripedCounter>,
     stopped: Arc<AtomicBool>,
+    obs: Arc<StageObs>,
 }
 
 impl StandaloneServer {
@@ -534,11 +594,13 @@ impl StandaloneServer {
             config.read_path,
         ));
         let metrics = MetricsRegistry::new();
+        store.attach_fallback_dwell(metrics.histogram("stage.fallback_locked_ns"));
         let cleaners = (config.concurrent_cleaning && cleaner.enabled)
             .then(|| CleanerPool::start(&store, &metrics));
         let queued_ops = Arc::new(AtomicU64::new(0));
         let fast_reads = Arc::new(StripedCounter::new(config.shards));
         let stopped = Arc::new(AtomicBool::new(false));
+        let obs = Arc::new(StageObs::new(&metrics));
 
         // Global mode: one shared MPMC queue. Affinity mode: a private
         // queue per worker, so a shard's mutations form a single stream.
@@ -562,9 +624,10 @@ impl StandaloneServer {
             .map(|(i, rx)| {
                 let store = Arc::clone(&store);
                 let counter = Arc::clone(&queued_ops);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("rmc-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &store, &counter))
+                    .spawn(move || worker_loop(&rx, &store, &counter, &obs))
                     .expect("spawn worker")
             })
             .collect();
@@ -579,6 +642,7 @@ impl StandaloneServer {
             queued_ops,
             fast_reads,
             stopped,
+            obs,
         }
     }
 
@@ -594,6 +658,7 @@ impl StandaloneServer {
             stopped: Arc::clone(&self.stopped),
             mode: self.mode,
             fast_reads: Arc::clone(&self.fast_reads),
+            obs: Arc::clone(&self.obs),
         }
     }
 
@@ -695,7 +760,29 @@ impl Drop for StandaloneServer {
 
 /// One worker: drains its queue until it sees a shutdown marker or the
 /// queue disconnects. Returns the number of logical ops it served.
-fn worker_loop(rx: &Receiver<Command>, store: &ShardedStore, counter: &AtomicU64) -> u64 {
+fn worker_loop(
+    rx: &Receiver<Command>,
+    store: &ShardedStore,
+    counter: &AtomicU64,
+    obs: &StageObs,
+) -> u64 {
+    // Converts a sampled enqueue stamp into a recorded queue-wait and a
+    // fresh service-time start.
+    let dequeue = |queued: Option<Instant>| {
+        queued.map(|q| {
+            let wait = q.elapsed().as_nanos() as u64;
+            obs.queue_wait.record(wait);
+            rmc_obs::tt_record!("dispatch queue wait: {} ns", wait);
+            Instant::now()
+        })
+    };
+    let finish = |hist: &HistogramHandle, start: Option<Instant>| {
+        if let Some(s) = start {
+            let ns = s.elapsed().as_nanos() as u64;
+            hist.record(ns);
+            rmc_obs::tt_record!("store service: {} ns", ns);
+        }
+    };
     let mut served = 0u64;
     while let Ok(cmd) = rx.recv() {
         // Count before replying so a client that saw its reply also sees
@@ -705,19 +792,39 @@ fn worker_loop(rx: &Receiver<Command>, store: &ShardedStore, counter: &AtomicU64
         counter.fetch_add(ops, Ordering::Relaxed);
         match cmd {
             Command::Shutdown => break,
-            Command::Read { table, key, reply } => {
-                let _ = reply.send(store.read(table, &key));
+            Command::Read {
+                table,
+                key,
+                reply,
+                queued,
+            } => {
+                let start = dequeue(queued);
+                let got = store.read(table, &key);
+                finish(&obs.read_service, start);
+                let _ = reply.send(got);
             }
             Command::Write {
                 table,
                 key,
                 value,
                 reply,
+                queued,
             } => {
-                let _ = reply.send(store.write(table, &key, &value));
+                let start = dequeue(queued);
+                let res = store.write(table, &key, &value);
+                finish(&obs.write_service, start);
+                let _ = reply.send(res);
             }
-            Command::Delete { table, key, reply } => {
-                let _ = reply.send(store.delete(table, &key));
+            Command::Delete {
+                table,
+                key,
+                reply,
+                queued,
+            } => {
+                let start = dequeue(queued);
+                let res = store.delete(table, &key);
+                finish(&obs.write_service, start);
+                let _ = reply.send(res);
             }
             Command::Scan {
                 table,
@@ -868,6 +975,28 @@ mod tests {
         assert_eq!(
             stats.read_lockfree, 0,
             "locked baseline must not go lock-free"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stage_histograms_capture_queue_wait_and_service_time() {
+        let srv = server();
+        let client = srv.client();
+        // Phases, not interleaving: the shared sampler picks every 32nd op,
+        // and a strict write/read alternation would phase-lock it.
+        for i in 0..256 {
+            client.write(T, format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..256 {
+            client.read(T, format!("k{i}").as_bytes()).unwrap();
+        }
+        let hists = srv.metrics().snapshot_histograms();
+        assert!(hists["stage.queue_wait_ns"].count() > 0, "writes enqueue");
+        assert!(hists["stage.write_service_ns"].count() > 0);
+        assert!(
+            hists["stage.read_service_ns"].count() > 0,
+            "fast-path reads are sampled on the client thread"
         );
         srv.shutdown();
     }

@@ -9,12 +9,16 @@
 //! lock only when a probe keeps colliding with the writer. Shards are
 //! independent, so operations on different shards run fully in parallel.
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
 use bytes::Bytes;
 use parking_lot::RwLock;
 use rmc_logstore::{
     key_hash, CleanerConfig, LogConfig, ObjectRecord, ObjectView, ReadHandle, Store, StoreError,
     StoreStats, TableId, ValueView, Version, WriteOutcome,
 };
+use rmc_runtime::HistogramHandle;
 
 /// Which machinery serves point reads ([`ShardedStore::read`] /
 /// [`ShardedStore::read_view`]).
@@ -68,6 +72,10 @@ pub struct ShardedStore {
     /// their locks. Cloning a handle is cheap; these are the originals.
     handles: Vec<ReadHandle>,
     read_path: ReadPath,
+    /// Dwell-time histogram for reads that fell back to the shard lock
+    /// (cleaner interference on the read path). Attached once by whoever
+    /// owns a [`rmc_runtime::MetricsRegistry`]; untimed until then.
+    fallback_dwell: OnceLock<HistogramHandle>,
 }
 
 impl ShardedStore {
@@ -110,7 +118,15 @@ impl ShardedStore {
             shards: stores.into_iter().map(RwLock::new).collect(),
             handles,
             read_path,
+            fallback_dwell: OnceLock::new(),
         }
+    }
+
+    /// Attaches the histogram that times locked-fallback reads (typically
+    /// `stage.fallback_locked_ns` from a registry). First caller wins;
+    /// later calls are no-ops.
+    pub fn attach_fallback_dwell(&self, histogram: HistogramHandle) {
+        let _ = self.fallback_dwell.set(histogram);
     }
 
     /// The read path this store serves point reads through.
@@ -216,7 +232,19 @@ impl ShardedStore {
                 }),
                 Err(_contended) => {
                     self.handles[index].counters().record_fallback_locked();
-                    self.shards[index].read().read_view(table, key)
+                    // Fallbacks are contention events (writer or cleaner in
+                    // the way), so time every one — the dwell is the
+                    // interference the decomposition wants to see.
+                    let t0 = self
+                        .fallback_dwell
+                        .get()
+                        .filter(|_| rmc_obs::enabled())
+                        .map(|h| (h, Instant::now()));
+                    let got = self.shards[index].read().read_view(table, key);
+                    if let Some((h, t0)) = t0 {
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    got
                 }
             },
         }
