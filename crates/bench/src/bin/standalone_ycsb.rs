@@ -13,24 +13,38 @@
 //! `mini_cluster` section — the wall-clock cost of durability next to the
 //! unreplicated single-server rows.
 //!
+//! A third backend (`--backend net_cluster`) takes the cluster out of
+//! process: it spawns one `rmcd` coordinator and [`NET_SERVERS`] server
+//! processes on loopback TCP, drives them through `rmc-wire` framed
+//! connections, and emits a separate `BENCH_wire.json` with wire-health
+//! counters and the servers' replication ack-wait decomposition fetched
+//! over the live Stats RPC.
+//!
 //! Usage:
 //!   standalone_ycsb [--smoke] [--out PATH]   run the sweep, write a report
-//!   standalone_ycsb --check PATH             validate an existing report
+//!   standalone_ycsb --backend net_cluster [--smoke] [--out PATH]
+//!                                            spawn rmcd processes, write BENCH_wire.json
+//!   standalone_ycsb --check PATH             validate an existing report (any schema)
 
-use std::process::ExitCode;
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use rmc_bench::json::{self, Json};
 use rmc_bench::kops;
-use rmc_bench::report::{validate_standalone_report, SCHEMA_VERSION};
-use rmc_core::protocol::ProtocolConfig;
-use rmc_energy::{attribute_energy, NodeActivity, OpClassUsage, PowerProfile};
+use rmc_bench::report::{validate_standalone_report, validate_wire_report, SCHEMA_VERSION};
+use rmc_core::protocol::{server_id, ProtocolConfig};
+use rmc_energy::{attribute_energy, EnergyAttribution, NodeActivity, OpClassUsage, PowerProfile};
 use rmc_logstore::{LogConfig, TableId};
 use rmc_runtime::{MetricsRegistry, SimDuration};
 use rmc_standalone::{
-    Client, DispatchMode, MiniClient, MiniCluster, ServerConfig, StandaloneServer, STAGE_SAMPLE,
+    Client, DispatchMode, MiniClient, MiniCluster, NetClient, ServerConfig, StandaloneServer,
+    STAGE_SAMPLE,
 };
+use rmc_wire::AddressBook;
 use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
 use rmc_ycsb::{Distribution, Mix, WorkloadSpec};
 
@@ -288,6 +302,11 @@ fn energy_json(server: &StandaloneServer, summary: &RunSummary) -> Json {
         ..NodeActivity::idle()
     };
     let split = attribute_energy(&profile, activity, elapsed, &classes);
+    energy_split_json(&split)
+}
+
+/// Renders an energy attribution as the report's `energy` block.
+fn energy_split_json(split: &[EnergyAttribution]) -> Json {
     let total: f64 = split.iter().map(|a| a.joules).sum();
     Json::obj(vec![
         ("profile", "grid5000_nancy".into()),
@@ -503,6 +522,382 @@ fn run_mini(scale: Scale) -> Result<Json, String> {
     ]))
 }
 
+/// Socket-engine fleet shape: one coordinator + three server processes,
+/// every write replicated to two backups over real loopback TCP.
+const NET_SERVERS: usize = 3;
+const NET_REPLICATION: usize = 2;
+
+/// Adapts the socket-engine client to the runner's backend trait — the
+/// wire twin of [`MiniClusterBackend`]: `NetClient` ops take `&mut self`,
+/// so a channel pool checks one out per op.
+struct NetClusterBackend {
+    ret: Sender<NetClient>,
+    pool: Receiver<NetClient>,
+}
+
+impl NetClusterBackend {
+    fn new(clients: Vec<NetClient>) -> Self {
+        let (ret, pool) = crossbeam::channel::unbounded();
+        for c in clients {
+            ret.send(c).expect("pool channel open");
+        }
+        NetClusterBackend { ret, pool }
+    }
+
+    fn with_client<T>(
+        &self,
+        f: impl FnOnce(&mut NetClient) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let mut client = self
+            .pool
+            .recv()
+            .map_err(|_| "net-cluster client pool closed".to_string())?;
+        let result = f(&mut client);
+        let _ = self.ret.send(client);
+        result
+    }
+}
+
+impl KvBackend for NetClusterBackend {
+    fn read(&self, key: &[u8]) -> Result<bool, String> {
+        self.with_client(|c| c.get(key).map(|r| r.is_some()))
+    }
+
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.with_client(|c| c.put(key, value))
+    }
+
+    fn multiread(&self, keys: &[Vec<u8>]) -> Result<usize, String> {
+        self.with_client(|c| {
+            let mut found = 0;
+            for key in keys {
+                if c.get(key)?.is_some() {
+                    found += 1;
+                }
+            }
+            Ok(found)
+        })
+    }
+
+    fn multiwrite(&self, ops: &[(Vec<u8>, Vec<u8>)]) -> Result<(), String> {
+        self.with_client(|c| {
+            for (key, value) in ops {
+                c.put(key, value)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+/// `rmcd` sits next to this benchmark in the same target directory — both
+/// are workspace binaries, so any `cargo build` that produced this
+/// executable produced it too (or the error below says how).
+fn rmcd_path() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent directory")?;
+    let path = dir.join(format!("rmcd{}", std::env::consts::EXE_SUFFIX));
+    if path.is_file() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "{} not found — build it first: cargo build --release -p rmc-standalone --bin rmcd",
+            path.display()
+        ))
+    }
+}
+
+/// Reserves `n` distinct loopback ports by holding ephemeral listeners
+/// while collecting their addresses, then releasing them for the `rmcd`
+/// fleet to claim (SO_REUSEADDR makes the rebind race-free in practice).
+fn free_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}")))
+        .collect::<Result<_, _>>()?;
+    listeners
+        .iter()
+        .map(|l| l.local_addr().map_err(|e| format!("local_addr: {e}")))
+        .collect()
+}
+
+/// A launched `rmcd` fleet. Killed — not asked — on drop: process death is
+/// the socket engine's only shutdown, and the protocol's recovery
+/// machinery is the cleanup.
+struct RmcdCluster {
+    children: Vec<Child>,
+}
+
+impl RmcdCluster {
+    /// Spawns the coordinator and every server, waiting for each process's
+    /// `rmcd ready` line so the workload never races a bind.
+    fn spawn(addrs: &[SocketAddr]) -> Result<RmcdCluster, String> {
+        let bin = rmcd_path()?;
+        let addr_list = addrs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut cluster = RmcdCluster {
+            children: Vec::new(),
+        };
+        for node in 0..=NET_SERVERS {
+            let role = if node == 0 { "coordinator" } else { "server" };
+            let mut cmd = Command::new(&bin);
+            cmd.arg("--role")
+                .arg(role)
+                .arg("--addrs")
+                .arg(&addr_list)
+                .arg("--servers")
+                .arg(NET_SERVERS.to_string())
+                .arg("--replication")
+                .arg(NET_REPLICATION.to_string())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            if node > 0 {
+                cmd.arg("--index").arg((node - 1).to_string());
+            }
+            let mut child = cmd.spawn().map_err(|e| format!("spawn {role}: {e}"))?;
+            let stdout = child.stdout.take().ok_or("rmcd stdout not piped")?;
+            cluster.children.push(child);
+            let mut lines = std::io::BufReader::new(stdout).lines();
+            match lines.next() {
+                Some(Ok(line)) if line.starts_with("rmcd ready") => {}
+                other => return Err(format!("rmcd {role} never reported ready: {other:?}")),
+            }
+            // Keep draining stdout so the child can never block on a full
+            // pipe.
+            std::thread::spawn(move || for _line in lines {});
+        }
+        Ok(cluster)
+    }
+}
+
+impl Drop for RmcdCluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+struct WireMeasurement {
+    mix: &'static str,
+    read_fraction: f64,
+    batch_size: usize,
+    summary: RunSummary,
+    /// `wire.*` health counters summed over every client fabric.
+    wire: Json,
+    /// Replication ack-wait decomposition from the servers' Stats RPC.
+    stages: Json,
+    /// Energy modelled from client-observed service times.
+    energy: Json,
+}
+
+/// Models the run's energy from the only vantage a separate-process
+/// cluster offers without a sampling daemon: each op class's busy time is
+/// its client-observed mean latency times its count — network wait
+/// included, so this is the whole-request envelope, not server CPU alone.
+fn wire_energy_json(summary: &RunSummary) -> Json {
+    let busy = |lat: &LatencySummary| (lat.mean_us * 1000.0 * lat.count as f64) as u64;
+    let read_busy = busy(&summary.reads);
+    let write_busy = busy(&summary.writes);
+    let classes = vec![
+        OpClassUsage::new("read", summary.reads.count, read_busy),
+        OpClassUsage::new("write", summary.writes.count, write_busy),
+    ];
+    let elapsed = summary.elapsed_secs.max(1e-9);
+    let profile = PowerProfile::grid5000_nancy();
+    let activity = NodeActivity {
+        cpu: ((read_busy + write_busy) as f64 / (elapsed * 1e9)).clamp(0.0, 1.0),
+        ..NodeActivity::idle()
+    };
+    energy_split_json(&attribute_energy(&profile, activity, elapsed, &classes))
+}
+
+/// One wire row: a fresh `rmcd` fleet on fresh ports, loaded and driven
+/// over TCP, with wire health and server-side stage decomposition
+/// snapshotted before teardown (so shutdown races can't leak into the
+/// counters). A fleet per row keeps each row's connects/frames
+/// attributable to that row alone.
+fn run_wire_row(
+    mix: &'static str,
+    read_fraction: f64,
+    scale: Scale,
+) -> Result<WireMeasurement, String> {
+    let addrs = free_addrs(1 + NET_SERVERS)?;
+    let cluster = RmcdCluster::spawn(&addrs)?;
+    let book_addrs: Vec<Option<SocketAddr>> = addrs.iter().copied().map(Some).collect();
+    let mut clients = Vec::new();
+    let mut registries = Vec::new();
+    for i in 0..scale.clients {
+        let mut cfg = ProtocolConfig::new(NET_SERVERS, scale.clients, NET_REPLICATION);
+        cfg.retry_timeout = SimDuration::from_millis(50);
+        let client = NetClient::connect(cfg, i, AddressBook::new(book_addrs.clone()));
+        registries.push(client.fabric().registry().clone());
+        clients.push(client);
+    }
+
+    let mut spec = spec_for(mix, read_fraction, scale);
+    // Every op is a framed TCP round trip (writes add a replication round
+    // trip on top), so run the mini-cluster's reduced volume.
+    spec.record_count = (scale.record_count / 4).max(64);
+    spec.ops_per_client = (scale.ops_per_client / 10).max(100);
+
+    let backend = Arc::new(NetClusterBackend::new(clients));
+    runner::load(&*backend, &spec, 1)?;
+    let summary = runner::run(
+        &backend,
+        &spec,
+        &RunnerConfig {
+            clients: scale.clients,
+            batch_size: 1,
+            seed: 42,
+        },
+    )?;
+
+    // Replication ack-wait from the servers' live Stats RPC: counts sum
+    // over servers, quantiles quote the worst one.
+    let mut ack = (0u64, 0u64, 0u64, 0u64);
+    for s in 0..NET_SERVERS {
+        let stats = backend.with_client(|c| c.node_stats(server_id(s)))?;
+        let stat = |key: &str| {
+            stats
+                .iter()
+                .find(|(name, _)| name.as_str() == key)
+                .map_or(0, |(_, v)| *v)
+        };
+        ack.0 += stat("ack_wait_count");
+        ack.1 = ack.1.max(stat("ack_wait_p50_ns"));
+        ack.2 = ack.2.max(stat("ack_wait_p99_ns"));
+        ack.3 = ack.3.max(stat("ack_wait_max_ns"));
+    }
+    let wire_sum = |name: &str| registries.iter().map(|r| r.get(name)).sum::<u64>();
+    let wire = Json::obj(vec![
+        ("connects", wire_sum("wire.connects").into()),
+        ("reconnects", wire_sum("wire.reconnects").into()),
+        ("frames_tx", wire_sum("wire.frames_tx").into()),
+        ("frames_rx", wire_sum("wire.frames_rx").into()),
+        ("decode_errors", wire_sum("wire.decode_errors").into()),
+    ]);
+    let stages = Json::obj(vec![(
+        "replication_ack_wait",
+        Json::obj(vec![
+            ("count", ack.0.into()),
+            ("worst_p50_ns", ack.1.into()),
+            ("worst_p99_ns", ack.2.into()),
+            ("max_ns", ack.3.into()),
+        ]),
+    )]);
+    let energy = wire_energy_json(&summary);
+    drop(backend); // closes every client fabric
+    drop(cluster); // kills the rmcd fleet
+
+    println!(
+        "  {:<14} servers={NET_SERVERS} r={NET_REPLICATION} mix={mix:<8} batch=1   {:>9} ops/s  read p99 {:>8.1} us",
+        "net_cluster",
+        kops(summary.throughput_ops_per_sec),
+        summary.reads.p99_us,
+    );
+    println!(
+        "      wire: {} connects | {} tx / {} rx frames | ack wait {} (worst p99 {:.1} us)",
+        wire_sum("wire.connects"),
+        wire_sum("wire.frames_tx"),
+        wire_sum("wire.frames_rx"),
+        ack.0,
+        ack.2 as f64 / 1000.0,
+    );
+    Ok(WireMeasurement {
+        mix,
+        read_fraction,
+        batch_size: 1,
+        summary,
+        wire,
+        stages,
+        energy,
+    })
+}
+
+/// Runs every mix through real `rmcd` processes and assembles the
+/// `BENCH_wire.json` document (`benchmark: "wire_ycsb"`). The comparison
+/// quotes read100 over read50 — what write replication over the wire
+/// costs end to end.
+fn run_net(scale: Scale) -> Result<Json, String> {
+    let mut rows = Vec::new();
+    for &(mix, read_fraction) in MIXES {
+        rows.push(run_wire_row(mix, read_fraction, scale)?);
+    }
+
+    let pick = |mix: &str| {
+        rows.iter()
+            .find(|r| r.mix == mix)
+            .map(|r| r.summary.throughput_ops_per_sec)
+            .ok_or_else(|| format!("missing {mix} wire run"))
+    };
+    let read50 = pick("read50")?;
+    let read100 = pick("read100")?;
+    let speedup = read100 / read50;
+    println!(
+        "\nwire comparison (read100 vs read50, {} clients): {} -> {} ops/s = {speedup:.2}x",
+        scale.clients,
+        kops(read50),
+        kops(read100),
+    );
+
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("backend", "net_cluster".into()),
+                ("mix", r.mix.into()),
+                ("read_fraction", r.read_fraction.into()),
+                ("clients", scale.clients.into()),
+                ("batch_size", r.batch_size.into()),
+                ("ops", r.summary.ops.into()),
+                ("elapsed_secs", r.summary.elapsed_secs.into()),
+                (
+                    "throughput_ops_per_sec",
+                    r.summary.throughput_ops_per_sec.into(),
+                ),
+                ("read_latency_us", latency_json(&r.summary.reads)),
+                ("write_latency_us", latency_json(&r.summary.writes)),
+                ("wire", r.wire.clone()),
+                ("stages", r.stages.clone()),
+                ("energy", r.energy.clone()),
+            ])
+        })
+        .collect();
+
+    Ok(Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("benchmark", "wire_ycsb".into()),
+        (
+            "config",
+            Json::obj(vec![
+                ("servers", NET_SERVERS.into()),
+                ("replication", NET_REPLICATION.into()),
+                ("clients", scale.clients.into()),
+                ("record_count", (scale.record_count / 4).max(64).into()),
+                (
+                    "ops_per_client",
+                    (scale.ops_per_client / 10).max(100).into(),
+                ),
+                ("value_bytes", scale.value_bytes.into()),
+                ("smoke", scale.smoke.into()),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+        (
+            "comparison",
+            Json::obj(vec![
+                ("clients", scale.clients.into()),
+                ("read50_ops_per_sec", read50.into()),
+                ("read100_ops_per_sec", read100.into()),
+                ("speedup", speedup.into()),
+            ]),
+        ),
+    ]))
+}
+
 fn sweep(scale: Scale) -> Result<Vec<Measurement>, String> {
     let mut all = Vec::new();
     for &dispatch in &[DispatchMode::GlobalQueue, DispatchMode::ShardAffinity] {
@@ -606,23 +1001,38 @@ fn report(measurements: &[Measurement], mini: Json, scale: Scale) -> Result<Json
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = json::parse(&text)?;
-    validate_standalone_report(&doc)?;
-    println!("{path}: valid standalone report");
+    // Dispatch on the document's own benchmark tag so one --check flag
+    // validates whichever report this binary can emit.
+    let kind = doc
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .unwrap_or("standalone_ycsb")
+        .to_owned();
+    match kind.as_str() {
+        "wire_ycsb" => validate_wire_report(&doc)?,
+        _ => validate_standalone_report(&doc)?,
+    }
+    println!("{path}: valid {kind} report");
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = FULL;
-    let mut out = String::from("BENCH_standalone.json");
+    let mut backend = String::from("standalone");
+    let mut out: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => scale = SMOKE,
+            "--backend" if i + 1 < args.len() => {
+                i += 1;
+                backend = args[i].clone();
+            }
             "--out" if i + 1 < args.len() => {
                 i += 1;
-                out = args[i].clone();
+                out = Some(args[i].clone());
             }
             "--check" if i + 1 < args.len() => {
                 i += 1;
@@ -630,7 +1040,10 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: standalone_ycsb [--smoke] [--out PATH] | --check PATH");
+                eprintln!(
+                    "usage: standalone_ycsb [--backend standalone|net_cluster] [--smoke] \
+                     [--out PATH] | --check PATH"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -647,23 +1060,50 @@ fn main() -> ExitCode {
         };
     }
 
-    println!(
-        "standalone YCSB sweep ({}): {} records x {} B, {} clients x {} ops",
-        if scale.smoke { "smoke" } else { "full" },
-        scale.record_count,
-        scale.value_bytes,
-        scale.clients,
-        scale.ops_per_client,
-    );
-    let outcome = sweep(scale).and_then(|measurements| {
-        let mini = run_mini(scale)?;
-        let doc = report(&measurements, mini, scale)?;
-        // Never emit a report CI's validator would reject.
-        validate_standalone_report(&doc)?;
-        std::fs::write(&out, format!("{doc}\n")).map_err(|e| format!("write {out}: {e}"))?;
-        println!("-> {out}");
-        Ok(())
-    });
+    let outcome = match backend.as_str() {
+        "net_cluster" => {
+            let out = out.unwrap_or_else(|| "BENCH_wire.json".to_owned());
+            println!(
+                "wire YCSB over rmcd processes ({}): {} servers r={}, {} clients",
+                if scale.smoke { "smoke" } else { "full" },
+                NET_SERVERS,
+                NET_REPLICATION,
+                scale.clients,
+            );
+            run_net(scale).and_then(|doc| {
+                // Never emit a report CI's validator would reject.
+                validate_wire_report(&doc)?;
+                std::fs::write(&out, format!("{doc}\n"))
+                    .map_err(|e| format!("write {out}: {e}"))?;
+                println!("-> {out}");
+                Ok(())
+            })
+        }
+        "standalone" => {
+            let out = out.unwrap_or_else(|| "BENCH_standalone.json".to_owned());
+            println!(
+                "standalone YCSB sweep ({}): {} records x {} B, {} clients x {} ops",
+                if scale.smoke { "smoke" } else { "full" },
+                scale.record_count,
+                scale.value_bytes,
+                scale.clients,
+                scale.ops_per_client,
+            );
+            sweep(scale).and_then(|measurements| {
+                let mini = run_mini(scale)?;
+                let doc = report(&measurements, mini, scale)?;
+                // Never emit a report CI's validator would reject.
+                validate_standalone_report(&doc)?;
+                std::fs::write(&out, format!("{doc}\n"))
+                    .map_err(|e| format!("write {out}: {e}"))?;
+                println!("-> {out}");
+                Ok(())
+            })
+        }
+        other => Err(format!(
+            "unknown backend {other:?} (expected standalone or net_cluster)"
+        )),
+    };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

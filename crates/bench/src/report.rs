@@ -140,20 +140,7 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
         // The per-op-class energy attribution is optional; when present the
         // class splits must carry non-negative joules.
         if let Some(energy) = result.get("energy") {
-            let ectx = format!("{ctx}.energy");
-            num(energy, &ectx, "total_joules")?;
-            let classes = field(energy, &ectx, "classes")?
-                .as_array()
-                .ok_or_else(|| format!("{ectx}: \"classes\" must be an array"))?;
-            for (j, class) in classes.iter().enumerate() {
-                let cctx = format!("{ectx}.classes[{j}]");
-                string(class, &cctx, "name")?;
-                for key in ["ops", "joules", "micro_joules_per_op", "ops_per_joule"] {
-                    if num(class, &cctx, key)? < 0.0 {
-                        return Err(format!("{cctx}: \"{key}\" must be non-negative"));
-                    }
-                }
-            }
+            validate_energy_block(energy, &format!("{ctx}.energy"))?;
         }
     }
 
@@ -189,6 +176,137 @@ pub fn validate_standalone_report(doc: &Json) -> Result<(), String> {
         }
         latency(mini, "mini_cluster", "read_latency_us")?;
         latency(mini, "mini_cluster", "write_latency_us")?;
+    }
+    Ok(())
+}
+
+/// Validates an `energy` block: a modelled total plus per-op-class splits
+/// carrying non-negative joules.
+fn validate_energy_block(energy: &Json, ectx: &str) -> Result<(), String> {
+    num(energy, ectx, "total_joules")?;
+    let classes = field(energy, ectx, "classes")?
+        .as_array()
+        .ok_or_else(|| format!("{ectx}: \"classes\" must be an array"))?;
+    for (j, class) in classes.iter().enumerate() {
+        let cctx = format!("{ectx}.classes[{j}]");
+        string(class, &cctx, "name")?;
+        for key in ["ops", "joules", "micro_joules_per_op", "ops_per_joule"] {
+            if num(class, &cctx, key)? < 0.0 {
+                return Err(format!("{cctx}: \"{key}\" must be non-negative"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a parsed `BENCH_wire.json` document (the socket-engine YCSB
+/// benchmark: real `rmcd` processes over loopback TCP, driven through
+/// `rmc-wire` framed connections).
+///
+/// Beyond shape, the validator enforces wire health: every row must have
+/// actually moved frames, and a clean loopback run must decode every frame
+/// it received — a non-zero `decode_errors` means framing corruption, not
+/// load.
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_wire_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "wire_ycsb" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in [
+        "servers",
+        "replication",
+        "clients",
+        "record_count",
+        "ops_per_client",
+        "value_bytes",
+    ] {
+        if num(config, "config", key)? <= 0.0 {
+            return Err(format!("config: \"{key}\" must be positive"));
+        }
+    }
+    if num(config, "config", "replication")? >= num(config, "config", "servers")? {
+        return Err("config: replication must be < servers".into());
+    }
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let backend = string(result, &ctx, "backend")?;
+        if backend != "net_cluster" {
+            return Err(format!("{ctx}: unknown backend {backend:?}"));
+        }
+        string(result, &ctx, "mix")?;
+        let read_fraction = num(result, &ctx, "read_fraction")?;
+        if !(0.0..=1.0).contains(&read_fraction) {
+            return Err(format!("{ctx}: read_fraction out of range"));
+        }
+        for key in ["clients", "batch_size", "ops"] {
+            if num(result, &ctx, key)? < 1.0 {
+                return Err(format!("{ctx}: \"{key}\" must be >= 1"));
+            }
+        }
+        for key in ["elapsed_secs", "throughput_ops_per_sec"] {
+            if num(result, &ctx, key)? <= 0.0 {
+                return Err(format!("{ctx}: \"{key}\" must be positive"));
+            }
+        }
+        latency(result, &ctx, "read_latency_us")?;
+        latency(result, &ctx, "write_latency_us")?;
+        // The wire-health block is mandatory — it is the proof the row ran
+        // over sockets at all.
+        let wire = field(result, &ctx, "wire")?;
+        let wctx = format!("{ctx}.wire");
+        for key in ["connects", "reconnects", "frames_tx", "frames_rx"] {
+            if num(wire, &wctx, key)? < 0.0 {
+                return Err(format!("{wctx}: \"{key}\" must be non-negative"));
+            }
+        }
+        if num(wire, &wctx, "frames_tx")? < 1.0 || num(wire, &wctx, "frames_rx")? < 1.0 {
+            return Err(format!("{wctx}: run moved no frames — not a wire run"));
+        }
+        if num(wire, &wctx, "decode_errors")? != 0.0 {
+            return Err(format!("{wctx}: clean loopback run decoded errors"));
+        }
+        // The replication ack-wait decomposition from the servers' live
+        // Stats RPC (counts sum over servers; quantiles quote the worst).
+        let stages = field(result, &ctx, "stages")?;
+        let stage = field(stages, &format!("{ctx}.stages"), "replication_ack_wait")?;
+        let sctx = format!("{ctx}.stages.replication_ack_wait");
+        for key in ["count", "worst_p50_ns", "worst_p99_ns", "max_ns"] {
+            if num(stage, &sctx, key)? < 0.0 {
+                return Err(format!("{sctx}: \"{key}\" must be non-negative"));
+            }
+        }
+        if let Some(energy) = result.get("energy") {
+            validate_energy_block(energy, &format!("{ctx}.energy"))?;
+        }
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    num(comparison, "comparison", "clients")?;
+    let read50 = num(comparison, "comparison", "read50_ops_per_sec")?;
+    let read100 = num(comparison, "comparison", "read100_ops_per_sec")?;
+    let speedup = num(comparison, "comparison", "speedup")?;
+    if read50 <= 0.0 || read100 <= 0.0 {
+        return Err("comparison: throughputs must be positive".into());
+    }
+    if (speedup - read100 / read50).abs() > 1e-6 * speedup.max(1.0) {
+        return Err("comparison: speedup != read100/read50".into());
     }
     Ok(())
 }
@@ -808,6 +926,72 @@ mod tests {
             .replace("\"stage_samples\": 0,", "\"stage_samples\": 7,");
         let err = validate_obs_report(&parse(&doc).unwrap()).unwrap_err();
         assert!(err.contains("missing \"disabled\""), "got {err}");
+    }
+
+    fn minimal_wire() -> String {
+        r#"{
+          "schema_version": 1,
+          "benchmark": "wire_ycsb",
+          "config": {"servers": 3, "replication": 2, "clients": 2,
+            "record_count": 128, "ops_per_client": 50, "value_bytes": 64, "smoke": true},
+          "results": [
+            {"backend": "net_cluster", "mix": "read50", "read_fraction": 0.5,
+             "clients": 2, "batch_size": 1, "ops": 100,
+             "elapsed_secs": 0.2, "throughput_ops_per_sec": 500.0,
+             "read_latency_us": {"count": 50, "mean": 90.0, "p50": 80.0, "p90": 120.0, "p99": 200.0, "max": 400.0},
+             "write_latency_us": {"count": 50, "mean": 150.0, "p50": 130.0, "p90": 220.0, "p99": 380.0, "max": 900.0},
+             "wire": {"connects": 8, "reconnects": 0, "frames_tx": 220, "frames_rx": 220, "decode_errors": 0},
+             "stages": {"replication_ack_wait": {"count": 50, "worst_p50_ns": 40000, "worst_p99_ns": 90000, "max_ns": 200000}}},
+            {"backend": "net_cluster", "mix": "read100", "read_fraction": 1.0,
+             "clients": 2, "batch_size": 1, "ops": 100,
+             "elapsed_secs": 0.1, "throughput_ops_per_sec": 1000.0,
+             "read_latency_us": {"count": 100, "mean": 85.0, "p50": 78.0, "p90": 110.0, "p99": 160.0, "max": 300.0},
+             "write_latency_us": {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0},
+             "wire": {"connects": 8, "reconnects": 0, "frames_tx": 210, "frames_rx": 210, "decode_errors": 0},
+             "stages": {"replication_ack_wait": {"count": 0, "worst_p50_ns": 0, "worst_p99_ns": 0, "max_ns": 0}}}
+          ],
+          "comparison": {"clients": 2, "read50_ops_per_sec": 500.0,
+            "read100_ops_per_sec": 1000.0, "speedup": 2.0}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accepts_minimal_wire_report() {
+        validate_wire_report(&parse(&minimal_wire()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_wire_reports() {
+        for (needle, replacement, expect) in [
+            ("wire_ycsb", "other_bench", "benchmark"),
+            ("\"replication\": 2", "\"replication\": 3", "replication"),
+            (
+                "\"backend\": \"net_cluster\", \"mix\": \"read50\"",
+                "\"backend\": \"carrier_pigeon\", \"mix\": \"read50\"",
+                "backend",
+            ),
+            ("\"frames_tx\": 220", "\"frames_tx\": 0", "moved no frames"),
+            (
+                "\"decode_errors\": 0}",
+                "\"decode_errors\": 3}",
+                "decoded errors",
+            ),
+            (
+                "\"worst_p99_ns\": 90000",
+                "\"worst_p99_ns\": -1",
+                "worst_p99_ns",
+            ),
+            ("\"speedup\": 2.0", "\"speedup\": 5.0", "speedup"),
+        ] {
+            let doc = minimal_wire().replacen(needle, replacement, 1);
+            let err = validate_wire_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
+        // A row without its wire block is not a wire row at all.
+        let doc = minimal_wire().replacen("\"wire\":", "\"unwired\":", 1);
+        let err = validate_wire_report(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("wire"), "got {err}");
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //! immediately simply degrades delays to reorder-free delivery while drops,
 //! duplicates, and partitions keep their exact semantics.
 
+use std::cell::RefCell;
+
 use rmc_runtime::{NodeId, Runtime, SimDuration, SimTime};
 
 use crate::fault::{FaultState, MsgClass};
 
 /// A fault-injecting view over an inner runtime, scoped — like the inner
 /// runtime itself — to one node handling one event.
+///
+/// The judge sits behind a `RefCell` because [`Runtime::send`] takes
+/// `&self` while every judged message consumes RNG draws; the wrapper is
+/// single-threaded by construction (it borrows one node's runtime for one
+/// event), so the interior mutability can never contend.
 #[derive(Debug)]
 pub struct FaultRuntime<'a, R: Runtime> {
     inner: &'a mut R,
-    faults: &'a mut FaultState,
+    faults: RefCell<&'a mut FaultState>,
     classify: fn(&R::Msg) -> MsgClass,
 }
 
@@ -32,8 +39,30 @@ impl<'a, R: Runtime> FaultRuntime<'a, R> {
     ) -> Self {
         FaultRuntime {
             inner,
-            faults,
+            faults: RefCell::new(faults),
             classify,
+        }
+    }
+
+    /// Delivers `msg` once per fate, cloning only for the extra copies a
+    /// duplicate fate demands — the common single-fate case moves the
+    /// message straight through to the engine.
+    fn deliver_fates(&self, base: SimDuration, to: NodeId, msg: R::Msg, mut fates: Vec<SimDuration>)
+    where
+        R::Msg: Clone,
+    {
+        let Some(last) = fates.pop() else {
+            return; // dropped
+        };
+        for extra in fates {
+            self.inner
+                .send_after(base.saturating_add_dur(extra), to, msg.clone());
+        }
+        let total = base.saturating_add_dur(last);
+        if total.is_zero() {
+            self.inner.send(to, msg);
+        } else {
+            self.inner.send_after(total, to, msg);
         }
     }
 }
@@ -52,34 +81,31 @@ where
         self.inner.now()
     }
 
-    fn send(&mut self, to: NodeId, msg: R::Msg) {
+    fn send(&self, to: NodeId, msg: R::Msg) {
         let now = self.inner.now();
         let from = self.inner.node();
-        let fates = self.faults.judge(now, from, to, (self.classify)(&msg));
-        for delay in fates {
-            if delay.is_zero() {
-                self.inner.send(to, msg.clone());
-            } else {
-                self.inner.send_after(delay, to, msg.clone());
-            }
-        }
+        let fates = self
+            .faults
+            .borrow_mut()
+            .judge(now, from, to, (self.classify)(&msg));
+        self.deliver_fates(SimDuration::ZERO, to, msg, fates);
     }
 
     fn set_timer(&mut self, after: SimDuration) {
         self.inner.set_timer(after);
     }
 
-    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: R::Msg) {
+    fn send_after(&self, delay: SimDuration, to: NodeId, msg: R::Msg) {
         // A deferred send is still one message on the wire: judge it now
         // (deterministically, at the caller's instant) and stack the fault
         // delay on top of the requested one.
         let now = self.inner.now();
         let from = self.inner.node();
-        let fates = self.faults.judge(now, from, to, (self.classify)(&msg));
-        for extra in fates {
-            self.inner
-                .send_after(delay.saturating_add_dur(extra), to, msg.clone());
-        }
+        let fates = self
+            .faults
+            .borrow_mut()
+            .judge(now, from, to, (self.classify)(&msg));
+        self.deliver_fates(delay, to, msg, fates);
     }
 }
 
@@ -104,7 +130,7 @@ mod tests {
     struct Recorder {
         node: NodeId,
         now: SimTime,
-        sent: Vec<(NodeId, u32, SimDuration)>,
+        sent: RefCell<Vec<(NodeId, u32, SimDuration)>>,
         timer: Option<SimDuration>,
     }
 
@@ -116,14 +142,14 @@ mod tests {
         fn now(&self) -> SimTime {
             self.now
         }
-        fn send(&mut self, to: NodeId, msg: u32) {
-            self.sent.push((to, msg, SimDuration::ZERO));
+        fn send(&self, to: NodeId, msg: u32) {
+            self.sent.borrow_mut().push((to, msg, SimDuration::ZERO));
         }
         fn set_timer(&mut self, after: SimDuration) {
             self.timer = Some(after);
         }
-        fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: u32) {
-            self.sent.push((to, msg, delay));
+        fn send_after(&self, delay: SimDuration, to: NodeId, msg: u32) {
+            self.sent.borrow_mut().push((to, msg, delay));
         }
     }
 
@@ -131,7 +157,7 @@ mod tests {
         Recorder {
             node: NodeId(0),
             now: SimTime::from_millis(1),
-            sent: Vec::new(),
+            sent: RefCell::new(Vec::new()),
             timer: None,
         }
     }
@@ -147,7 +173,10 @@ mod tests {
         let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
         rt.send(NodeId(2), 7);
         rt.set_timer(SimDuration::from_millis(3));
-        assert_eq!(inner.sent, vec![(NodeId(2), 7, SimDuration::ZERO)]);
+        assert_eq!(
+            *inner.sent.borrow(),
+            vec![(NodeId(2), 7, SimDuration::ZERO)]
+        );
         assert_eq!(inner.timer, Some(SimDuration::from_millis(3)));
     }
 
@@ -158,11 +187,11 @@ mod tests {
         plan.quiesce_at = SimTime::from_secs(10);
         let mut inner = recorder();
         let mut faults = FaultState::new(plan);
-        let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
+        let rt = FaultRuntime::new(&mut inner, &mut faults, classify);
         for i in 0..20 {
             rt.send(NodeId(1), i);
         }
-        assert!(inner.sent.is_empty());
+        assert!(inner.sent.borrow().is_empty());
         assert_eq!(faults.stats.random_drops, 20);
     }
 
@@ -175,11 +204,12 @@ mod tests {
         plan.quiesce_at = SimTime::from_secs(10);
         let mut inner = recorder();
         let mut faults = FaultState::new(plan);
-        let mut rt = FaultRuntime::new(&mut inner, &mut faults, classify);
+        let rt = FaultRuntime::new(&mut inner, &mut faults, classify);
         rt.send(NodeId(3), 42);
-        assert_eq!(inner.sent.len(), 2, "original + duplicate");
+        assert_eq!(inner.sent.borrow().len(), 2, "original + duplicate");
         assert!(inner
             .sent
+            .borrow()
             .iter()
             .all(|&(to, m, _)| to == NodeId(3) && m == 42));
         assert!(faults.stats.duplicated == 1 && faults.stats.delayed == 1);

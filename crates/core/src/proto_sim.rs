@@ -39,13 +39,16 @@ use crate::protocol::{
 use crate::sim_runtime::SimRuntime;
 
 /// Buffered effects of one handler invocation under the simulated engine.
+/// The outbox sits behind a `RefCell` because [`Runtime::send`] takes
+/// `&self` (the NIC contract); buffering order is unchanged, so same-seed
+/// runs stay bit-identical.
 #[derive(Debug)]
 struct QueuedRuntime {
     me: NodeId,
     now: SimTime,
     /// `(to, msg, extra_delay)` — the delay comes from `send_after`
     /// (fault-injected delays ride through it).
-    out: Vec<(NodeId, Msg, SimDuration)>,
+    out: std::cell::RefCell<Vec<(NodeId, Msg, SimDuration)>>,
     timers: Vec<SimDuration>,
 }
 
@@ -54,7 +57,7 @@ impl QueuedRuntime {
         QueuedRuntime {
             me,
             now,
-            out: Vec::new(),
+            out: std::cell::RefCell::new(Vec::new()),
             timers: Vec::new(),
         }
     }
@@ -71,16 +74,16 @@ impl Runtime for QueuedRuntime {
         self.now
     }
 
-    fn send(&mut self, to: NodeId, msg: Msg) {
-        self.out.push((to, msg, SimDuration::ZERO));
+    fn send(&self, to: NodeId, msg: Msg) {
+        self.out.borrow_mut().push((to, msg, SimDuration::ZERO));
     }
 
     fn set_timer(&mut self, after: SimDuration) {
         self.timers.push(after);
     }
 
-    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Msg) {
-        self.out.push((to, msg, delay));
+    fn send_after(&self, delay: SimDuration, to: NodeId, msg: Msg) {
+        self.out.borrow_mut().push((to, msg, delay));
     }
 }
 
@@ -281,7 +284,7 @@ impl SimNet {
 /// inherits the engine's `(time, seq)` ordering, so runs are deterministic.
 fn dispatch(net: &SimNet, rt: &mut SimRuntime<'_, SimNet>, node: NodeId, q: QueuedRuntime) {
     let latency = net.latency;
-    for (to, msg, extra) in q.out {
+    for (to, msg, extra) in q.out.into_inner() {
         let from = node;
         if let Some(trace) = msg.trace_id(from, to) {
             net.spans.record(

@@ -255,8 +255,9 @@ pub enum Reply {
 }
 
 /// Everything nodes say to each other. One enum for the whole cluster so a
-/// single `Runtime<Msg = Msg>` transport carries it all.
-#[derive(Debug, Clone)]
+/// single `Runtime<Msg = Msg>` transport carries it all. `PartialEq` exists
+/// for the wire codec's round-trip tests.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
     /// Client → master: perform `op`; `seq` is the client's RIFL sequence
     /// (retries reuse it).
@@ -1867,7 +1868,7 @@ mod tests {
     struct TestRt {
         me: NodeId,
         now: SimTime,
-        sent: Vec<(NodeId, Msg)>,
+        sent: std::cell::RefCell<Vec<(NodeId, Msg)>>,
         timers: Vec<SimDuration>,
     }
 
@@ -1876,12 +1877,12 @@ mod tests {
             TestRt {
                 me,
                 now: SimTime::from_millis(1),
-                sent: Vec::new(),
+                sent: std::cell::RefCell::new(Vec::new()),
                 timers: Vec::new(),
             }
         }
         fn drain(&mut self) -> Vec<(NodeId, Msg)> {
-            std::mem::take(&mut self.sent)
+            std::mem::take(&mut *self.sent.borrow_mut())
         }
     }
 
@@ -1893,8 +1894,8 @@ mod tests {
         fn now(&self) -> SimTime {
             self.now
         }
-        fn send(&mut self, to: NodeId, msg: Msg) {
-            self.sent.push((to, msg));
+        fn send(&self, to: NodeId, msg: Msg) {
+            self.sent.borrow_mut().push((to, msg));
         }
         fn set_timer(&mut self, after: SimDuration) {
             self.timers.push(after);

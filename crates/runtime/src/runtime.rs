@@ -44,12 +44,18 @@ pub trait Runtime {
     /// Sends `msg` to `to`. Delivery is asynchronous and may silently fail
     /// if the destination is dead — exactly the guarantee a NIC gives, and
     /// why the protocol carries its own acks and retries.
-    fn send(&mut self, to: NodeId, msg: Self::Msg);
+    ///
+    /// Takes `&self`: a real NIC transmits concurrently, and forcing
+    /// exclusive access here would serialize every socket writer behind
+    /// one `&mut` borrow. Engines that buffer sends use interior
+    /// mutability for their outbox.
+    fn send(&self, to: NodeId, msg: Self::Msg);
 
     /// Arms this node's timer to fire no later than `after` from now. The
     /// engine will invoke the node's timer handler at (or after) that
     /// point; re-arming before expiry moves the deadline to the earlier of
-    /// the two.
+    /// the two. The timer is genuinely per-node state, so unlike
+    /// [`Runtime::send`] it keeps the exclusive receiver.
     fn set_timer(&mut self, after: SimDuration);
 
     /// Sends `msg` to `to`, asking the engine to hold it for an extra
@@ -57,7 +63,7 @@ pub trait Runtime {
     /// send — or that model latency elsewhere — may deliver immediately;
     /// the default does exactly that. Fault-injection layers use this to
     /// express message *delay* and *reorder* without owning a scheduler.
-    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Self::Msg) {
+    fn send_after(&self, delay: SimDuration, to: NodeId, msg: Self::Msg) {
         let _ = delay;
         self.send(to, msg);
     }
@@ -68,10 +74,12 @@ mod tests {
     use super::*;
 
     /// A toy runtime proving the trait is implementable without an engine.
+    /// The `RefCell` outbox is the pattern buffering engines use now that
+    /// `send` takes `&self`.
     struct Recorder {
         node: NodeId,
         now: SimTime,
-        sent: Vec<(NodeId, u32)>,
+        sent: std::cell::RefCell<Vec<(NodeId, u32)>>,
         timer: Option<SimDuration>,
     }
 
@@ -83,8 +91,8 @@ mod tests {
         fn now(&self) -> SimTime {
             self.now
         }
-        fn send(&mut self, to: NodeId, msg: u32) {
-            self.sent.push((to, msg));
+        fn send(&self, to: NodeId, msg: u32) {
+            self.sent.borrow_mut().push((to, msg));
         }
         fn set_timer(&mut self, after: SimDuration) {
             self.timer = Some(match self.timer {
@@ -104,24 +112,24 @@ mod tests {
         let mut rt = Recorder {
             node: NodeId(1),
             now: SimTime::from_nanos(7),
-            sent: Vec::new(),
+            sent: std::cell::RefCell::new(Vec::new()),
             timer: None,
         };
         ping(&mut rt, NodeId(2));
         rt.set_timer(SimDuration::from_millis(3));
-        assert_eq!(rt.sent, vec![(NodeId(2), 7)]);
+        assert_eq!(*rt.sent.borrow(), vec![(NodeId(2), 7)]);
         assert_eq!(rt.timer, Some(SimDuration::from_millis(3)));
     }
 
     #[test]
     fn send_after_defaults_to_immediate_send() {
-        let mut rt = Recorder {
+        let rt = Recorder {
             node: NodeId(0),
             now: SimTime::ZERO,
-            sent: Vec::new(),
+            sent: std::cell::RefCell::new(Vec::new()),
             timer: None,
         };
         rt.send_after(SimDuration::from_millis(50), NodeId(3), 42);
-        assert_eq!(rt.sent, vec![(NodeId(3), 42)]);
+        assert_eq!(*rt.sent.borrow(), vec![(NodeId(3), 42)]);
     }
 }

@@ -1,0 +1,172 @@
+//! `rmcd` — one cluster node per OS process, over real TCP.
+//!
+//! Runs the coordinator or one server of the shared replication/recovery
+//! protocol as a standalone process on `rmc-wire`'s socket engine. Launch
+//! one coordinator and N servers (any order — connections are dialed
+//! lazily and retried under backoff), then drive the cluster with
+//! `kvshell --connect` or `standalone_ycsb --backend net_cluster`.
+//!
+//! ```sh
+//! rmcd --role coordinator --addrs 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
+//!      --servers 2 --replication 1 &
+//! rmcd --role server --index 0 --addrs 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
+//!      --servers 2 --replication 1 &
+//! rmcd --role server --index 1 --addrs 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
+//!      --servers 2 --replication 1 &
+//! ```
+//!
+//! The address list is positional: entry 0 is the coordinator, entries
+//! `1..=servers` the servers. The process runs until killed — there is no
+//! graceful in-band shutdown, because a real cluster member dies by
+//! crashing, and the protocol's recovery machinery is the cleanup.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::exit;
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use rmc_core::protocol::{
+    coordinator_id, server_id, AnyNode, CoordinatorNode, ProtocolConfig, Server,
+};
+use rmc_obs::span::SpanRecorder;
+use rmc_runtime::{MetricsRegistry, SimDuration, WallClock};
+use rmc_standalone::{forward_inbound, run_net_node};
+use rmc_wire::{AddressBook, FabricConfig, NetRuntime, WireFabric};
+
+const USAGE: &str = "usage: rmcd --role coordinator|server [--index I] \
+--addrs a0,a1,... --servers N --replication R \
+[--clients C] [--heartbeat-ms H] [--failure-ms F] [--retry-ms T]";
+
+struct Args {
+    role: String,
+    index: usize,
+    addrs: Vec<SocketAddr>,
+    servers: usize,
+    replication: usize,
+    clients: usize,
+    heartbeat_ms: u64,
+    failure_ms: u64,
+    retry_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        role: String::new(),
+        index: 0,
+        addrs: Vec::new(),
+        servers: 0,
+        replication: 1,
+        clients: 0,
+        heartbeat_ms: 25,
+        failure_ms: 250,
+        retry_ms: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--role" => args.role = val("--role")?,
+            "--index" => args.index = val("--index")?.parse().map_err(|e| format!("{e}"))?,
+            "--addrs" => {
+                for a in val("--addrs")?.split(',') {
+                    args.addrs.push(
+                        a.trim()
+                            .parse()
+                            .map_err(|e| format!("address {a:?}: {e}"))?,
+                    );
+                }
+            }
+            "--servers" => args.servers = val("--servers")?.parse().map_err(|e| format!("{e}"))?,
+            "--replication" => {
+                args.replication = val("--replication")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--clients" => args.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = val("--heartbeat-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--failure-ms" => {
+                args.failure_ms = val("--failure-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--retry-ms" => {
+                args.retry_ms = val("--retry-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.role != "coordinator" && args.role != "server" {
+        return Err("--role must be coordinator or server".into());
+    }
+    if args.servers == 0 {
+        return Err("--servers must be positive".into());
+    }
+    if args.addrs.len() != 1 + args.servers {
+        return Err(format!(
+            "--addrs must list 1 + servers = {} addresses (coordinator first), got {}",
+            1 + args.servers,
+            args.addrs.len()
+        ));
+    }
+    if args.role == "server" && args.index >= args.servers {
+        return Err(format!(
+            "--index {} out of range for {} servers",
+            args.index, args.servers
+        ));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rmcd: {e}\n{USAGE}");
+            exit(2);
+        }
+    };
+    let mut cfg = ProtocolConfig::new(args.servers, args.clients, args.replication);
+    cfg.heartbeat_interval = SimDuration::from_millis(args.heartbeat_ms);
+    cfg.failure_timeout = SimDuration::from_millis(args.failure_ms);
+    cfg.retry_timeout = SimDuration::from_millis(args.retry_ms);
+
+    let me = if args.role == "coordinator" {
+        coordinator_id()
+    } else {
+        server_id(args.index)
+    };
+    let my_addr = args.addrs[me.0];
+    let listener = match TcpListener::bind(my_addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rmcd: binding {my_addr}: {e}");
+            exit(1);
+        }
+    };
+    let book = AddressBook::new(args.addrs.iter().copied().map(Some).collect());
+    let (fabric, inbox) = WireFabric::start(FabricConfig {
+        me,
+        book,
+        listener: Some(listener),
+        registry: MetricsRegistry::new(),
+        spans: SpanRecorder::default(),
+        clock: Arc::new(WallClock::new()),
+    });
+    let (tx, rx) = unbounded();
+    let _forwarder = forward_inbound(inbox, tx);
+    let node = if args.role == "coordinator" {
+        AnyNode::Coordinator(CoordinatorNode::new(cfg))
+    } else {
+        AnyNode::Server(Server::new(args.index, cfg))
+    };
+    let rt = NetRuntime::new(Arc::clone(&fabric));
+    // The ready line the launching harness waits for (stdout, flushed by
+    // println's line buffering on a pipe... so use explicit flush).
+    {
+        use std::io::Write;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "rmcd ready {} {} {}", args.role, me, my_addr);
+        let _ = out.flush();
+    }
+    // Runs until the process is killed; Kill/Shutdown events are never
+    // sent to a real process.
+    run_net_node(node, rt, rx, None, None);
+}

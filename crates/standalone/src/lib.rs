@@ -16,6 +16,12 @@
 //! recovery — the wall-clock twin of the simulated engine in
 //! `rmc_core::proto_sim`.
 //!
+//! And it hosts the **socket engine**: [`NetCluster`] runs the same
+//! protocol over real loopback TCP through `rmc-wire` fabrics (one
+//! listener per coordinator/server, [`NetClient`] handles speaking the
+//! framed wire protocol), and [`run_net_node`] is the per-process node
+//! loop the `rmcd` binary uses to run one cluster member per OS process.
+//!
 //! ## Example
 //!
 //! ```
@@ -39,12 +45,14 @@
 mod cleaner;
 mod dispatch;
 pub mod mini_cluster;
+pub mod net_cluster;
 mod repl;
 mod server;
 mod shard;
 
 pub use dispatch::DispatchMode;
 pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, ThreadRuntime};
+pub use net_cluster::{forward_inbound, run_net_node, NetClient, NetCluster, NodeEvent};
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
 pub use server::{Client, ClientError, ServerConfig, StandaloneServer, STAGE_SAMPLE};
 pub use shard::{ReadPath, ShardedStore};

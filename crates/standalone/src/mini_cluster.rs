@@ -229,7 +229,7 @@ impl Runtime for ThreadRuntime {
         self.fabric.clock.now()
     }
 
-    fn send(&mut self, to: NodeId, msg: Msg) {
+    fn send(&self, to: NodeId, msg: Msg) {
         self.fabric.post(self.me, to, msg, SimDuration::ZERO);
     }
 
@@ -241,7 +241,7 @@ impl Runtime for ThreadRuntime {
         });
     }
 
-    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: Msg) {
+    fn send_after(&self, delay: SimDuration, to: NodeId, msg: Msg) {
         self.fabric.post(self.me, to, msg, delay);
     }
 }
@@ -265,7 +265,8 @@ pub struct NodeReport {
 /// Builds the shutdown report and exports the node's protocol counters
 /// (and, under chaos, its fault-judge stats) into the shared registry —
 /// under the same dotted-path names `proto_sim::SimNet::metrics` uses.
-fn report(
+/// Shared with the socket-fabric twin in [`crate::net_cluster`].
+pub(crate) fn report(
     node: AnyNode,
     id: NodeId,
     faults: Option<&FaultState>,
@@ -446,8 +447,12 @@ fn node_loop(
 /// Derives the per-node fault interpreter for a chaos run. Each node (and
 /// each incarnation) judges its own sends with an independent RNG stream;
 /// partitions are a pure schedule shared by every stream, so the cut links
-/// stay consistent cluster-wide.
-fn node_faults(plan: Option<&FaultPlan>, node: NodeId, epoch: u64) -> Option<FaultState> {
+/// stay consistent cluster-wide. Shared with [`crate::net_cluster`].
+pub(crate) fn node_faults(
+    plan: Option<&FaultPlan>,
+    node: NodeId,
+    epoch: u64,
+) -> Option<FaultState> {
     plan.map(|p| {
         let mut p = p.clone();
         p.seed ^= (node.0 as u64 + 1)
@@ -736,54 +741,82 @@ impl MiniCluster {
         for (id, _) in &self.handles {
             let _ = self.fabric.peers[id.0].send(Control::Shutdown);
         }
-        let mut owners = Vec::new();
-        let mut servers: Vec<ServerDump> = Vec::new();
-        let mut clients = Vec::new();
-        for (id, handle) in self.handles {
-            let Some(rep) = handle.join().expect("mini-cluster node panicked") else {
-                continue; // killed node: no report, like a dead machine
-            };
-            if let Some(o) = rep.owners {
-                owners = o;
-            }
-            if let Some(s) = rep.server {
-                servers.push(s);
-            }
-            if let Some((results, done, history)) = rep.client {
-                clients.push((id.0, results, done, history));
-            }
-        }
-        clients.sort_unstable_by_key(|(i, _, _, _)| *i);
-        let buckets = owners.len().max(1);
-        let mut live_versioned = BTreeMap::new();
-        for (index, objects) in servers {
-            for (key, value, version) in objects {
-                if owners[bucket_for(PROTO_TABLE, &key, buckets)] == index {
-                    live_versioned.insert(key, (value, version));
-                }
-            }
-        }
-        let live = live_versioned
-            .iter()
-            .map(|(k, (v, _))| (k.clone(), v.clone()))
+        let reports = self
+            .handles
+            .into_iter()
+            .map(|(id, handle)| (id, handle.join().expect("mini-cluster node panicked")))
             .collect();
-        let histories = clients.iter().map(|(_, _, _, h)| h.clone()).collect();
-        ClusterReport {
-            owners,
-            live,
-            live_versioned,
-            clients: clients.into_iter().map(|(i, r, d, _)| (i, r, d)).collect(),
-            histories,
-            metrics: self.fabric.registry.clone(),
-            spans: self.fabric.spans.clone(),
+        aggregate_reports(
+            reports,
+            self.fabric.registry.clone(),
+            self.fabric.spans.clone(),
+        )
+    }
+}
+
+/// Folds per-node shutdown reports into a [`ClusterReport`]: last
+/// coordinator map wins, surviving servers' stores union owner-filtered
+/// into the live set, client results and histories sorted by index.
+/// Shared by [`MiniCluster::shutdown`] and the socket-fabric twin in
+/// [`crate::net_cluster`].
+pub(crate) fn aggregate_reports(
+    reports: Vec<(NodeId, Option<NodeReport>)>,
+    metrics: MetricsRegistry,
+    spans: SpanRecorder,
+) -> ClusterReport {
+    let mut owners = Vec::new();
+    let mut servers: Vec<ServerDump> = Vec::new();
+    let mut clients = Vec::new();
+    for (id, rep) in reports {
+        let Some(rep) = rep else {
+            continue; // killed node: no report, like a dead machine
+        };
+        if let Some(o) = rep.owners {
+            owners = o;
         }
+        if let Some(s) = rep.server {
+            servers.push(s);
+        }
+        if let Some((results, done, history)) = rep.client {
+            clients.push((id.0, results, done, history));
+        }
+    }
+    clients.sort_unstable_by_key(|(i, _, _, _)| *i);
+    let buckets = owners.len().max(1);
+    let mut live_versioned = BTreeMap::new();
+    for (index, objects) in servers {
+        for (key, value, version) in objects {
+            if owners[bucket_for(PROTO_TABLE, &key, buckets)] == index {
+                live_versioned.insert(key, (value, version));
+            }
+        }
+    }
+    let live = live_versioned
+        .iter()
+        .map(|(k, (v, _))| (k.clone(), v.clone()))
+        .collect();
+    let histories = clients.iter().map(|(_, _, _, h)| h.clone()).collect();
+    ClusterReport {
+        owners,
+        live,
+        live_versioned,
+        clients: clients.into_iter().map(|(i, r, d, _)| (i, r, d)).collect(),
+        histories,
+        metrics,
+        spans,
     }
 }
 
 /// The capped exponential backoff window (plus deterministic jitter) a
-/// [`MiniClient`] waits before retry number `attempt` of `seq` — the same
-/// schedule `ScriptClient` uses, on wall-clock durations.
-fn client_backoff(cfg: &ProtocolConfig, index: usize, seq: u64, attempt: u32) -> Duration {
+/// [`MiniClient`] (or its socket twin, `NetClient`) waits before retry
+/// number `attempt` of `seq` — the same schedule `ScriptClient` uses, on
+/// wall-clock durations.
+pub(crate) fn client_backoff(
+    cfg: &ProtocolConfig,
+    index: usize,
+    seq: u64,
+    attempt: u32,
+) -> Duration {
     let base = cfg.retry_timeout;
     let raw = base.mul_f64(f64::from(1u32 << attempt.min(6)));
     let capped = if raw > cfg.retry_backoff_cap {

@@ -1,0 +1,949 @@
+//! The socket-fabric twin of [`crate::mini_cluster`]: the same
+//! coordinator/master/backup state machines, the same scripts and fault
+//! plans, but every message crosses a real TCP connection through
+//! `rmc-wire`'s [`WireFabric`] instead of a crossbeam channel.
+//!
+//! [`NetCluster`] keeps all nodes in one process (each with its own
+//! loopback listener) so tests can kill, restart, and inspect them; the
+//! `rmcd` binary runs *one* node of the same cluster per OS process using
+//! the same [`run_net_node`] loop, which is how the YCSB harness and CI
+//! smoke drive a genuinely multi-process cluster.
+//!
+//! ## Incarnation fencing without epoch stamps
+//!
+//! The in-process engines stamp each delivery with the destination's
+//! incarnation number and drop mismatches. TCP gives the equivalent for
+//! free at a different layer: killing a node closes its sockets, so every
+//! message in flight toward the dead incarnation dies with its connection,
+//! and a restarted incarnation starts from fresh connections. Messages
+//! that are merely *logically* stale — sent before the sender learned of
+//! the restart but arriving over a fresh connection — are fenced by the
+//! protocol itself (heartbeat epochs, `fenced_drops`, `stale_rifl_drops`,
+//! recovery rounds), exactly as they are on the other engines.
+//!
+//! ## Fault injection at the wire
+//!
+//! Chaos plans wrap each node's [`NetRuntime`] in a
+//! [`FaultRuntime`] per event, so drops,
+//! duplicates, and partitions are judged at the moment a message would hit
+//! the socket, and injected delays ride the fabric's delay line — the
+//! plan's semantics applied at the `NetRuntime` boundary.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rmc_chaos::{FaultPlan, FaultRuntime, FaultState};
+use rmc_core::coordinator::bucket_for;
+use rmc_core::protocol::{
+    client_id, coordinator_id, msg_class, server_id, AnyNode, ClientOp, Msg, ProtocolConfig, Reply,
+    Server, PROTO_TABLE,
+};
+use rmc_obs::span::SpanRecorder;
+use rmc_obs::timetrace;
+use rmc_runtime::{
+    Clock, CounterHandle, MetricsRegistry, NodeId, Runtime, SimDuration, SimTime, WallClock,
+};
+use rmc_wire::{AddressBook, FabricConfig, Inbound, NetRuntime, WireFabric};
+
+use crate::mini_cluster::{
+    aggregate_reports, client_backoff, node_faults, report, ClusterReport, NodeReport,
+};
+
+/// Idle poll granularity when no timer is armed (matches the threaded
+/// engine).
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// What a net node's event loop consumes: wire traffic plus the two
+/// out-of-band controls a test harness needs. `rmcd` never sends the
+/// controls — its nodes die with their process.
+#[derive(Debug)]
+pub enum NodeEvent {
+    /// Something arrived off the node's sockets.
+    Wire(Inbound),
+    /// Crash the node: the loop exits without a report. Its fabric is shut
+    /// down separately, which is what actually severs the cluster's
+    /// connections to it.
+    Kill,
+    /// Graceful stop: the loop reports the node's final state and exits.
+    Shutdown,
+}
+
+/// Pumps a fabric's inbox into a node's event channel. The thread exits
+/// when either side goes away.
+pub fn forward_inbound(inbox: Receiver<Inbound>, tx: Sender<NodeEvent>) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("net-forward".into())
+        .spawn(move || {
+            while let Ok(inbound) = inbox.recv() {
+                if tx.send(NodeEvent::Wire(inbound)).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn inbound forwarder")
+}
+
+/// One protocol node's event loop over a [`NetRuntime`]: the socket
+/// engine's counterpart of the threaded engine's `node_loop`, shared by
+/// [`NetCluster`] threads and the `rmcd` process. Answers
+/// [`Inbound::TraceRequest`] with this process's rendered TimeTrace, so a
+/// remote `kvshell` can pull a live dump over the wire.
+pub fn run_net_node(
+    mut node: AnyNode,
+    mut rt: NetRuntime,
+    rx: Receiver<NodeEvent>,
+    done_tx: Option<Sender<usize>>,
+    mut faults: Option<FaultState>,
+) -> Option<NodeReport> {
+    let id = rt.node();
+    let mut notified = false;
+    match faults.as_mut() {
+        Some(f) => node.on_start(&mut FaultRuntime::new(&mut rt, f, msg_class)),
+        None => node.on_start(&mut rt),
+    }
+    loop {
+        if let (Some(tx), AnyNode::Client(c)) = (&done_tx, &node) {
+            if c.done && !notified {
+                notified = true;
+                let _ = tx.send(c.index);
+            }
+        }
+        let timeout = match rt.deadline {
+            Some(d) => {
+                let now = rt.now();
+                if d <= now {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos((d - now).as_nanos())
+                }
+            }
+            None => IDLE_POLL,
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(NodeEvent::Wire(Inbound::Msg { from, msg })) => {
+                // The fabric's reader already stamped the Deliver span.
+                match faults.as_mut() {
+                    Some(f) => {
+                        node.on_message(from, msg, &mut FaultRuntime::new(&mut rt, f, msg_class))
+                    }
+                    None => node.on_message(from, msg, &mut rt),
+                }
+            }
+            Ok(NodeEvent::Wire(Inbound::TraceRequest { from })) => {
+                let dump = timetrace::render(&timetrace::merge());
+                rt.fabric().send_trace_reply(from, &dump);
+            }
+            Ok(NodeEvent::Wire(Inbound::TraceReply { .. })) => {
+                // Cluster nodes never ask for traces; ignore.
+            }
+            Ok(NodeEvent::Kill) => return None,
+            Ok(NodeEvent::Shutdown) => {
+                return Some(report(node, id, faults.as_ref(), rt.fabric().registry()))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if let Some(d) = rt.deadline {
+                    if rt.now() >= d {
+                        rt.deadline = None;
+                        match faults.as_mut() {
+                            Some(f) => node.on_timer(&mut FaultRuntime::new(&mut rt, f, msg_class)),
+                            None => node.on_timer(&mut rt),
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// A running socket cluster: coordinator + servers (+ optional scripted
+/// clients) as threads, one loopback [`WireFabric`] each.
+#[derive(Debug)]
+pub struct NetCluster {
+    cfg: ProtocolConfig,
+    plan: Option<FaultPlan>,
+    registry: MetricsRegistry,
+    spans: SpanRecorder,
+    clock: Arc<WallClock>,
+    book: AddressBook,
+    fabrics: Vec<Option<Arc<WireFabric>>>,
+    node_txs: Vec<Option<Sender<NodeEvent>>>,
+    forwarders: Vec<JoinHandle<()>>,
+    handles: Vec<(NodeId, JoinHandle<Option<NodeReport>>)>,
+    epochs: Vec<u64>,
+    done_rx: Receiver<usize>,
+}
+
+impl NetCluster {
+    /// Starts coordinator and server threads over loopback TCP; returns
+    /// the cluster plus one synchronous [`NetClient`] handle per
+    /// configured client.
+    pub fn start(cfg: ProtocolConfig) -> (NetCluster, Vec<NetClient>) {
+        Self::launch(cfg, None, None)
+    }
+
+    /// Starts the full cluster with scripted client threads — the socket
+    /// half of the cross-engine equivalence suite. Await completion with
+    /// [`NetCluster::wait_for_scripted_clients`].
+    pub fn start_scripted(cfg: ProtocolConfig, scripts: Vec<Vec<ClientOp>>) -> NetCluster {
+        Self::launch(cfg, Some(scripts), None).0
+    }
+
+    /// Starts a scripted cluster under the message-level faults of `plan`,
+    /// judged at the `NetRuntime` boundary. Drive the crash schedule with
+    /// [`NetCluster::kill_server`] / [`NetCluster::restart_server`], or
+    /// use [`NetCluster::run_plan`] for the whole thing.
+    pub fn start_chaos(
+        cfg: ProtocolConfig,
+        scripts: Vec<Vec<ClientOp>>,
+        plan: &FaultPlan,
+    ) -> NetCluster {
+        Self::launch(cfg, Some(scripts), Some(plan)).0
+    }
+
+    /// Runs a scripted cluster under the full [`FaultPlan`] — message
+    /// faults plus the crash/restart schedule on the wall clock — waits
+    /// for every script, lets recovery settle, and reports.
+    pub fn run_plan(
+        cfg: ProtocolConfig,
+        scripts: Vec<Vec<ClientOp>>,
+        plan: &FaultPlan,
+        client_timeout: Duration,
+    ) -> ClusterReport {
+        enum Ev {
+            Kill(usize),
+            Restart(usize),
+        }
+        let mut cluster = Self::launch(cfg, Some(scripts), Some(plan)).0;
+        let mut events: Vec<(SimTime, Ev)> = Vec::new();
+        for c in &plan.crashes {
+            events.push((c.at, Ev::Kill(c.server)));
+            if let Some(after) = c.restart_after {
+                events.push((c.at.saturating_add(after), Ev::Restart(c.server)));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+        for (at, ev) in events {
+            loop {
+                let now = cluster.clock.now();
+                if now >= at {
+                    break;
+                }
+                thread::sleep(Duration::from_nanos((at - now).as_nanos()));
+            }
+            match ev {
+                Ev::Kill(s) => cluster.kill_server(s),
+                Ev::Restart(s) => cluster.restart_server(s),
+            }
+        }
+        cluster.wait_for_scripted_clients(client_timeout);
+        let settle = Duration::from_nanos(cluster.cfg.failure_timeout.as_nanos())
+            .saturating_mul(4)
+            .saturating_add(Duration::from_millis(500));
+        thread::sleep(settle);
+        cluster.shutdown()
+    }
+
+    fn launch(
+        cfg: ProtocolConfig,
+        scripts: Option<Vec<Vec<ClientOp>>>,
+        plan: Option<&FaultPlan>,
+    ) -> (NetCluster, Vec<NetClient>) {
+        let scripted = scripts.is_some();
+        let nodes = AnyNode::build_cluster(&cfg, scripts.unwrap_or_default());
+        let total = 1 + cfg.servers + cfg.clients;
+        // Bind every listening node up front so the address book is
+        // complete before any node can speak (no port races).
+        let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(total);
+        let mut addrs: Vec<Option<SocketAddr>> = Vec::with_capacity(total);
+        for i in 0..total {
+            if i <= cfg.servers {
+                let l = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                addrs.push(Some(l.local_addr().expect("listener addr")));
+                listeners.push(Some(l));
+            } else {
+                addrs.push(None);
+                listeners.push(None);
+            }
+        }
+        let book = AddressBook::new(addrs);
+        let registry = MetricsRegistry::new();
+        let spans = SpanRecorder::default();
+        let clock = Arc::new(WallClock::new());
+        let (done_tx, done_rx) = unbounded();
+        let mut fabrics = Vec::with_capacity(total);
+        let mut node_txs = Vec::with_capacity(total);
+        let mut forwarders = Vec::new();
+        let mut handles = Vec::new();
+        let mut clients = Vec::new();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let is_client = matches!(node, AnyNode::Client(_));
+            let (fabric, inbox) = WireFabric::start(FabricConfig {
+                me: NodeId(i),
+                book: book.clone(),
+                listener: listeners[i].take(),
+                registry: registry.clone(),
+                spans: spans.clone(),
+                clock: Arc::clone(&clock),
+            });
+            if is_client && !scripted {
+                // Sync handle instead of a thread; drop the state machine.
+                clients.push(NetClient::new(
+                    NodeId(i),
+                    cfg.clone(),
+                    Arc::clone(&fabric),
+                    inbox,
+                ));
+                fabrics.push(Some(fabric));
+                node_txs.push(None);
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            forwarders.push(forward_inbound(inbox, tx.clone()));
+            let rt = NetRuntime::new(Arc::clone(&fabric));
+            let dt = if is_client {
+                Some(done_tx.clone())
+            } else {
+                None
+            };
+            let faults = node_faults(plan, NodeId(i), 0);
+            let handle = thread::Builder::new()
+                .name(format!("net-{}", NodeId(i)))
+                .spawn(move || run_net_node(node, rt, rx, dt, faults))
+                .expect("spawn net-cluster node");
+            handles.push((NodeId(i), handle));
+            fabrics.push(Some(fabric));
+            node_txs.push(Some(tx));
+        }
+        (
+            NetCluster {
+                cfg,
+                plan: plan.cloned(),
+                registry,
+                spans,
+                clock,
+                book,
+                fabrics,
+                node_txs,
+                forwarders,
+                handles,
+                epochs: vec![0; total],
+                done_rx,
+            },
+            clients,
+        )
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The shared metrics registry: `wire.*` NIC health live, each node's
+    /// protocol counters exported at shutdown.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.registry.clone()
+    }
+
+    /// The cluster's span recorder (cheap clone; shares the event store).
+    pub fn spans(&self) -> SpanRecorder {
+        self.spans.clone()
+    }
+
+    /// Crashes server `index`: its thread exits and its fabric shuts down,
+    /// closing its listener and severing every connection — in-flight
+    /// traffic toward it dies with the sockets, and peers' subsequent
+    /// sends fail into reconnect backoff, exactly like a killed process.
+    pub fn kill_server(&mut self, index: usize) {
+        let id = server_id(index);
+        if let Some(tx) = self.node_txs[id.0].take() {
+            let _ = tx.send(NodeEvent::Kill);
+        }
+        if let Some(fabric) = self.fabrics[id.0].take() {
+            fabric.shutdown();
+        }
+    }
+
+    /// Boots a fresh incarnation of a previously killed server: a new
+    /// fabric listening on the *same* port (peers' address books still
+    /// point there), a [`Server::restarted`] with a bumped epoch, an empty
+    /// store until the coordinator readmits it.
+    pub fn restart_server(&mut self, index: usize) {
+        let id = server_id(index);
+        if let Some((_, h)) = self.handles.iter().rev().find(|(hid, _)| *hid == id) {
+            // Wait briefly for an in-flight kill to land; a live server
+            // must not be double-driven.
+            let deadline = Instant::now() + Duration::from_millis(200);
+            while !h.is_finished() {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let addr = self.book.get(id).expect("servers always have an address");
+        // SO_REUSEADDR (set by the standard library on Unix listeners)
+        // makes the rebind immediate despite TIME_WAIT remnants; retry
+        // briefly to absorb scheduler lag on the old listener's close.
+        let listener = {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match TcpListener::bind(addr) {
+                    Ok(l) => break l,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => panic!("rebinding {addr} for restarted server {index}: {e}"),
+                }
+            }
+        };
+        self.epochs[id.0] += 1;
+        let epoch = self.epochs[id.0];
+        let (fabric, inbox) = WireFabric::start(FabricConfig {
+            me: id,
+            book: self.book.clone(),
+            listener: Some(listener),
+            registry: self.registry.clone(),
+            spans: self.spans.clone(),
+            clock: Arc::clone(&self.clock),
+        });
+        let (tx, rx) = unbounded();
+        self.forwarders.push(forward_inbound(inbox, tx.clone()));
+        let node = AnyNode::Server(Server::restarted(index, self.cfg.clone(), epoch));
+        let rt = NetRuntime::new(Arc::clone(&fabric));
+        let faults = node_faults(self.plan.as_ref(), id, epoch);
+        let handle = thread::Builder::new()
+            .name(format!("net-{id}-e{epoch}"))
+            .spawn(move || run_net_node(node, rt, rx, None, faults))
+            .expect("spawn restarted net-cluster node");
+        self.handles.push((id, handle));
+        self.fabrics[id.0] = Some(fabric);
+        self.node_txs[id.0] = Some(tx);
+    }
+
+    /// Blocks until every scripted client finished its script, or panics
+    /// after `timeout` (a liveness failure).
+    pub fn wait_for_scripted_clients(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut done = 0;
+        while done < self.cfg.clients {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.done_rx.recv_timeout(left) {
+                Ok(_) => done += 1,
+                Err(_) => panic!(
+                    "liveness: only {done}/{} scripted clients finished within {timeout:?}",
+                    self.cfg.clients
+                ),
+            }
+        }
+    }
+
+    /// Gracefully stops every surviving node, tears the fabrics down, and
+    /// aggregates the final state.
+    pub fn shutdown(mut self) -> ClusterReport {
+        for tx in self.node_txs.iter().flatten() {
+            let _ = tx.send(NodeEvent::Shutdown);
+        }
+        let reports: Vec<(NodeId, Option<NodeReport>)> = self
+            .handles
+            .drain(..)
+            .map(|(id, handle)| (id, handle.join().expect("net-cluster node panicked")))
+            .collect();
+        for fabric in self.fabrics.iter().flatten() {
+            fabric.shutdown();
+        }
+        // Dropping the fabric Arcs closes the inbox senders, which is what
+        // lets the forwarder threads drain out.
+        self.fabrics.clear();
+        for f in self.forwarders.drain(..) {
+            let _ = f.join();
+        }
+        aggregate_reports(reports, self.registry.clone(), self.spans.clone())
+    }
+}
+
+/// The synchronous client handle over TCP: the deliberate twin of
+/// [`crate::MiniClient`] — same RIFL retry loop (stable sequence numbers
+/// under capped exponential backoff with deterministic jitter), same map
+/// refresh on retry and `WrongOwner`, same `client.<i>.*` counters — with
+/// the channel fabric swapped for a [`WireFabric`]. Usable against an
+/// in-process [`NetCluster`] or, via [`NetClient::connect`], a live
+/// multi-process `rmcd` cluster.
+#[derive(Debug)]
+pub struct NetClient {
+    me: NodeId,
+    index: usize,
+    cfg: ProtocolConfig,
+    fabric: Arc<WireFabric>,
+    inbox: Receiver<Inbound>,
+    owns_fabric: bool,
+    owners: Vec<usize>,
+    map_version: u64,
+    seq: u64,
+    last: Option<(u64, ClientOp)>,
+    op_budget: Duration,
+    retries: CounterHandle,
+    backoffs: CounterHandle,
+    giveups: CounterHandle,
+    map_requests: CounterHandle,
+    wrong_owner: CounterHandle,
+}
+
+impl NetClient {
+    fn new(
+        me: NodeId,
+        cfg: ProtocolConfig,
+        fabric: Arc<WireFabric>,
+        inbox: Receiver<Inbound>,
+    ) -> Self {
+        let owners = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
+        let index = me.0 - 1 - cfg.servers;
+        let op_budget = Duration::from_nanos(cfg.retry_timeout.as_nanos()).saturating_mul(200);
+        let fam = fabric.registry().family("client", index);
+        let (retries, backoffs, giveups, map_requests, wrong_owner) = (
+            fam.counter("retries"),
+            fam.counter("backoffs"),
+            fam.counter("giveups"),
+            fam.counter("map_requests"),
+            fam.counter("wrong_owner"),
+        );
+        NetClient {
+            me,
+            index,
+            cfg,
+            fabric,
+            inbox,
+            owns_fabric: false,
+            owners,
+            map_version: 0,
+            seq: 0,
+            last: None,
+            op_budget,
+            retries,
+            backoffs,
+            giveups,
+            map_requests,
+            wrong_owner,
+        }
+    }
+
+    /// Dials into a live cluster (in-process or `rmcd` processes) given
+    /// its address book: index `i` of `book` is the listen address of
+    /// `NodeId(i)` — `0` the coordinator, `1..=servers` the servers.
+    /// `index` must be unique among concurrently connected clients: it
+    /// determines the RIFL client identity `client_id(servers, index)`
+    /// that servers dedup requests by.
+    pub fn connect(cfg: ProtocolConfig, index: usize, book: AddressBook) -> NetClient {
+        let me = client_id(cfg.servers, index);
+        let (fabric, inbox) = WireFabric::start(FabricConfig {
+            me,
+            book,
+            listener: None,
+            registry: MetricsRegistry::new(),
+            spans: SpanRecorder::default(),
+            clock: Arc::new(WallClock::new()),
+        });
+        let mut c = NetClient::new(me, cfg, fabric, inbox);
+        c.owns_fabric = true;
+        c
+    }
+
+    /// This client's node id on the wire.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The client-side fabric (its registry carries the `wire.*` health
+    /// counters for this connection).
+    pub fn fabric(&self) -> &Arc<WireFabric> {
+        &self.fabric
+    }
+
+    /// Overrides the per-op give-up budget (default: 200 × the base retry
+    /// timeout).
+    pub fn set_op_budget(&mut self, budget: Duration) {
+        self.op_budget = budget;
+    }
+
+    /// Writes `key = value`; returns once the write is applied and fully
+    /// replicated.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.put_versioned(key, value).map(|_| ())
+    }
+
+    /// Writes `key = value` and returns the version the write was applied
+    /// at.
+    pub fn put_versioned(&mut self, key: &[u8], value: &[u8]) -> Result<u64, String> {
+        match self.request(ClientOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })? {
+            Reply::Done { version } => Ok(version),
+            other => Err(format!("unexpected put reply: {other:?}")),
+        }
+    }
+
+    /// Reads `key`.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        match self.request(ClientOp::Get { key: key.to_vec() })? {
+            Reply::Value(v) => Ok(v),
+            other => Err(format!("unexpected get reply: {other:?}")),
+        }
+    }
+
+    /// Deletes `key` (absent keys are fine).
+    pub fn del(&mut self, key: &[u8]) -> Result<(), String> {
+        match self.request(ClientOp::Del { key: key.to_vec() })? {
+            Reply::Done { .. } => Ok(()),
+            other => Err(format!("unexpected del reply: {other:?}")),
+        }
+    }
+
+    /// Re-sends the last request verbatim — same RIFL sequence number,
+    /// same op. The server must replay the originally recorded reply
+    /// without re-applying.
+    pub fn duplicate_last(&mut self) -> Result<Reply, String> {
+        let (seq, op) = self
+            .last
+            .clone()
+            .ok_or_else(|| "no prior request to duplicate".to_owned())?;
+        self.do_request(seq, op)
+    }
+
+    /// Fetches a node's live protocol stats over the wire (the `Stats`
+    /// RPC), retrying under the usual schedule.
+    pub fn node_stats(&mut self, target: NodeId) -> Result<Vec<(String, u64)>, String> {
+        let give_up = Instant::now() + self.op_budget;
+        loop {
+            if Instant::now() >= give_up {
+                self.giveups.incr();
+                return Err(format!("stats request to {target} exhausted its budget"));
+            }
+            self.fabric
+                .post(target, Msg::StatsRequest, SimDuration::ZERO);
+            let attempt_ends =
+                Instant::now() + Duration::from_nanos(self.cfg.retry_timeout.as_nanos());
+            loop {
+                let left = attempt_ends.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-ask
+                }
+                match self.inbox.recv_timeout(left) {
+                    Ok(Inbound::Msg {
+                        msg: Msg::StatsReply { stats },
+                        ..
+                    }) => return Ok(stats),
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("net cluster is gone".into());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pulls the rendered TimeTrace dump of the process behind `target`
+    /// over the wire, retrying under the usual schedule.
+    pub fn node_trace(&mut self, target: NodeId) -> Result<String, String> {
+        let give_up = Instant::now() + self.op_budget;
+        loop {
+            if Instant::now() >= give_up {
+                self.giveups.incr();
+                return Err(format!("trace request to {target} exhausted its budget"));
+            }
+            self.fabric.send_trace_request(target);
+            let attempt_ends =
+                Instant::now() + Duration::from_nanos(self.cfg.retry_timeout.as_nanos());
+            loop {
+                let left = attempt_ends.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-ask
+                }
+                match self.inbox.recv_timeout(left) {
+                    Ok(Inbound::TraceReply { from, text }) if from == target => return Ok(text),
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("net cluster is gone".into());
+                    }
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, op: ClientOp) -> Result<Reply, String> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.last = Some((seq, op.clone()));
+        self.do_request(seq, op)
+    }
+
+    fn do_request(&mut self, seq: u64, op: ClientOp) -> Result<Reply, String> {
+        let give_up = Instant::now() + self.op_budget;
+        let mut attempt: u32 = 0;
+        loop {
+            if Instant::now() >= give_up {
+                self.giveups.incr();
+                return Err(format!("request {seq} exhausted its retry budget"));
+            }
+            if attempt > 0 {
+                self.retries.incr();
+                if attempt > 1 {
+                    self.backoffs.incr();
+                }
+                // The map may be why we're stuck; refresh it alongside the
+                // retry.
+                self.map_requests.incr();
+                self.fabric
+                    .post(coordinator_id(), Msg::MapRequest, SimDuration::ZERO);
+            }
+            let bucket = bucket_for(PROTO_TABLE, op.key(), self.cfg.buckets);
+            let owner = self.owners[bucket];
+            self.fabric.post(
+                server_id(owner),
+                Msg::Request {
+                    seq,
+                    op: op.clone(),
+                },
+                SimDuration::ZERO,
+            );
+            let attempt_ends = Instant::now() + client_backoff(&self.cfg, self.index, seq, attempt);
+            loop {
+                let left = attempt_ends.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break; // re-send, same seq, grown backoff
+                }
+                match self.inbox.recv_timeout(left) {
+                    Ok(Inbound::Msg { msg, .. }) => match msg {
+                        Msg::Response { seq: s, reply } => {
+                            if s != seq {
+                                continue; // stale duplicate from an earlier retry
+                            }
+                            match reply {
+                                Reply::WrongOwner => {
+                                    self.wrong_owner.incr();
+                                    self.map_requests.incr();
+                                    self.fabric.post(
+                                        coordinator_id(),
+                                        Msg::MapRequest,
+                                        SimDuration::ZERO,
+                                    );
+                                }
+                                other => return Ok(other),
+                            }
+                        }
+                        Msg::MapUpdate {
+                            version, owners, ..
+                        } if version > self.map_version => {
+                            self.map_version = version;
+                            self.owners = owners;
+                        }
+                        _ => {}
+                    },
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => break, // re-send, same seq
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("net cluster is gone".into());
+                    }
+                }
+            }
+            attempt = attempt.saturating_add(1);
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        // A standalone (connect()ed) client owns its fabric and must tear
+        // it down; cluster-issued handles share fabric lifetime with the
+        // cluster, whose shutdown handles it (shutdown is idempotent).
+        if self.owns_fabric {
+            self.fabric.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmc_chaos::{check_histories, Crash, Partition};
+    use std::collections::BTreeMap;
+
+    const SERVERS: usize = 3;
+    const REPLICATION: usize = 2;
+
+    fn small_cfg(servers: usize, clients: usize, replication: usize) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::new(servers, clients, replication);
+        cfg.heartbeat_interval = SimDuration::from_millis(15);
+        cfg.failure_timeout = SimDuration::from_millis(150);
+        cfg.retry_timeout = SimDuration::from_millis(50);
+        cfg
+    }
+
+    #[test]
+    fn put_get_del_roundtrip_over_tcp() {
+        let (cluster, mut clients) = NetCluster::start(small_cfg(SERVERS, 1, 1));
+        let c = &mut clients[0];
+        for i in 0..50 {
+            c.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(c.get(b"k7").unwrap(), Some(b"v7".to_vec()));
+        c.del(b"k7").unwrap();
+        assert_eq!(c.get(b"k7").unwrap(), None);
+        // Live stats over the socket, and wire health in the same registry.
+        let stats = c.node_stats(server_id(0)).unwrap();
+        assert!(stats.iter().any(|(k, _)| k == "ack_wait_count"));
+        let metrics = cluster.metrics();
+        assert!(metrics.get("wire.connects") > 0, "no dials counted");
+        assert!(metrics.get("wire.frames_tx") > 0);
+        assert!(metrics.get("wire.frames_rx") > 0);
+        assert_eq!(metrics.get("wire.decode_errors"), 0);
+        let report = cluster.shutdown();
+        assert_eq!(report.live.len(), 49);
+        assert_eq!(report.live.get(b"k8".as_slice()), Some(&b"v8".to_vec()));
+        assert!(!report.spans.is_empty(), "wire spans must be stamped");
+    }
+
+    #[test]
+    fn kill_and_recover_preserves_live_set_over_tcp() {
+        let (mut cluster, mut clients) = NetCluster::start(small_cfg(SERVERS, 1, REPLICATION));
+        let c = &mut clients[0];
+        let mut expected = BTreeMap::new();
+        for i in 0..60 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        cluster.kill_server(1);
+        // Writes keep succeeding across the crash: retries ride out
+        // detection + recovery, re-dialing through connection failures.
+        for i in 60..80 {
+            let (k, v) = (
+                format!("key{i:03}").into_bytes(),
+                format!("val{i}").into_bytes(),
+            );
+            c.put(&k, &v).unwrap();
+            expected.insert(k, v);
+        }
+        let metrics = cluster.metrics();
+        let report = cluster.shutdown();
+        assert!(report.owners.iter().all(|&o| o != 1), "victim owns nothing");
+        assert_eq!(report.live, expected, "recovery restored the live set");
+        assert!(
+            metrics.sum("client.", ".retries") > 0,
+            "crash recovery without a single client retry"
+        );
+    }
+
+    /// Satellite: RIFL exactly-once across a dropped connection. The
+    /// client's pooled connections are severed after an acked write; the
+    /// verbatim re-send (same sequence number) arrives over a *fresh*
+    /// connection and must echo the recorded reply without re-applying.
+    #[test]
+    fn rifl_replays_across_a_dropped_connection() {
+        let (cluster, mut clients) = NetCluster::start(small_cfg(SERVERS, 1, REPLICATION));
+        let c = &mut clients[0];
+        let v1 = c.put_versioned(b"reconnect-key", b"first").unwrap();
+        let v2 = c.put_versioned(b"reconnect-key", b"second").unwrap();
+        assert!(v2 > v1);
+        // Kill every connection this client holds, mid-conversation.
+        c.fabric().drop_connections();
+        for _ in 0..3 {
+            match c.duplicate_last().unwrap() {
+                Reply::Done { version } => {
+                    assert_eq!(version, v2, "duplicate must echo the recorded version")
+                }
+                other => panic!("unexpected duplicate reply: {other:?}"),
+            }
+        }
+        assert_eq!(c.get(b"reconnect-key").unwrap(), Some(b"second".to_vec()));
+        let metrics = cluster.metrics();
+        assert!(
+            metrics.get("wire.reconnects") > 0,
+            "the severed connections must have been re-dialed"
+        );
+        let report = cluster.shutdown();
+        assert_eq!(
+            report.live_versioned.get(b"reconnect-key".as_slice()),
+            Some(&(b"second".to_vec(), v2)),
+            "the store must hold the original version, applied once"
+        );
+        let replays: u64 = (0..SERVERS)
+            .map(|i| report.metrics.get(&format!("server.{i}.rifl_replays")))
+            .sum();
+        assert!(replays >= 3, "RIFL must have replayed the recorded reply");
+    }
+
+    /// Acceptance: a seeded chaos plan — drops, duplicates, delays, one
+    /// partition, and one server kill(+restart) — replays at the
+    /// `NetRuntime` boundary with clean histories.
+    #[test]
+    fn seeded_chaos_plan_replays_at_the_wire() {
+        const CLIENTS: usize = 2;
+        const OPS: usize = 12;
+        let cfg = small_cfg(4, CLIENTS, REPLICATION);
+        let scripts: Vec<Vec<ClientOp>> = (0..CLIENTS)
+            .map(|cl| {
+                let key = |i: usize| format!("c{cl}k{i:03}").into_bytes();
+                let mut s = Vec::new();
+                for i in 0..OPS {
+                    s.push(ClientOp::Put {
+                        key: key(i),
+                        value: format!("c{cl}v{i}").into_bytes(),
+                    });
+                    if i % 3 == 0 {
+                        s.push(ClientOp::Get { key: key(i) });
+                    }
+                    if i % 5 == 4 {
+                        s.push(ClientOp::Del { key: key(i - 2) });
+                    }
+                }
+                s
+            })
+            .collect();
+        let mut plan = FaultPlan::quiet();
+        plan.seed = 0x5eed_cafe_0000_0001;
+        plan.drop_prob = 0.02;
+        plan.dup_prob = 0.04;
+        plan.delay_prob = 0.04;
+        plan.max_delay = SimDuration::from_millis(20);
+        plan.backup_write_fail_prob = 0.02;
+        plan.partitions.push(Partition {
+            start: SimTime::ZERO.saturating_add(SimDuration::from_millis(200)),
+            heal: SimTime::ZERO.saturating_add(SimDuration::from_millis(450)),
+            group: vec![server_id(3)],
+            symmetric: true,
+        });
+        plan.crashes.push(Crash {
+            at: SimTime::ZERO.saturating_add(SimDuration::from_millis(150)),
+            server: 1,
+            restart_after: Some(SimDuration::from_millis(600)),
+        });
+        plan.quiesce_at = SimTime::ZERO.saturating_add(SimDuration::from_secs(3600));
+
+        let report = NetCluster::run_plan(cfg, scripts, &plan, Duration::from_secs(60));
+        assert!(
+            report.clients.iter().all(|(_, _, done)| *done),
+            "scripts unfinished under wire chaos"
+        );
+        let violations = check_histories(&report.histories, &report.live_versioned, true);
+        assert!(
+            violations.is_empty(),
+            "wire chaos violated invariants: {violations:?}\nmetrics: {:?}",
+            report.metrics.snapshot()
+        );
+        assert!(
+            report.metrics.get("faults.judged") > 0,
+            "fault layer never engaged at the wire"
+        );
+    }
+}
