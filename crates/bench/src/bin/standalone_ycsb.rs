@@ -26,10 +26,8 @@
 //!                                            spawn rmcd processes, write BENCH_wire.json
 //!   standalone_ycsb --check PATH             validate an existing report (any schema)
 
-use std::io::BufRead;
-use std::net::{SocketAddr, TcpListener};
-use std::path::PathBuf;
-use std::process::{Child, Command, ExitCode, Stdio};
+use std::net::SocketAddr;
+use std::process::ExitCode;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
@@ -41,8 +39,8 @@ use rmc_energy::{attribute_energy, EnergyAttribution, NodeActivity, OpClassUsage
 use rmc_logstore::{LogConfig, TableId};
 use rmc_runtime::{MetricsRegistry, SimDuration};
 use rmc_standalone::{
-    Client, DispatchMode, MiniClient, MiniCluster, NetClient, ServerConfig, StandaloneServer,
-    STAGE_SAMPLE,
+    reserve_addrs, rmcd_sibling_path, Client, DispatchMode, FleetConfig, MiniClient, MiniCluster,
+    NetClient, RmcdFleet, ServerConfig, StandaloneServer, STAGE_SAMPLE,
 };
 use rmc_wire::AddressBook;
 use rmc_ycsb::runner::{self, KvBackend, LatencySummary, RunSummary, RunnerConfig};
@@ -589,96 +587,9 @@ impl KvBackend for NetClusterBackend {
     }
 }
 
-/// `rmcd` sits next to this benchmark in the same target directory — both
-/// are workspace binaries, so any `cargo build` that produced this
-/// executable produced it too (or the error below says how).
-fn rmcd_path() -> Result<PathBuf, String> {
-    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    let dir = me.parent().ok_or("current_exe has no parent directory")?;
-    let path = dir.join(format!("rmcd{}", std::env::consts::EXE_SUFFIX));
-    if path.is_file() {
-        Ok(path)
-    } else {
-        Err(format!(
-            "{} not found — build it first: cargo build --release -p rmc-standalone --bin rmcd",
-            path.display()
-        ))
-    }
-}
-
-/// Reserves `n` distinct loopback ports by holding ephemeral listeners
-/// while collecting their addresses, then releasing them for the `rmcd`
-/// fleet to claim (SO_REUSEADDR makes the rebind race-free in practice).
-fn free_addrs(n: usize) -> Result<Vec<SocketAddr>, String> {
-    let listeners: Vec<TcpListener> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}")))
-        .collect::<Result<_, _>>()?;
-    listeners
-        .iter()
-        .map(|l| l.local_addr().map_err(|e| format!("local_addr: {e}")))
-        .collect()
-}
-
-/// A launched `rmcd` fleet. Killed — not asked — on drop: process death is
-/// the socket engine's only shutdown, and the protocol's recovery
-/// machinery is the cleanup.
-struct RmcdCluster {
-    children: Vec<Child>,
-}
-
-impl RmcdCluster {
-    /// Spawns the coordinator and every server, waiting for each process's
-    /// `rmcd ready` line so the workload never races a bind.
-    fn spawn(addrs: &[SocketAddr]) -> Result<RmcdCluster, String> {
-        let bin = rmcd_path()?;
-        let addr_list = addrs
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(",");
-        let mut cluster = RmcdCluster {
-            children: Vec::new(),
-        };
-        for node in 0..=NET_SERVERS {
-            let role = if node == 0 { "coordinator" } else { "server" };
-            let mut cmd = Command::new(&bin);
-            cmd.arg("--role")
-                .arg(role)
-                .arg("--addrs")
-                .arg(&addr_list)
-                .arg("--servers")
-                .arg(NET_SERVERS.to_string())
-                .arg("--replication")
-                .arg(NET_REPLICATION.to_string())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit());
-            if node > 0 {
-                cmd.arg("--index").arg((node - 1).to_string());
-            }
-            let mut child = cmd.spawn().map_err(|e| format!("spawn {role}: {e}"))?;
-            let stdout = child.stdout.take().ok_or("rmcd stdout not piped")?;
-            cluster.children.push(child);
-            let mut lines = std::io::BufReader::new(stdout).lines();
-            match lines.next() {
-                Some(Ok(line)) if line.starts_with("rmcd ready") => {}
-                other => return Err(format!("rmcd {role} never reported ready: {other:?}")),
-            }
-            // Keep draining stdout so the child can never block on a full
-            // pipe.
-            std::thread::spawn(move || for _line in lines {});
-        }
-        Ok(cluster)
-    }
-}
-
-impl Drop for RmcdCluster {
-    fn drop(&mut self) {
-        for child in &mut self.children {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-    }
-}
+// Fleet lifecycle plumbing (spawn with ready-line sync, graceful join on
+// shutdown, SIGKILL on drop) lives in `rmc_standalone::RmcdFleet` now,
+// shared with the recovery ablation bench and the kill-9 durability test.
 
 struct WireMeasurement {
     mix: &'static str,
@@ -724,8 +635,13 @@ fn run_wire_row(
     read_fraction: f64,
     scale: Scale,
 ) -> Result<WireMeasurement, String> {
-    let addrs = free_addrs(1 + NET_SERVERS)?;
-    let cluster = RmcdCluster::spawn(&addrs)?;
+    let addrs = reserve_addrs(1 + NET_SERVERS)?;
+    let cluster = RmcdFleet::spawn(FleetConfig::new(
+        rmcd_sibling_path()?,
+        addrs.clone(),
+        NET_SERVERS,
+        NET_REPLICATION,
+    ))?;
     let book_addrs: Vec<Option<SocketAddr>> = addrs.iter().copied().map(Some).collect();
     let mut clients = Vec::new();
     let mut registries = Vec::new();
@@ -790,7 +706,10 @@ fn run_wire_row(
     )]);
     let energy = wire_energy_json(&summary);
     drop(backend); // closes every client fabric
-    drop(cluster); // kills the rmcd fleet
+                   // Graceful teardown: each node flushes on stdin-EOF, and the processes
+                   // are joined rather than abandoned (escalates to SIGKILL only if one
+                   // hangs past the deadline).
+    let _ = cluster.shutdown(std::time::Duration::from_secs(10));
 
     println!(
         "  {:<14} servers={NET_SERVERS} r={NET_REPLICATION} mix={mix:<8} batch=1   {:>9} ops/s  read p99 {:>8.1} us",

@@ -645,6 +645,149 @@ pub fn validate_obs_report(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// The backup staging engines the recovery ablation compares.
+pub const RECOVERY_ENGINES: [&str; 2] = ["memory", "file"];
+
+/// Validates a parsed `BENCH_recovery.json` document (the recovery
+/// ablation: crash-recovery time vs. data size vs. recovery-master count,
+/// with backups staged in memory vs. on checksummed segment files).
+///
+/// Beyond shape, the validator enforces the sweep the ablation exists for:
+/// each engine must cover at least 3 distinct data sizes and 2 distinct
+/// recovery-master counts, every row's recovery bandwidth must match its
+/// own numbers, file rows must prove they actually wrote files (and read
+/// them back corruption-free), and `case` strings must be unique — they
+/// are the row identity `bench_compare` diffs.
+///
+/// # Errors
+///
+/// The first schema violation found, as a human-readable message.
+pub fn validate_recovery_report(doc: &Json) -> Result<(), String> {
+    let version = num(doc, "report", "schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    let benchmark = string(doc, "report", "benchmark")?;
+    if benchmark != "recovery_ablation" {
+        return Err(format!("unexpected benchmark {benchmark:?}"));
+    }
+
+    let config = field(doc, "report", "config")?;
+    for key in ["replication", "value_bytes"] {
+        if num(config, "config", key)? < 1.0 {
+            return Err(format!("config: \"{key}\" must be >= 1"));
+        }
+    }
+    string(config, "config", "fsync")?;
+
+    let results = field(doc, "report", "results")?
+        .as_array()
+        .ok_or("report: \"results\" must be an array")?;
+    if results.is_empty() {
+        return Err("report: \"results\" must be non-empty".into());
+    }
+    let mut cases = Vec::new();
+    let mut sizes: std::collections::BTreeMap<String, std::collections::BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    let mut masters: std::collections::BTreeMap<String, std::collections::BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    for (i, result) in results.iter().enumerate() {
+        let ctx = format!("results[{i}]");
+        let engine = string(result, &ctx, "engine")?;
+        if !RECOVERY_ENGINES.contains(&engine) {
+            return Err(format!("{ctx}: unknown engine {engine:?}"));
+        }
+        let case = string(result, &ctx, "case")?;
+        if case.is_empty() {
+            return Err(format!("{ctx}: \"case\" must be non-empty"));
+        }
+        if cases.contains(&case.to_owned()) {
+            return Err(format!("{ctx}: duplicate case {case:?}"));
+        }
+        cases.push(case.to_owned());
+        let servers = num(result, &ctx, "servers")?;
+        if servers < 2.0 {
+            return Err(format!("{ctx}: \"servers\" must be >= 2"));
+        }
+        let rec_masters = num(result, &ctx, "recovery_masters")?;
+        if rec_masters < 1.0 || rec_masters >= servers {
+            return Err(format!("{ctx}: \"recovery_masters\" must be in 1..servers"));
+        }
+        for key in ["records", "data_bytes", "victim_bytes"] {
+            if num(result, &ctx, key)? < 1.0 {
+                return Err(format!("{ctx}: \"{key}\" must be >= 1"));
+            }
+        }
+        if num(result, &ctx, "detection_secs")? < 0.0 {
+            return Err(format!("{ctx}: \"detection_secs\" must be non-negative"));
+        }
+        let recovery_secs = num(result, &ctx, "recovery_secs")?;
+        let throughput = num(result, &ctx, "throughput_ops_per_sec")?;
+        if recovery_secs <= 0.0 || throughput <= 0.0 {
+            return Err(format!(
+                "{ctx}: \"recovery_secs\" and \"throughput_ops_per_sec\" must be positive"
+            ));
+        }
+        // The headline bandwidth must be the row's own bytes over its own
+        // seconds, so a regression in either is visible in the diffed number.
+        let expected = num(result, &ctx, "victim_bytes")? / recovery_secs;
+        if (throughput - expected).abs() > 1e-6 * expected.max(1.0) {
+            return Err(format!(
+                "{ctx}: throughput_ops_per_sec inconsistent with victim_bytes/recovery_secs"
+            ));
+        }
+        if engine == "file" {
+            // A file row that moved no bytes through the disk engine (or
+            // saw corruption on a healthy disk) is not a valid measurement.
+            let disk = field(result, &ctx, "disk")?;
+            let dctx = format!("{ctx}.disk");
+            if num(disk, &dctx, "write_bytes")? < 1.0 {
+                return Err(format!("{dctx}: file engine row wrote no bytes"));
+            }
+            if num(disk, &dctx, "fsyncs")? < 0.0 {
+                return Err(format!("{dctx}: \"fsyncs\" must be non-negative"));
+            }
+            if num(disk, &dctx, "crc_mismatch")? != 0.0 {
+                return Err(format!("{dctx}: healthy-disk run detected corruption"));
+            }
+        }
+        sizes
+            .entry(engine.to_owned())
+            .or_default()
+            .insert(num(result, &ctx, "data_bytes")? as u64);
+        masters
+            .entry(engine.to_owned())
+            .or_default()
+            .insert(rec_masters as u64);
+    }
+    for engine in RECOVERY_ENGINES {
+        let s = sizes.get(engine).map_or(0, |s| s.len());
+        let m = masters.get(engine).map_or(0, |m| m.len());
+        if s < 3 {
+            return Err(format!(
+                "results: engine \"{engine}\" covers {s} data sizes, needs >= 3"
+            ));
+        }
+        if m < 2 {
+            return Err(format!(
+                "results: engine \"{engine}\" covers {m} recovery-master counts, needs >= 2"
+            ));
+        }
+    }
+
+    let comparison = field(doc, "report", "comparison")?;
+    let memory = num(comparison, "comparison", "memory_bytes_per_sec")?;
+    let file = num(comparison, "comparison", "file_bytes_per_sec")?;
+    let ratio = num(comparison, "comparison", "file_over_memory")?;
+    if memory <= 0.0 || file <= 0.0 {
+        return Err("comparison: recovery bandwidths must be positive".into());
+    }
+    if (ratio - file / memory).abs() > 1e-6 * ratio.abs().max(1.0) {
+        return Err("comparison: file_over_memory != file/memory".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -992,6 +1135,94 @@ mod tests {
         let doc = minimal_wire().replacen("\"wire\":", "\"unwired\":", 1);
         let err = validate_wire_report(&parse(&doc).unwrap()).unwrap_err();
         assert!(err.contains("wire"), "got {err}");
+    }
+
+    fn recovery_row(engine: &str, case: &str, servers: u64, data: u64) -> String {
+        let masters = servers - 1;
+        let victim = data / servers;
+        let secs = 0.5;
+        format!(
+            r#"{{"engine": "{engine}", "case": "{case}", "servers": {servers},
+               "recovery_masters": {masters}, "records": 1024, "data_bytes": {data},
+               "victim_bytes": {victim}, "detection_secs": 0.15, "recovery_secs": {secs},
+               "throughput_ops_per_sec": {tp},
+               "disk": {{"write_bytes": 9000, "fsyncs": 4, "crc_mismatch": 0}}}}"#,
+            tp = victim as f64 / secs,
+        )
+    }
+
+    fn minimal_recovery() -> String {
+        let mut rows = Vec::new();
+        for engine in ["memory", "file"] {
+            for (servers, data) in [(4, 1 << 20), (4, 2 << 20), (4, 4 << 20), (8, 4 << 20)] {
+                let case = format!("{engine}_s{servers}_d{data}");
+                rows.push(recovery_row(engine, &case, servers, data));
+            }
+        }
+        format!(
+            r#"{{
+              "schema_version": 1,
+              "benchmark": "recovery_ablation",
+              "config": {{"replication": 2, "value_bytes": 1024, "fsync": "batched:262144,50", "smoke": true}},
+              "results": [{}],
+              "comparison": {{"memory_bytes_per_sec": 2097152.0, "file_bytes_per_sec": 1048576.0,
+                "file_over_memory": 0.5}}
+            }}"#,
+            rows.join(",\n")
+        )
+    }
+
+    #[test]
+    fn accepts_minimal_recovery_report() {
+        validate_recovery_report(&parse(&minimal_recovery()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_recovery_reports() {
+        for (needle, replacement, expect) in [
+            ("recovery_ablation", "other_bench", "benchmark"),
+            (
+                "\"engine\": \"memory\"",
+                "\"engine\": \"ramdisk\"",
+                "engine",
+            ),
+            (
+                "\"case\": \"file_s8_d4194304\"",
+                "\"case\": \"file_s4_d1048576\"",
+                "duplicate case",
+            ),
+            (
+                "\"throughput_ops_per_sec\": 524288,",
+                "\"throughput_ops_per_sec\": 999,",
+                "inconsistent",
+            ),
+            (
+                "\"file_over_memory\": 0.5",
+                "\"file_over_memory\": 2.0",
+                "file_over_memory",
+            ),
+        ] {
+            let doc = minimal_recovery().replacen(needle, replacement, 1);
+            let err = validate_recovery_report(&parse(&doc).unwrap()).unwrap_err();
+            assert!(err.contains(expect), "{expect}: got {err}");
+        }
+        // Corrupt every disk block: only the file rows' blocks are checked,
+        // but at least one file row must trip the corruption gate.
+        let doc = minimal_recovery().replace("\"crc_mismatch\": 0", "\"crc_mismatch\": 2");
+        let err = validate_recovery_report(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("corruption"), "got {err}");
+        // Coverage gates: dropping the 8-server file row leaves one master
+        // count; collapsing a size leaves two sizes.
+        let doc = minimal_recovery().replacen(
+            "\"engine\": \"file\", \"case\": \"file_s8",
+            "\"engine\": \"memory\", \"case\": \"m8",
+            1,
+        );
+        let err = validate_recovery_report(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("recovery-master counts"), "got {err}");
+        let doc = minimal_recovery().replace("\"data_bytes\": 2097152", "\"data_bytes\": 1048576");
+        let err = validate_recovery_report(&parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("data sizes"), "got {err}");
     }
 
     #[test]

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod disk;
 mod fault;
 mod history;
 mod minimize;
 mod plan;
 mod runtime;
 
+pub use disk::{DiskFaultStats, DiskFaults};
 pub use fault::{DropReason, FaultEvent, FaultState, FaultStats, MsgClass};
 pub use history::{check_histories, OpKind, OpRecord, Violation};
 pub use minimize::minimize;

@@ -89,6 +89,20 @@ pub struct FaultPlan {
     /// Extra per-message loss probability applied only to backup-write
     /// traffic (replication RPCs), modeling flaky backup I/O.
     pub backup_write_fail_prob: f64,
+    /// Per-append probability that a backup's file write lands short
+    /// (torn-frame crash signature) and errors. The append is not acked.
+    pub disk_short_write_prob: f64,
+    /// Per-fsync probability of an EIO; under `fsync=per_write` the append
+    /// fails and is not acked.
+    pub disk_fsync_eio_prob: f64,
+    /// Per-append probability that one bit of the frame is flipped on its
+    /// way to the platter — silent corruption, detected only by the CRC on
+    /// recovery and then quarantined.
+    pub disk_bit_flip_prob: f64,
+    /// Per-append probability of a stuck-slow I/O stall.
+    pub disk_stall_prob: f64,
+    /// Upper bound on an injected stall (uniform in `0..disk_max_stall`).
+    pub disk_max_stall: SimDuration,
     /// All message-level faults cease at this instant (partitions and
     /// crashes are bounded by their own schedule; generated plans keep them
     /// before `quiesce_at` too, so convergence is checkable afterward).
@@ -107,8 +121,21 @@ impl FaultPlan {
             partitions: Vec::new(),
             crashes: Vec::new(),
             backup_write_fail_prob: 0.0,
+            disk_short_write_prob: 0.0,
+            disk_fsync_eio_prob: 0.0,
+            disk_bit_flip_prob: 0.0,
+            disk_stall_prob: 0.0,
+            disk_max_stall: SimDuration::ZERO,
             quiesce_at: SimTime::ZERO,
         }
+    }
+
+    /// Are any disk-level fault probabilities set?
+    pub fn disk_faults_enabled(&self) -> bool {
+        self.disk_short_write_prob > 0.0
+            || self.disk_fsync_eio_prob > 0.0
+            || self.disk_bit_flip_prob > 0.0
+            || self.disk_stall_prob > 0.0
     }
 
     /// Do any message-level faults remain possible at `now`?
@@ -165,6 +192,10 @@ pub struct PlanShape {
     pub max_delay_prob: f64,
     /// Upper bound for the backup-write fault probability.
     pub max_backup_fail_prob: f64,
+    /// Upper bound for each disk fault probability (short write, fsync
+    /// EIO, bit flip, stall). Zero keeps generated plans disk-clean, which
+    /// is the default: disk faults only matter to file-backed harnesses.
+    pub max_disk_fault_prob: f64,
     /// Gap between consecutive incidents — must comfortably exceed
     /// detection + recovery + restart so generated plans never have two
     /// servers down at once (which replication factor 2 cannot mask).
@@ -185,6 +216,7 @@ impl PlanShape {
             max_dup_prob: 0.10,
             max_delay_prob: 0.25,
             max_backup_fail_prob: 0.04,
+            max_disk_fault_prob: 0.0,
             incident_gap: SimDuration::from_millis(400),
         }
     }
@@ -205,6 +237,15 @@ impl FaultPlan {
         plan.delay_prob = rng.next_f64() * shape.max_delay_prob;
         plan.max_delay = SimDuration::from_micros(rng.gen_range(500, 20_000));
         plan.backup_write_fail_prob = rng.next_f64() * shape.max_backup_fail_prob;
+        if shape.max_disk_fault_prob > 0.0 {
+            // Drawn only when enabled so shapes that don't opt in keep the
+            // exact RNG stream (and thus plans) they always generated.
+            plan.disk_short_write_prob = rng.next_f64() * shape.max_disk_fault_prob;
+            plan.disk_fsync_eio_prob = rng.next_f64() * shape.max_disk_fault_prob;
+            plan.disk_bit_flip_prob = rng.next_f64() * shape.max_disk_fault_prob;
+            plan.disk_stall_prob = rng.next_f64() * shape.max_disk_fault_prob;
+            plan.disk_max_stall = SimDuration::from_micros(rng.gen_range(100, 5_000));
+        }
 
         let incidents = if shape.allow_crashes || shape.allow_partitions {
             rng.gen_below(shape.max_incidents as u64 + 1) as usize

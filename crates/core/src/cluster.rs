@@ -18,7 +18,7 @@ use rmc_logstore::{
     CleanerConfig, CompletionId, LogConfig, LogEntry, ObjectRecord, Store, TableId,
 };
 use rmc_net::Network;
-use rmc_runtime::{SimDuration, SimRng, SimTime};
+use rmc_runtime::{MetricsRegistry, SimDuration, SimRng, SimTime};
 use rmc_ycsb::{ClientStats, OpKind, RequestGenerator, Throttle};
 
 use crate::config::{ClientAffinity, ClusterConfig, Consistency, Placement};
@@ -129,6 +129,9 @@ pub struct Cluster {
     last_completion: SimTime,
     /// Key indices grouped by their initial owner (for client affinity).
     keys_by_owner: Vec<Vec<u64>>,
+    /// Live metrics: each server's [`DiskModel`] feeds `disk.{id}.*` here —
+    /// the same family names the file-backed backup engine exports.
+    metrics: MetricsRegistry,
 }
 
 impl Cluster {
@@ -136,6 +139,7 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Self {
         cfg.validate();
         let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let metrics = MetricsRegistry::new();
         let net = Network::new(cfg.servers + cfg.clients, cfg.net.clone());
         let nodes: Vec<ServerNode> = (0..cfg.servers)
             .map(|id| {
@@ -153,7 +157,9 @@ impl Cluster {
                         ..CleanerConfig::default()
                     },
                 );
-                ServerNode::new(id, store, DiskModel::new(cfg.disk.clone()), &cfg.calib)
+                let mut disk = DiskModel::new(cfg.disk.clone());
+                disk.attach_metrics(&metrics.family("disk", id));
+                ServerNode::new(id, store, disk, &cfg.calib)
             })
             .collect();
         let coord = Coordinator::new(cfg.servers, cfg.hash_buckets);
@@ -191,7 +197,15 @@ impl Cluster {
             final_recovery: None,
             last_completion: SimTime::ZERO,
             keys_by_owner: Vec::new(),
+            metrics,
         }
+    }
+
+    /// The live metric registry; each server disk feeds `disk.{id}.*` —
+    /// queue depth, request and byte counters — under the same names as the
+    /// file-backed backup engine's `disk.*` family.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Schedules a server kill at `at` (crash-recovery experiments). When

@@ -77,6 +77,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rmc_chaos::{MsgClass, OpKind, OpRecord};
+use rmc_diskstore::{BackupStorage, MemStorage};
 use rmc_logstore::{
     CompletionId, LogConfig, LogEntry, ObjectRecord, SegmentId, Store, TableId, TombstoneRecord,
 };
@@ -427,6 +428,9 @@ pub struct CoordCounters {
     pub readmissions: u64,
     /// Recovery rounds re-issued after a stall or a dead recovery master.
     pub recovery_retries: u64,
+    /// Restart recoveries deferred because declaring the server dead at
+    /// detection time would have left no survivor (whole-fleet restart).
+    pub restarts_deferred: u64,
     /// `MapRequest`s answered.
     pub map_requests: u64,
 }
@@ -461,6 +465,10 @@ pub struct CoordinatorNode {
     pending: BTreeMap<usize, PendingRecovery>,
     /// Highest incarnation epoch heard per server.
     server_epoch: Vec<u64>,
+    /// Restarted servers whose old incarnation still awaits recovery:
+    /// declaring them dead at detection time would have left no survivor
+    /// (the whole-fleet cold-restart shape). Retried from the timer.
+    deferred_restarts: BTreeSet<usize>,
     next_round: u64,
     /// Event counters.
     pub counters: CoordCounters,
@@ -480,15 +488,16 @@ impl CoordinatorNode {
             map_version: 0,
             pending: BTreeMap::new(),
             server_epoch: epochs,
+            deferred_restarts: BTreeSet::new(),
             next_round: 0,
             counters: CoordCounters::default(),
             started: false,
         }
     }
 
-    /// Is any crash recovery still in flight?
+    /// Is any crash recovery still in flight (or detected but deferred)?
     pub fn recovery_pending(&self) -> bool {
-        !self.pending.is_empty()
+        !self.pending.is_empty() || !self.deferred_restarts.is_empty()
     }
 
     /// The current tablet-map version.
@@ -571,9 +580,13 @@ impl CoordinatorNode {
             ("restarts_detected".into(), c.restarts_detected),
             ("readmissions".into(), c.readmissions),
             ("recovery_retries".into(), c.recovery_retries),
+            ("restarts_deferred".into(), c.restarts_deferred),
             ("map_requests".into(), c.map_requests),
             ("map_version".into(), self.map_version),
-            ("recoveries_pending".into(), self.pending.len() as u64),
+            (
+                "recoveries_pending".into(),
+                (self.pending.len() + self.deferred_restarts.len()) as u64,
+            ),
         ]
     }
 
@@ -606,6 +619,15 @@ impl CoordinatorNode {
             self.counters.restarts_detected += 1;
             if self.coord.is_alive(server) && !self.pending.contains_key(&server) {
                 self.declare_dead(server, rt);
+                if self.coord.is_alive(server) {
+                    // Refused: every other server is already down for
+                    // recovery (the whole fleet cold-restarted at once).
+                    // The epoch is recorded, so this branch never fires
+                    // again — park the restart and retry from the timer
+                    // once a sibling's recovery completes and readmits it.
+                    self.deferred_restarts.insert(server);
+                    self.counters.restarts_deferred += 1;
+                }
             }
         } else if !self.coord.is_alive(server) && !self.pending.contains_key(&server) {
             // Same incarnation, declared dead, nothing left to recover:
@@ -638,6 +660,20 @@ impl CoordinatorNode {
         for crashed in overdue {
             self.counters.recovery_retries += 1;
             self.start_recovery_round(crashed, rt);
+        }
+        // Parked restart recoveries (see the deferral in `on_heartbeat`):
+        // retry each tick; once enough siblings are readmitted the
+        // declaration goes through and the old incarnation is recovered.
+        for server in std::mem::take(&mut self.deferred_restarts) {
+            if self.pending.contains_key(&server) {
+                continue; // a recovery for it is underway after all
+            }
+            if self.coord.is_alive(server) {
+                self.declare_dead(server, rt);
+                if self.coord.is_alive(server) {
+                    self.deferred_restarts.insert(server); // still refused
+                }
+            }
         }
         for s in 0..self.cfg.servers {
             if !self.coord.is_alive(s) || self.pending.contains_key(&s) {
@@ -779,6 +815,12 @@ pub struct ServerCounters {
     pub pending_dropped: u64,
     /// Duplicate requests that re-drove replication of a pending write.
     pub pending_resends: u64,
+    /// Backup appends the storage engine failed to make durable (the ack
+    /// was withheld; the master's retry machinery redrives the write).
+    pub backup_append_errors: u64,
+    /// Recoveries that stopped replaying a collected replica early because
+    /// its bytes stopped parsing (torn/corrupt replica tail).
+    pub replay_truncations: u64,
 }
 
 /// A write applied locally, waiting on backup acks before answering.
@@ -826,8 +868,10 @@ pub struct Server {
     cur_segment: u64,
     cur_segment_bytes: usize,
     pending: BTreeMap<(u64, u64), PendingWrite>,
-    /// Backup role: staged replica bytes keyed by (master, segment).
-    staged: BTreeMap<(usize, u64), Vec<u8>>,
+    /// Backup role: where replica bytes are staged. [`MemStorage`] by
+    /// default (the deterministic engines); a file-backed engine when the
+    /// harness opts into durability ([`Server::with_storage`]).
+    staged: Box<dyn BackupStorage>,
     /// Backup role: masters whose `Replicate` traffic is rejected (known
     /// dead, or fetched from for recovery).
     fenced: BTreeSet<usize>,
@@ -860,6 +904,49 @@ impl Server {
         Server::boot(index, cfg, epoch, false)
     }
 
+    /// Replaces the backup staging engine. Segments already staged in the
+    /// engine (e.g. recovered from disk by `FileStorage::open`) are served
+    /// to recoveries exactly as if they had been replicated this
+    /// incarnation — this is how a cold-restarted server rejoins with its
+    /// staged replicas intact instead of booting empty.
+    pub fn set_storage(&mut self, storage: Box<dyn BackupStorage>) {
+        self.staged = storage;
+    }
+
+    /// [`Server::new`] with an explicit backup staging engine.
+    pub fn with_storage(
+        index: usize,
+        cfg: ProtocolConfig,
+        storage: Box<dyn BackupStorage>,
+    ) -> Self {
+        let mut s = Server::new(index, cfg);
+        s.set_storage(storage);
+        s
+    }
+
+    /// [`Server::restarted`] with an explicit backup staging engine.
+    pub fn restarted_with_storage(
+        index: usize,
+        cfg: ProtocolConfig,
+        epoch: u64,
+        storage: Box<dyn BackupStorage>,
+    ) -> Self {
+        let mut s = Server::restarted(index, cfg, epoch);
+        s.set_storage(storage);
+        s
+    }
+
+    /// The backup staging engine (for harness inspection).
+    pub fn storage(&self) -> &dyn BackupStorage {
+        self.staged.as_ref()
+    }
+
+    /// Forces staged replica bytes durable (fsync on file engines). Called
+    /// on graceful shutdown.
+    pub fn flush_storage(&mut self) -> Result<(), rmc_diskstore::StorageError> {
+        self.staged.flush()
+    }
+
     fn boot(index: usize, cfg: ProtocolConfig, epoch: u64, synced: bool) -> Self {
         let owners: Vec<usize> = (0..cfg.buckets).map(|b| b % cfg.servers).collect();
         let alive = vec![true; cfg.servers];
@@ -877,7 +964,7 @@ impl Server {
             cur_segment: 0,
             cur_segment_bytes: 0,
             pending: BTreeMap::new(),
-            staged: BTreeMap::new(),
+            staged: Box::new(MemStorage::new()),
             fenced: BTreeSet::new(),
             sent_log: BTreeMap::new(),
             rifl_last: BTreeMap::new(),
@@ -950,12 +1037,7 @@ impl Server {
                 // from `crashed` may be staged here, so the recovery sees
                 // every write this backup will ever ack for it.
                 self.fenced.insert(crashed);
-                let segments: Vec<(u64, Vec<u8>)> = self
-                    .staged
-                    .iter()
-                    .filter(|((m, _), _)| *m == crashed)
-                    .map(|((_, seg), bytes)| (*seg, bytes.clone()))
-                    .collect();
+                let segments = self.staged.segments_of(crashed);
                 rt.send(from, Msg::SegmentData { crashed, segments });
             }
             Msg::SegmentData { crashed, segments } => {
@@ -994,6 +1076,10 @@ impl Server {
             ("reseeds".into(), c.reseeds),
             ("pending_dropped".into(), c.pending_dropped),
             ("pending_resends".into(), c.pending_resends),
+            ("backup_append_errors".into(), c.backup_append_errors),
+            ("replay_truncations".into(), c.replay_truncations),
+            ("staged_segments".into(), self.staged.segment_count() as u64),
+            ("staged_bytes".into(), self.staged.staged_bytes()),
             ("pending_now".into(), self.pending.len() as u64),
             ("ack_wait_count".into(), self.ack_wait.count()),
             ("ack_wait_mean_ns".into(), self.ack_wait.mean() as u64),
@@ -1157,17 +1243,25 @@ impl Server {
             self.counters.fenced_drops += 1;
             return;
         }
-        let slot = self.staged.entry((master, segment)).or_default();
         if token == REPLICA_RESEED {
             // A reseed carries the master's full segment image. Segments
             // are append-only, so a longer image strictly supersedes a
             // shorter one; never let a reordered stale reseed truncate.
-            if bytes.len() > slot.len() {
-                *slot = bytes;
+            // Fire-and-forget: a storage failure here just leaves the
+            // shorter image, and the master's next reseed tries again.
+            if self.staged.supersede(master, segment, &bytes).is_err() {
+                self.counters.backup_append_errors += 1;
             }
         } else {
-            slot.extend_from_slice(&bytes);
-            rt.send(from, Msg::ReplicateAck { token });
+            match self.staged.append(master, segment, &bytes) {
+                Ok(()) => rt.send(from, Msg::ReplicateAck { token }),
+                Err(_) => {
+                    // Not durable: withhold the ack. The master's retry
+                    // machinery redrives the write; duplicate frames from
+                    // a retry are harmless (replay is version-guarded).
+                    self.counters.backup_append_errors += 1;
+                }
+            }
         }
     }
 
@@ -1363,11 +1457,7 @@ impl Server {
             collected: Vec::new(),
         };
         // Own staged replicas join the pool without a network round trip.
-        for ((m, seg), bytes) in &self.staged {
-            if *m == crashed {
-                fetch.collected.push((*seg, bytes.clone()));
-            }
-        }
+        fetch.collected.extend(self.staged.segments_of(crashed));
         let peers: Vec<usize> = fetch.awaiting.iter().copied().collect();
         let done = peers.is_empty();
         self.recovery.insert(crashed, fetch);
@@ -1412,7 +1502,15 @@ impl Server {
         for (_seg, bytes) in &fetch.collected {
             let mut off = 0;
             while off < bytes.len() {
-                let (entry, len) = LogEntry::parse(&bytes[off..]).expect("replica bytes are valid");
+                // A replica recovered from disk may end in a torn or
+                // corrupt entry (the storage engine truncates at frame
+                // granularity, but a frame can hold a partial entry batch).
+                // The prefix up to here is trustworthy; stop, count, and
+                // replay what parsed — never panic on disk-sourced bytes.
+                let Ok((entry, len)) = LogEntry::parse(&bytes[off..]) else {
+                    self.counters.replay_truncations += 1;
+                    break;
+                };
                 off += len;
                 let key = match &entry {
                     LogEntry::Object(o) => &o.key,
@@ -2163,5 +2261,85 @@ mod tests {
             owners.iter().all(|&o| o != 0),
             "readmitted server owns nothing"
         );
+    }
+
+    /// Drains `rt` and answers every TakeOver with its TakeOverDone.
+    fn complete_takeovers(coord: &mut CoordinatorNode, rt: &mut TestRt) {
+        let takeovers: Vec<(usize, usize, Vec<usize>, u64)> = rt
+            .drain()
+            .into_iter()
+            .filter_map(|(to, m)| match m {
+                Msg::TakeOver {
+                    crashed,
+                    buckets,
+                    round,
+                    ..
+                } => Some((to.0 - 1, crashed, buckets, round)),
+                _ => None,
+            })
+            .collect();
+        for (owner, crashed, bks, round) in takeovers {
+            coord.on_message(
+                server_id(owner),
+                Msg::TakeOverDone {
+                    crashed,
+                    buckets: bks,
+                    round,
+                },
+                rt,
+            );
+        }
+    }
+
+    #[test]
+    fn whole_fleet_restart_defers_then_recovers_the_last_server() {
+        // Both servers of a 2-server cluster cold-restart at once. The
+        // second restart cannot be declared dead immediately (no survivor
+        // would remain), but its old incarnation must still be recovered
+        // once the first one's recovery completes.
+        let cfg = ProtocolConfig::new(2, 0, 1);
+        let mut coord = CoordinatorNode::new(cfg);
+        let mut rt = TestRt::new(coordinator_id());
+        coord.on_start(&mut rt);
+        let hb = |coord: &mut CoordinatorNode, rt: &mut TestRt, s: usize| {
+            coord.on_message(
+                server_id(s),
+                Msg::Heartbeat {
+                    epoch: 1,
+                    map_version: 0,
+                },
+                rt,
+            );
+        };
+        hb(&mut coord, &mut rt, 0);
+        assert!(!coord.coord.is_alive(0), "first restart recovered eagerly");
+        hb(&mut coord, &mut rt, 1);
+        assert!(
+            coord.coord.is_alive(1),
+            "last server must not be declared dead with no survivor left"
+        );
+        assert_eq!(coord.counters.restarts_deferred, 1);
+        assert!(coord.recovery_pending(), "deferred restart counts as owed");
+
+        complete_takeovers(&mut coord, &mut rt);
+        hb(&mut coord, &mut rt, 0); // readmit server 0
+        assert!(coord.coord.is_alive(0));
+        assert!(
+            coord.recovery_pending(),
+            "server 1's old incarnation is still owed"
+        );
+
+        // The timer retries the parked restart, now with a survivor.
+        coord.on_timer(&mut rt);
+        assert!(
+            !coord.coord.is_alive(1),
+            "deferred declaration went through"
+        );
+        complete_takeovers(&mut coord, &mut rt);
+        hb(&mut coord, &mut rt, 1); // readmit server 1
+        assert!(coord.coord.is_alive(1));
+        assert!(!coord.recovery_pending());
+        assert_eq!(coord.counters.readmissions, 2);
+        assert_eq!(coord.counters.restarts_detected, 2);
     }
 }

@@ -29,7 +29,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rmc_runtime::{BinnedUsage, RateMeter, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+use rmc_runtime::{BinnedUsage, CounterHandle, MetricsFamily, RateMeter, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Direction of a disk transfer.
@@ -133,6 +135,36 @@ impl DiskProfile {
     }
 }
 
+/// Live `disk.*` handles a [`DiskModel`] feeds on every submit — the same
+/// metric family (and names) the file-backed backup engine's
+/// `rmc_diskstore::DiskMetrics` exports, so dashboards and the stats plane
+/// read one schema regardless of which engine produced the I/O.
+#[derive(Debug, Clone)]
+struct ModelMetrics {
+    reads: CounterHandle,
+    writes: CounterHandle,
+    read_bytes: CounterHandle,
+    write_bytes: CounterHandle,
+    /// Requests still queued or in service at the last submit.
+    queue_depth: CounterHandle,
+}
+
+impl ModelMetrics {
+    fn new(fam: &MetricsFamily) -> Self {
+        // The simulated device never corrupts data, but the family must
+        // carry the same members as the file engine's — create the CRC
+        // counter at zero so snapshots stay schema-identical.
+        let _ = fam.counter("crc_mismatch");
+        ModelMetrics {
+            reads: fam.counter("reads"),
+            writes: fam.counter("writes"),
+            read_bytes: fam.counter("read_bytes"),
+            write_bytes: fam.counter("write_bytes"),
+            queue_depth: fam.gauge("queue_depth"),
+        }
+    }
+}
+
 /// A single simulated disk: FIFO service, direction-switch penalties, busy
 /// tracking for the power model, and per-second read/write tracing for
 /// Fig 12.
@@ -148,6 +180,10 @@ pub struct DiskModel {
     writes: u64,
     read_bytes: u64,
     write_bytes: u64,
+    metrics: Option<ModelMetrics>,
+    /// Completion times of outstanding requests (for the queue-depth gauge);
+    /// only maintained while metrics are attached.
+    inflight: VecDeque<SimTime>,
 }
 
 impl DiskModel {
@@ -164,7 +200,20 @@ impl DiskModel {
             writes: 0,
             read_bytes: 0,
             write_bytes: 0,
+            metrics: None,
+            inflight: VecDeque::new(),
         }
+    }
+
+    /// Attaches this disk to a `disk.*` metric family (typically
+    /// `registry.family("disk", node)`). From then on every [`submit`]
+    /// updates the shared read/write byte and request counters and a
+    /// queue-depth gauge — the same family the file-backed backup engine
+    /// feeds, so both engines are observed through one schema.
+    ///
+    /// [`submit`]: DiskModel::submit
+    pub fn attach_metrics(&mut self, fam: &MetricsFamily) {
+        self.metrics = Some(ModelMetrics::new(fam));
     }
 
     /// The device profile.
@@ -201,6 +250,25 @@ impl DiskModel {
                 self.write_bytes += bytes;
                 self.write_trace.add(done, bytes as f64);
             }
+        }
+        if let Some(m) = &self.metrics {
+            match kind {
+                IoKind::Read => {
+                    m.reads.incr();
+                    m.read_bytes.add(bytes);
+                }
+                IoKind::Write => {
+                    m.writes.incr();
+                    m.write_bytes.add(bytes);
+                }
+            }
+            // Queue depth as an iostat-style monitor would see it at `now`:
+            // requests submitted but not yet complete, this one included.
+            while self.inflight.front().is_some_and(|&t| t <= now) {
+                self.inflight.pop_front();
+            }
+            self.inflight.push_back(done);
+            m.queue_depth.set(self.inflight.len() as u64);
         }
         done
     }
@@ -383,5 +451,28 @@ mod tests {
     #[should_panic(expected = "read bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = DiskProfile::custom("bad", 0.0, 1.0, SimDuration::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_io() {
+        use rmc_runtime::MetricsRegistry;
+
+        let reg = MetricsRegistry::new();
+        let mut disk = DiskModel::new(simple_profile());
+        disk.attach_metrics(&reg.family("disk", 2));
+        disk.submit(SimTime::ZERO, IoKind::Read, 100);
+        disk.submit(SimTime::ZERO, IoKind::Write, 200);
+        disk.submit(SimTime::ZERO, IoKind::Write, 300);
+        assert_eq!(reg.get("disk.2.reads"), 1);
+        assert_eq!(reg.get("disk.2.writes"), 2);
+        assert_eq!(reg.get("disk.2.read_bytes"), 100);
+        assert_eq!(reg.get("disk.2.write_bytes"), 500);
+        // All three submitted at t=0 against a busy queue: all outstanding.
+        assert_eq!(reg.get("disk.2.queue_depth"), 3);
+        // Same family schema as the file engine: the CRC counter exists at 0.
+        assert_eq!(reg.get("disk.2.crc_mismatch"), 0);
+        // Once the queue has drained, a new request sees depth 1.
+        disk.submit(SimTime::from_secs(100), IoKind::Read, 100);
+        assert_eq!(reg.get("disk.2.queue_depth"), 1);
     }
 }

@@ -1,0 +1,206 @@
+//! The on-disk frame: one checksummed record per replica append.
+//!
+//! Every write a backup stages is wrapped in a fixed 36-byte header plus
+//! the payload bytes, little-endian throughout:
+//!
+//! ```text
+//! +-------+--------+---------+-------+-----+-----+---------+
+//! | magic | master | segment | epoch | len | crc | payload |
+//! |  4 B  |  8 B   |   8 B   |  8 B  | 4 B | 4 B |  len B  |
+//! +-------+--------+---------+-------+-----+-----+---------+
+//! ```
+//!
+//! The CRC (CRC-32C, the same `crc32c` the log entries use) covers the
+//! header minus the crc field itself, then the payload — so a bit flip
+//! anywhere in a frame is detected, and a frame cut short by a crash fails
+//! the length check before the checksum is even consulted. Decoding
+//! distinguishes the two: [`FrameError::TornTail`] means the buffer simply
+//! ends mid-frame (the normal signature of a crash between `write` and
+//! completion — recover by truncating), while [`FrameError::Corrupt`] means
+//! a structurally complete frame carries impossible fields or a bad
+//! checksum (the disk lied — quarantine, never trust what follows).
+
+use rmc_logstore::crc32c;
+
+/// `"RMCS"` as the first four bytes of every frame (little-endian u32).
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"RMCS");
+
+/// Fixed header size in bytes.
+pub const FRAME_HEADER_BYTES: usize = 4 + 8 + 8 + 8 + 4 + 4;
+
+/// Sanity bound on a single frame's payload (far above any real segment;
+/// a declared length past this is corruption, not a huge write).
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 28;
+
+/// Decoded header fields of one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Master whose segment this replica belongs to (server index).
+    pub master: u64,
+    /// Segment id within that master's log.
+    pub segment: u64,
+    /// The backup incarnation epoch that staged the frame.
+    pub epoch: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Stored CRC-32C.
+    pub crc: u32,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does: a torn write. The bytes up
+    /// to here are a clean prefix; truncate and move on.
+    TornTail,
+    /// The frame is structurally complete but wrong — bad magic, an
+    /// impossible length, or a checksum mismatch. Nothing after this
+    /// offset can be trusted.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TornTail => write!(f, "torn frame tail"),
+            FrameError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame: header + payload, checksummed.
+pub fn encode_frame(master: usize, segment: u64, epoch: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_PAYLOAD, "payload too large");
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(master as u64).to_le_bytes());
+    out.extend_from_slice(&segment.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(payload);
+    let crc = {
+        let mut tmp = Vec::with_capacity(out.len() - 4);
+        tmp.extend_from_slice(&out[..crc_at]);
+        tmp.extend_from_slice(&out[crc_at + 4..]);
+        crc32c(&tmp)
+    };
+    out[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the frame at the start of `buf`. Returns the header, the
+/// payload slice, and the frame's total length.
+///
+/// # Errors
+///
+/// [`FrameError::TornTail`] when `buf` ends mid-frame;
+/// [`FrameError::Corrupt`] on bad magic, an impossible length, or a
+/// checksum mismatch.
+pub fn decode_frame(buf: &[u8]) -> Result<(FrameHeader, &[u8], usize), FrameError> {
+    if buf.len() < FRAME_HEADER_BYTES {
+        return Err(FrameError::TornTail);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::Corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let master = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let segment = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let epoch = u64::from_le_bytes(buf[20..28].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[28..32].try_into().unwrap());
+    let crc = u32::from_le_bytes(buf[32..36].try_into().unwrap());
+    if len as usize > MAX_FRAME_PAYLOAD {
+        return Err(FrameError::Corrupt(format!("impossible length {len}")));
+    }
+    let total = FRAME_HEADER_BYTES + len as usize;
+    if buf.len() < total {
+        return Err(FrameError::TornTail);
+    }
+    let computed = {
+        let mut tmp = Vec::with_capacity(total - 4);
+        tmp.extend_from_slice(&buf[..32]);
+        tmp.extend_from_slice(&buf[36..total]);
+        crc32c(&tmp)
+    };
+    if computed != crc {
+        return Err(FrameError::Corrupt(format!(
+            "checksum mismatch: stored {crc:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let header = FrameHeader {
+        master,
+        segment,
+        epoch,
+        len,
+        crc,
+    };
+    Ok((header, &buf[FRAME_HEADER_BYTES..total], total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode_frame(3, 17, 2, b"replica bytes");
+        let (h, payload, total) = decode_frame(&frame).unwrap();
+        assert_eq!((h.master, h.segment, h.epoch, h.len), (3, 17, 2, 13),);
+        assert_eq!(payload, b"replica bytes");
+        assert_eq!(total, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode_frame(0, 0, 0, b"");
+        let (h, payload, total) = decode_frame(&frame).unwrap();
+        assert_eq!(h.len, 0);
+        assert!(payload.is_empty());
+        assert_eq!(total, FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn truncation_is_a_torn_tail_at_every_length() {
+        let frame = encode_frame(1, 2, 3, &[0xAB; 64]);
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]).unwrap_err(),
+                FrameError::TornTail,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let frame = encode_frame(1, 2, 3, &[0x5A; 32]);
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x01;
+            match decode_frame(&bad) {
+                Err(_) => {}
+                // A flip in the length field may declare a longer frame
+                // than the buffer holds — that surfaces as TornTail, which
+                // is also a detection. A flip that *shrinks* the declared
+                // length moves payload bytes out of the checksummed range
+                // and must still fail the CRC.
+                Ok(_) => panic!("bit flip at byte {byte} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_left_for_the_next_frame() {
+        let mut buf = encode_frame(1, 2, 3, b"first");
+        let second = encode_frame(1, 2, 3, b"second");
+        buf.extend_from_slice(&second);
+        let (_, payload, total) = decode_frame(&buf).unwrap();
+        assert_eq!(payload, b"first");
+        let (_, payload2, _) = decode_frame(&buf[total..]).unwrap();
+        assert_eq!(payload2, b"second");
+    }
+}

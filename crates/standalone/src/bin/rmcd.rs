@@ -16,26 +16,45 @@
 //! ```
 //!
 //! The address list is positional: entry 0 is the coordinator, entries
-//! `1..=servers` the servers. The process runs until killed — there is no
-//! graceful in-band shutdown, because a real cluster member dies by
-//! crashing, and the protocol's recovery machinery is the cleanup.
+//! `1..=servers` the servers.
+//!
+//! ## Durability and shutdown
+//!
+//! With `--data-dir DIR`, a server stages its backup segment replicas in
+//! checksummed files under `DIR` (`rmc-diskstore`'s `FileStorage`), forced
+//! durable per `--fsync` (`per_write` | `batched[:BYTES,MILLIS]` | `off`).
+//! A restart from the same `DIR` bumps the persisted incarnation epoch —
+//! so the coordinator's restart detection recovers the previous
+//! incarnation — and rejoins with every staged segment recovered from disk
+//! (longest valid frame prefix; torn tails truncated, corruption
+//! quarantined), ready to serve recoveries of *other* crashed masters.
+//!
+//! Two ways to stop: kill the process (a crash; the protocol's recovery
+//! machinery is the cleanup, and with `--fsync per_write` every acked
+//! write survives on disk), or close its stdin (graceful: the node flushes
+//! and fsyncs open segment files, then exits 0).
 
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
+use std::thread;
 
 use crossbeam::channel::unbounded;
 use rmc_core::protocol::{
     coordinator_id, server_id, AnyNode, CoordinatorNode, ProtocolConfig, Server,
 };
+use rmc_diskstore::{bump_epoch, DiskMetrics, FileStorage, FsyncPolicy};
 use rmc_obs::span::SpanRecorder;
 use rmc_runtime::{MetricsRegistry, SimDuration, WallClock};
-use rmc_standalone::{forward_inbound, run_net_node};
+use rmc_standalone::{forward_inbound, run_net_node, NodeEvent};
 use rmc_wire::{AddressBook, FabricConfig, NetRuntime, WireFabric};
 
 const USAGE: &str = "usage: rmcd --role coordinator|server [--index I] \
 --addrs a0,a1,... --servers N --replication R \
-[--clients C] [--heartbeat-ms H] [--failure-ms F] [--retry-ms T]";
+[--clients C] [--heartbeat-ms H] [--failure-ms F] [--retry-ms T] \
+[--data-dir DIR] [--fsync per_write|batched[:BYTES,MILLIS]|off]";
 
 struct Args {
     role: String,
@@ -47,6 +66,8 @@ struct Args {
     heartbeat_ms: u64,
     failure_ms: u64,
     retry_ms: u64,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         heartbeat_ms: 25,
         failure_ms: 250,
         retry_ms: 50,
+        data_dir: None,
+        fsync: FsyncPolicy::PerWrite,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
             "--retry-ms" => {
                 args.retry_ms = val("--retry-ms")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(val("--data-dir")?)),
+            "--fsync" => args.fsync = FsyncPolicy::parse(&val("--fsync")?)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -142,18 +167,60 @@ fn main() {
         }
     };
     let book = AddressBook::new(args.addrs.iter().copied().map(Some).collect());
+    let registry = MetricsRegistry::new();
     let (fabric, inbox) = WireFabric::start(FabricConfig {
         me,
         book,
         listener: Some(listener),
-        registry: MetricsRegistry::new(),
+        registry: registry.clone(),
         spans: SpanRecorder::default(),
         clock: Arc::new(WallClock::new()),
     });
     let (tx, rx) = unbounded();
-    let _forwarder = forward_inbound(inbox, tx);
+    let _forwarder = forward_inbound(inbox, tx.clone());
     let node = if args.role == "coordinator" {
         AnyNode::Coordinator(CoordinatorNode::new(cfg))
+    } else if let Some(dir) = &args.data_dir {
+        // Durable server: stage replicas in checksummed files and carry the
+        // persisted incarnation epoch. Epoch 0 is the first boot; anything
+        // later is a restart, and the recovered staged segments rejoin the
+        // cluster with us — the coordinator's restart detection will have
+        // the *other* servers' recovered replicas to rebuild our data from.
+        let epoch = match bump_epoch(dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("rmcd: epoch file under {}: {e}", dir.display());
+                exit(1);
+            }
+        };
+        let storage = match FileStorage::open(
+            dir,
+            args.fsync.clone(),
+            epoch,
+            DiskMetrics::new(&registry.family_at("disk.")),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rmcd: opening data dir {}: {e}", dir.display());
+                exit(1);
+            }
+        };
+        eprintln!(
+            "rmcd: server {} epoch {epoch}: recovered {} staged segments \
+             ({} bytes, {} torn tails truncated, {} quarantined) from {}",
+            args.index,
+            storage.recovery.segments,
+            storage.recovery.bytes,
+            storage.recovery.torn_tails,
+            storage.recovery.quarantined,
+            dir.display(),
+        );
+        let server = if epoch == 0 {
+            Server::with_storage(args.index, cfg, Box::new(storage))
+        } else {
+            Server::restarted_with_storage(args.index, cfg, epoch, Box::new(storage))
+        };
+        AnyNode::Server(server)
     } else {
         AnyNode::Server(Server::new(args.index, cfg))
     };
@@ -166,7 +233,21 @@ fn main() {
         let _ = writeln!(out, "rmcd ready {} {} {}", args.role, me, my_addr);
         let _ = out.flush();
     }
-    // Runs until the process is killed; Kill/Shutdown events are never
-    // sent to a real process.
+    // Graceful shutdown rides stdin: when the launcher closes our stdin (or
+    // exits), the watcher delivers Shutdown and the node loop returns after
+    // flushing storage. A SIGKILL, by contrast, reaches neither — that is
+    // the crash the durability layer exists for.
+    thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = tx.send(NodeEvent::Shutdown);
+    });
     run_net_node(node, rt, rx, None, None);
+    fabric.shutdown();
 }

@@ -46,13 +46,15 @@ mod cleaner;
 mod dispatch;
 pub mod mini_cluster;
 pub mod net_cluster;
+pub mod procs;
 mod repl;
 mod server;
 mod shard;
 
 pub use dispatch::DispatchMode;
-pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, ThreadRuntime};
+pub use mini_cluster::{ClusterReport, MiniClient, MiniCluster, StorageFactory, ThreadRuntime};
 pub use net_cluster::{forward_inbound, run_net_node, NetClient, NetCluster, NodeEvent};
+pub use procs::{reserve_addrs, rmcd_sibling_path, FleetConfig, RmcdFleet};
 pub use repl::{parse_command, ParseCommandError, ReplCommand, HELP};
 pub use server::{Client, ClientError, ServerConfig, StandaloneServer, STAGE_SAMPLE};
 pub use shard::{ReadPath, ShardedStore};

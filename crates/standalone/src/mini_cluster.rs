@@ -426,7 +426,12 @@ fn node_loop(
                 // A kill aimed at a previous incarnation: ignore.
             }
             Ok(Control::Shutdown) => {
-                return Some(report(node, id, faults.as_ref(), &rt.fabric.registry))
+                // Graceful exit: staged replicas go durable first, so a
+                // file-backed cluster's data dirs are complete on disk.
+                if let AnyNode::Server(s) = &mut node {
+                    let _ = s.flush_storage();
+                }
+                return Some(report(node, id, faults.as_ref(), &rt.fabric.registry));
             }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(d) = rt.deadline {
@@ -489,9 +494,15 @@ pub struct ClusterReport {
     pub spans: SpanRecorder,
 }
 
+/// Builds the backup staging engine for `(server index, incarnation
+/// epoch)` — the cluster calls it at boot and again on every restart, so a
+/// file-backed factory naturally re-opens the same data dir and recovers
+/// its staged segments.
+pub type StorageFactory =
+    Arc<dyn Fn(usize, u64) -> Box<dyn rmc_diskstore::BackupStorage> + Send + Sync>;
+
 /// A running mini-cluster: coordinator + servers (+ optional scripted
 /// clients) as threads.
-#[derive(Debug)]
 pub struct MiniCluster {
     cfg: ProtocolConfig,
     fabric: Arc<Fabric>,
@@ -501,20 +512,45 @@ pub struct MiniCluster {
     keepalive: Vec<Receiver<Control>>,
     handles: Vec<(NodeId, JoinHandle<Option<NodeReport>>)>,
     done_rx: Receiver<usize>,
+    storage: Option<StorageFactory>,
+}
+
+impl std::fmt::Debug for MiniCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiniCluster")
+            .field("cfg", &self.cfg)
+            .field("plan", &self.plan)
+            .field("nodes", &self.handles.len())
+            .field("file_backed", &self.storage.is_some())
+            .finish()
+    }
 }
 
 impl MiniCluster {
     /// Starts coordinator and server threads; returns the cluster plus one
     /// synchronous [`MiniClient`] handle per configured client.
     pub fn start(cfg: ProtocolConfig) -> (MiniCluster, Vec<MiniClient>) {
-        Self::launch(cfg, None, None)
+        Self::launch(cfg, None, None, None)
+    }
+
+    /// Like [`MiniCluster::start`] but staging every server's backup
+    /// replicas in the engine `storage` builds — pass a factory returning
+    /// `rmc_diskstore::FileStorage` to give the threaded cluster real
+    /// on-disk durability. The factory is called again (with the new
+    /// incarnation epoch) on every [`MiniCluster::restart_server`], which
+    /// is how a restarted server rejoins with disk-recovered segments.
+    pub fn start_with_storage(
+        cfg: ProtocolConfig,
+        storage: StorageFactory,
+    ) -> (MiniCluster, Vec<MiniClient>) {
+        Self::launch(cfg, None, None, Some(storage))
     }
 
     /// Starts the full cluster with scripted client threads (the threaded
     /// half of the cross-engine equivalence test). Await completion with
     /// [`MiniCluster::wait_for_scripted_clients`].
     pub fn start_scripted(cfg: ProtocolConfig, scripts: Vec<Vec<ClientOp>>) -> MiniCluster {
-        Self::launch(cfg, Some(scripts), None).0
+        Self::launch(cfg, Some(scripts), None, None).0
     }
 
     /// Starts a scripted cluster under the message-level faults of `plan`
@@ -527,7 +563,19 @@ impl MiniCluster {
         scripts: Vec<Vec<ClientOp>>,
         plan: &FaultPlan,
     ) -> MiniCluster {
-        Self::launch(cfg, Some(scripts), Some(plan)).0
+        Self::launch(cfg, Some(scripts), Some(plan), None).0
+    }
+
+    /// [`MiniCluster::start_chaos`] with a backup storage factory — the
+    /// harness for running chaos plans (message *and* disk faults) against
+    /// file-backed backups.
+    pub fn start_chaos_with_storage(
+        cfg: ProtocolConfig,
+        scripts: Vec<Vec<ClientOp>>,
+        plan: &FaultPlan,
+        storage: StorageFactory,
+    ) -> MiniCluster {
+        Self::launch(cfg, Some(scripts), Some(plan), Some(storage)).0
     }
 
     /// Runs a scripted cluster under the full [`FaultPlan`] — message
@@ -545,7 +593,7 @@ impl MiniCluster {
             Kill(usize),
             Restart(usize),
         }
-        let mut cluster = Self::launch(cfg, Some(scripts), Some(plan)).0;
+        let mut cluster = Self::launch(cfg, Some(scripts), Some(plan), None).0;
         let mut events: Vec<(SimTime, Ev)> = Vec::new();
         for c in &plan.crashes {
             events.push((c.at, Ev::Kill(c.server)));
@@ -582,9 +630,18 @@ impl MiniCluster {
         cfg: ProtocolConfig,
         scripts: Option<Vec<Vec<ClientOp>>>,
         plan: Option<&FaultPlan>,
+        storage: Option<StorageFactory>,
     ) -> (MiniCluster, Vec<MiniClient>) {
         let scripted = scripts.is_some();
-        let nodes = AnyNode::build_cluster(&cfg, scripts.unwrap_or_default());
+        let mut nodes = AnyNode::build_cluster(&cfg, scripts.unwrap_or_default());
+        if let Some(factory) = &storage {
+            for node in &mut nodes {
+                if let AnyNode::Server(s) = node {
+                    let engine = factory(s.index, 0);
+                    s.set_storage(engine);
+                }
+            }
+        }
         let total = 1 + cfg.servers + cfg.clients;
         let mut txs = Vec::with_capacity(total);
         let mut keepalive = Vec::with_capacity(total);
@@ -651,6 +708,7 @@ impl MiniCluster {
                 keepalive,
                 handles,
                 done_rx,
+                storage,
             },
             clients,
         )
@@ -703,7 +761,14 @@ impl MiniCluster {
             }
         }
         let epoch = self.fabric.incarnations[id.0].fetch_add(1, Ordering::SeqCst) + 1;
-        let node = AnyNode::Server(Server::restarted(index, self.cfg.clone(), epoch));
+        let mut server = Server::restarted(index, self.cfg.clone(), epoch);
+        if let Some(factory) = &self.storage {
+            // A file-backed factory re-opens the same data dir here, so the
+            // fresh incarnation rejoins holding every staged segment that
+            // survived on disk.
+            server.set_storage(factory(index, epoch));
+        }
+        let node = AnyNode::Server(server);
         let rx = self.keepalive[id.0].clone();
         let rt = ThreadRuntime {
             me: id,

@@ -141,7 +141,13 @@ pub fn run_net_node(
             }
             Ok(NodeEvent::Kill) => return None,
             Ok(NodeEvent::Shutdown) => {
-                return Some(report(node, id, faults.as_ref(), rt.fabric().registry()))
+                // Make staged replicas durable before the final report: a
+                // graceful exit must leave the data dir as complete as a
+                // per-write-fsync crash would.
+                if let AnyNode::Server(s) = &mut node {
+                    let _ = s.flush_storage();
+                }
+                return Some(report(node, id, faults.as_ref(), rt.fabric().registry()));
             }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(d) = rt.deadline {
